@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Ablation: the Section 3.3 optimizations of the deterministic
+ * scheduler, toggled independently.
+ *
+ *  - continuation: suspend at the failsafe point / resume at commit
+ *    (saves re-executing the task prefix; Figure 10 measures it against
+ *    PBBS — here we isolate it);
+ *  - locality spread: place iteration-order neighbors in different
+ *    rounds so they stop colliding (without it, inputs with high initial
+ *    locality conflict pathologically);
+ *  - pre-assigned ids: pfp uses them implicitly (its operator pushes
+ *    with node ids), so it is reported for reference only.
+ *
+ * Expected shape: continuation matters most for dmr/dt (expensive
+ * prefix); spread matters most for inputs whose iteration order has
+ * locality (meshes); neither changes output validity or determinism —
+ * the test suite asserts that separately.
+ */
+
+#include <cstdio>
+
+#include "apps/bfs.h"
+#include "apps/dmr.h"
+#include "apps/dt.h"
+#include "apps/mis.h"
+#include "apps_common.h"
+#include "graph/generators.h"
+#include "harness.h"
+
+using namespace galois;
+using namespace galois::bench;
+
+int
+main()
+{
+    const Settings s = settings();
+    const unsigned threads = s.threads.back();
+    banner("Ablation: Section 3.3 optimizations",
+           "Deterministic-executor time with each optimization toggled "
+           "(max threads). Values are seconds; 'slowdown' columns are "
+           "relative to the fully optimized configuration.");
+
+    struct Workload
+    {
+        std::string name;
+        std::function<double(const DetOptions&)> run;
+    };
+
+    const auto n = static_cast<graph::Node>(100000 * s.scale);
+    auto bfs_edges = graph::randomKOut(n, 5, 0xac1, true);
+    apps::bfs::Graph bfs_graph(n, bfs_edges);
+    apps::mis::Graph mis_graph(n, graph::randomKOut(n, 5, 0xac2, true));
+    const std::size_t dmr_points =
+        static_cast<std::size_t>(6000 * s.scale);
+    const auto dt_points = apps::dt::randomPoints(
+        static_cast<std::size_t>(20000 * s.scale), 0xac3);
+
+    std::vector<Workload> workloads;
+    workloads.push_back({"bfs", [&](const DetOptions& det) {
+                             apps::bfs::reset(bfs_graph);
+                             Config cfg;
+                             cfg.exec = Exec::Det;
+                             cfg.threads = threads;
+                             cfg.det = det;
+                             return apps::bfs::galoisBfs(bfs_graph, 0,
+                                                         cfg)
+                                 .seconds;
+                         }});
+    workloads.push_back({"mis", [&](const DetOptions& det) {
+                             apps::mis::reset(mis_graph);
+                             Config cfg;
+                             cfg.exec = Exec::Det;
+                             cfg.threads = threads;
+                             cfg.det = det;
+                             return apps::mis::galoisMis(mis_graph, cfg)
+                                 .seconds;
+                         }});
+    workloads.push_back({"dt", [&](const DetOptions& det) {
+                             apps::dt::Problem prob;
+                             apps::dt::makeProblem(dt_points, 0xac4,
+                                                   prob);
+                             Config cfg;
+                             cfg.exec = Exec::Det;
+                             cfg.threads = threads;
+                             cfg.det = det;
+                             return apps::dt::triangulate(prob, cfg)
+                                 .seconds;
+                         }});
+    workloads.push_back({"dmr", [&](const DetOptions& det) {
+                             apps::dmr::Problem prob;
+                             apps::dmr::makeProblem(dmr_points, 0xac5,
+                                                    prob);
+                             Config cfg;
+                             cfg.exec = Exec::Det;
+                             cfg.threads = threads;
+                             cfg.det = det;
+                             return apps::dmr::refine(prob, cfg).seconds;
+                         }});
+
+    Table table({"app", "full (s)", "-continuation", "-spread",
+                 "baseline (neither)"});
+
+    for (auto& w : workloads) {
+        DetOptions full;
+        const double t_full =
+            timeIt([&] { (void)w.run(full); }, s.reps);
+
+        DetOptions no_cont = full;
+        no_cont.continuation = false;
+        const double t_nc =
+            timeIt([&] { (void)w.run(no_cont); }, s.reps);
+
+        DetOptions no_spread = full;
+        no_spread.localitySpread = false;
+        const double t_ns =
+            timeIt([&] { (void)w.run(no_spread); }, s.reps);
+
+        DetOptions neither = no_cont;
+        neither.localitySpread = false;
+        const double t_base =
+            timeIt([&] { (void)w.run(neither); }, s.reps);
+
+        table.addRow({w.name, fmt(t_full), fmtX(t_nc / t_full),
+                      fmtX(t_ns / t_full), fmtX(t_base / t_full)});
+    }
+    table.print();
+    return 0;
+}

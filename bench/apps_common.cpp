@@ -1,0 +1,368 @@
+#include "apps_common.h"
+
+#include <stdexcept>
+
+#include "apps/bfs.h"
+#include "apps/dmr.h"
+#include "apps/dt.h"
+#include "apps/mis.h"
+#include "apps/pfp.h"
+#include "graph/generators.h"
+#include "model/cache_registry.h"
+#include "pbbs/det_bfs.h"
+#include "pbbs/det_mesh.h"
+#include "pbbs/det_mis.h"
+#include "support/timer.h"
+
+namespace galois::bench {
+
+const char*
+variantName(Variant v)
+{
+    switch (v) {
+      case Variant::GN:
+        return "g-n";
+      case Variant::GD:
+        return "g-d";
+      case Variant::GDNoCont:
+        return "g-d/nc";
+      case Variant::PBBS:
+        return "pbbs";
+    }
+    return "?";
+}
+
+namespace {
+
+Config
+galoisConfig(Variant v, unsigned threads, bool locality)
+{
+    Config cfg;
+    cfg.exec = (v == Variant::GN) ? Exec::NonDet : Exec::Det;
+    cfg.threads = threads;
+    cfg.det.continuation = (v != Variant::GDNoCont);
+    cfg.collectLocality = locality;
+    return cfg;
+}
+
+Measurement
+fromReport(const RunReport& r)
+{
+    Measurement m;
+    m.seconds = r.seconds;
+    m.committed = r.committed;
+    m.aborted = r.aborted;
+    m.atomicOps = r.atomicOps;
+    m.rounds = r.rounds;
+    m.cacheAccesses = r.cacheAccesses;
+    m.cacheMisses = r.cacheMisses;
+    return m;
+}
+
+Measurement
+fromPbbs(const pbbs::PbbsStats& s, bool locality)
+{
+    Measurement m;
+    m.seconds = s.seconds;
+    m.committed = s.committed;
+    m.aborted = s.aborted;
+    m.atomicOps = s.atomicOps;
+    m.rounds = s.rounds;
+    if (locality) {
+        const auto totals = model::aggregateThreadCaches();
+        m.cacheAccesses = totals.accesses;
+        m.cacheMisses = totals.misses;
+    }
+    return m;
+}
+
+// -------------------------------------------------------------------
+// bfs
+// -------------------------------------------------------------------
+
+class BfsBench : public AppBench
+{
+  public:
+    explicit BfsBench(const Settings& s)
+    {
+        const auto n =
+            static_cast<graph::Node>(200000 * s.scale);
+        auto edges = graph::randomKOut(n, 5, 0xb0f5, true);
+        graph_ = std::make_unique<apps::bfs::Graph>(n, edges);
+    }
+
+    std::string name() const override { return "bfs"; }
+    bool hasPbbs() const override { return true; }
+    std::string baselineName() const override { return "serial-opt"; }
+
+    double
+    baselineSeconds() override
+    {
+        support::Timer t;
+        t.start();
+        auto dist = apps::bfs::serialBfs(*graph_, 0);
+        t.stop();
+        if (dist[0] != 0)
+            throw std::runtime_error("bfs baseline corrupt");
+        return t.seconds();
+    }
+
+    Measurement
+    run(Variant v, unsigned threads, bool locality) override
+    {
+        if (v == Variant::PBBS) {
+            model::enableThreadCaches(locality);
+            auto res = pbbs::detBfs(*graph_, 0, threads);
+            auto m = fromPbbs(res.stats, locality);
+            model::enableThreadCaches(false);
+            return m;
+        }
+        apps::bfs::reset(*graph_);
+        return fromReport(apps::bfs::galoisBfs(
+            *graph_, 0, galoisConfig(v, threads, locality)));
+    }
+
+  private:
+    std::unique_ptr<apps::bfs::Graph> graph_;
+};
+
+// -------------------------------------------------------------------
+// mis
+// -------------------------------------------------------------------
+
+class MisBench : public AppBench
+{
+  public:
+    explicit MisBench(const Settings& s)
+    {
+        const auto n =
+            static_cast<graph::Node>(200000 * s.scale);
+        auto edges = graph::randomKOut(n, 5, 0x815a, true);
+        graph_ = std::make_unique<apps::mis::Graph>(n, edges);
+    }
+
+    std::string name() const override { return "mis"; }
+    bool hasPbbs() const override { return true; }
+    std::string baselineName() const override { return "serial-greedy"; }
+
+    double
+    baselineSeconds() override
+    {
+        support::Timer t;
+        t.start();
+        auto flags = apps::mis::serialMis(*graph_);
+        t.stop();
+        if (flags.empty())
+            throw std::runtime_error("mis baseline corrupt");
+        return t.seconds();
+    }
+
+    Measurement
+    run(Variant v, unsigned threads, bool locality) override
+    {
+        if (v == Variant::PBBS) {
+            model::enableThreadCaches(locality);
+            auto res = pbbs::detMis(*graph_, threads);
+            auto m = fromPbbs(res.stats, locality);
+            model::enableThreadCaches(false);
+            return m;
+        }
+        apps::mis::reset(*graph_);
+        return fromReport(apps::mis::galoisMis(
+            *graph_, galoisConfig(v, threads, locality)));
+    }
+
+  private:
+    std::unique_ptr<apps::mis::Graph> graph_;
+};
+
+// -------------------------------------------------------------------
+// dt
+// -------------------------------------------------------------------
+
+class DtBench : public AppBench
+{
+  public:
+    explicit DtBench(const Settings& s)
+        : points_(apps::dt::randomPoints(
+              static_cast<std::size_t>(50000 * s.scale), 0xde1a))
+    {}
+
+    std::string name() const override { return "dt"; }
+    bool hasPbbs() const override { return true; }
+    std::string baselineName() const override { return "serial-bw"; }
+
+    double
+    baselineSeconds() override
+    {
+        apps::dt::Problem prob;
+        apps::dt::makeProblem(points_, 0x0dde, prob);
+        Config cfg;
+        cfg.exec = Exec::Serial;
+        support::Timer t;
+        t.start();
+        apps::dt::triangulate(prob, cfg);
+        t.stop();
+        return t.seconds();
+    }
+
+    Measurement
+    run(Variant v, unsigned threads, bool locality) override
+    {
+        // Fresh problem per run; construction is untimed (input prep).
+        apps::dt::Problem prob;
+        apps::dt::makeProblem(points_, 0x0dde, prob);
+        if (v == Variant::PBBS) {
+            model::enableThreadCaches(locality);
+            auto stats = pbbs::detTriangulate(prob, threads);
+            auto m = fromPbbs(stats, locality);
+            model::enableThreadCaches(false);
+            return m;
+        }
+        Config cfg = galoisConfig(v, threads, locality);
+        // Cavity workload: depth-order pops keep the hot mesh region in
+        // cache (the locality the paper credits g-n with).
+        cfg.ndWorklist = NdWorklist::ChunkedLifo;
+        return fromReport(apps::dt::triangulate(prob, cfg));
+    }
+
+  private:
+    std::vector<geom::Point> points_;
+};
+
+// -------------------------------------------------------------------
+// dmr
+// -------------------------------------------------------------------
+
+class DmrBench : public AppBench
+{
+  public:
+    explicit DmrBench(const Settings& s)
+        : numPoints_(static_cast<std::size_t>(15000 * s.scale))
+    {}
+
+    std::string name() const override { return "dmr"; }
+    bool hasPbbs() const override { return true; }
+    std::string baselineName() const override { return "g-nd-serial"; }
+
+    double
+    baselineSeconds() override
+    {
+        apps::dmr::Problem prob;
+        apps::dmr::makeProblem(numPoints_, 0xd312, prob);
+        Config cfg;
+        cfg.exec = Exec::Serial;
+        support::Timer t;
+        t.start();
+        apps::dmr::refine(prob, cfg);
+        t.stop();
+        return t.seconds();
+    }
+
+    Measurement
+    run(Variant v, unsigned threads, bool locality) override
+    {
+        apps::dmr::Problem prob;
+        apps::dmr::makeProblem(numPoints_, 0xd312, prob);
+        if (v == Variant::PBBS) {
+            model::enableThreadCaches(locality);
+            auto stats = pbbs::detRefine(prob, threads);
+            auto m = fromPbbs(stats, locality);
+            model::enableThreadCaches(false);
+            return m;
+        }
+        Config cfg = galoisConfig(v, threads, locality);
+        cfg.ndWorklist = NdWorklist::ChunkedLifo;
+        return fromReport(apps::dmr::refine(prob, cfg));
+    }
+
+  private:
+    std::size_t numPoints_;
+};
+
+// -------------------------------------------------------------------
+// pfp
+// -------------------------------------------------------------------
+
+class PfpBench : public AppBench
+{
+  public:
+    explicit PfpBench(const Settings& s)
+    {
+        const auto n =
+            static_cast<graph::Node>(16384 * s.scale);
+        auto edges = graph::randomFlowNetwork(n, 4, 100, 0xf10f);
+        graph_ = std::make_unique<apps::pfp::Graph>(n, edges, true);
+        pristine_.reserve(graph_->numEdges());
+        for (std::uint64_t e = 0; e < graph_->numEdges(); ++e)
+            pristine_.push_back(graph_->edgeData(e));
+        sink_ = n - 1;
+    }
+
+    std::string name() const override { return "pfp"; }
+    bool hasPbbs() const override { return false; }
+    std::string baselineName() const override { return "hi_pr"; }
+
+    double
+    baselineSeconds() override
+    {
+        restore();
+        support::Timer t;
+        t.start();
+        auto r = apps::pfp::serialHiPr(*graph_, 0, sink_);
+        t.stop();
+        flowValue_ = r.value;
+        return t.seconds();
+    }
+
+    Measurement
+    run(Variant v, unsigned threads, bool locality) override
+    {
+        if (v == Variant::PBBS)
+            throw std::logic_error("pfp has no PBBS variant");
+        restore();
+        return fromReport(apps::pfp::galoisPfp(*graph_, 0, sink_,
+                                               galoisConfig(v, threads,
+                                                            locality))
+                              .report);
+    }
+
+  private:
+    void
+    restore()
+    {
+        for (std::uint64_t e = 0; e < graph_->numEdges(); ++e)
+            graph_->edgeData(e) = pristine_[e];
+    }
+
+    std::unique_ptr<apps::pfp::Graph> graph_;
+    std::vector<std::int64_t> pristine_;
+    graph::Node sink_ = 0;
+    std::int64_t flowValue_ = 0;
+};
+
+} // namespace
+
+double
+medianRunSeconds(AppBench& app, Variant v, unsigned threads, int reps)
+{
+    std::vector<double> xs;
+    xs.reserve(reps);
+    for (int r = 0; r < reps; ++r)
+        xs.push_back(app.run(v, threads, false).seconds);
+    return median(std::move(xs));
+}
+
+std::vector<std::unique_ptr<AppBench>>
+makeAllApps(const Settings& s)
+{
+    std::vector<std::unique_ptr<AppBench>> apps;
+    apps.push_back(std::make_unique<BfsBench>(s));
+    apps.push_back(std::make_unique<DmrBench>(s));
+    apps.push_back(std::make_unique<DtBench>(s));
+    apps.push_back(std::make_unique<MisBench>(s));
+    apps.push_back(std::make_unique<PfpBench>(s));
+    return apps;
+}
+
+} // namespace galois::bench

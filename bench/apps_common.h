@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Application/variant runners shared by the figure benchmarks.
+ *
+ * Each of the paper's five irregular applications is wrapped in an
+ * AppBench that can (i) time the best sequential baseline (Figure 8) and
+ * (ii) run any evaluation variant: g-n (non-deterministic Galois), g-d
+ * (DIG-scheduled Galois), g-d without the continuation optimization
+ * (Figure 10), and the handwritten deterministic PBBS program.
+ *
+ * Inputs follow the paper's recipes (Section 4.2), scaled by
+ * REPRO_SCALE; input construction is never included in timings (the
+ * paper likewise excludes input preparation and point reordering).
+ */
+
+#ifndef DETGALOIS_BENCH_APPS_COMMON_H
+#define DETGALOIS_BENCH_APPS_COMMON_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness.h"
+
+namespace galois::bench {
+
+/** Evaluation variant (Section 4.1 naming). */
+enum class Variant
+{
+    GN,       //!< non-deterministic Galois
+    GD,       //!< deterministic Galois (DIG scheduling)
+    GDNoCont, //!< g-d without the continuation optimization
+    PBBS      //!< handwritten deterministic program
+};
+
+const char* variantName(Variant v);
+
+/** One timed execution of a variant. */
+struct Measurement
+{
+    double seconds = 0.0;
+    std::uint64_t committed = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t atomicOps = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t cacheAccesses = 0;
+    std::uint64_t cacheMisses = 0;
+
+    double
+    abortRatio() const
+    {
+        const double attempts = static_cast<double>(committed + aborted);
+        return attempts == 0 ? 0.0
+                             : static_cast<double>(aborted) / attempts;
+    }
+
+    double
+    tasksPerUs() const
+    {
+        return seconds == 0
+                   ? 0.0
+                   : static_cast<double>(committed) / (seconds * 1e6);
+    }
+
+    double
+    atomicsPerUs() const
+    {
+        return seconds == 0
+                   ? 0.0
+                   : static_cast<double>(atomicOps) / (seconds * 1e6);
+    }
+};
+
+/** One of the paper's benchmark applications. */
+class AppBench
+{
+  public:
+    virtual ~AppBench() = default;
+
+    /** Short paper name: bfs, dmr, dt, mis, pfp. */
+    virtual std::string name() const = 0;
+
+    /** Does a handwritten PBBS variant exist (pfp has none)? */
+    virtual bool hasPbbs() const = 0;
+
+    /** Label of the sequential baseline (Figure 8's "Var." column). */
+    virtual std::string baselineName() const = 0;
+
+    /** Seconds of one sequential-baseline execution. */
+    virtual double baselineSeconds() = 0;
+
+    /** Execute a variant and report its statistics. */
+    virtual Measurement run(Variant v, unsigned threads,
+                            bool locality) = 0;
+};
+
+/** Instantiate all five applications at the configured scale. */
+std::vector<std::unique_ptr<AppBench>> makeAllApps(const Settings& s);
+
+/** Median loop-seconds over reps executions of a variant. */
+double medianRunSeconds(AppBench& app, Variant v, unsigned threads,
+                        int reps);
+
+} // namespace galois::bench
+
+#endif // DETGALOIS_BENCH_APPS_COMMON_H

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 4: application characteristics — committed-task rates, abort
+ * ratios and (for the deterministic variants) round counts, at 1 thread
+ * and at the maximum thread count.
+ *
+ * Paper shape: tasks are very fine-grain (g-n dmr commits ~0.26
+ * tasks/us on one thread); g-n abort ratios are essentially zero even at
+ * 40 threads (many more tasks than threads), while the deterministic
+ * variants abort noticeably because whole windows of tasks are inspected
+ * together — conflicts arise even on one thread.
+ */
+
+#include <cstdio>
+
+#include "apps_common.h"
+#include "harness.h"
+
+using namespace galois::bench;
+
+int
+main()
+{
+    const Settings s = settings();
+    const unsigned tmax = s.threads.back();
+    banner("Figure 4",
+           "Task commit rates (tasks/us), abort ratios and rounds per "
+           "variant at 1 and max threads.");
+
+    Table table({"app", "variant", "threads", "tasks/us", "abort ratio",
+                 "rounds"});
+
+    for (auto& app : makeAllApps(s)) {
+        std::vector<Variant> variants{Variant::GN, Variant::GD};
+        if (app->hasPbbs())
+            variants.push_back(Variant::PBBS);
+        for (Variant v : variants) {
+            for (unsigned t : {1u, tmax}) {
+                const Measurement m = app->run(v, t, false);
+                table.addRow(
+                    {app->name(), variantName(v), std::to_string(t),
+                     fmt(m.tasksPerUs(), 3), fmt(m.abortRatio(), 3),
+                     v == Variant::GN ? "-" : std::to_string(m.rounds)});
+            }
+        }
+    }
+    table.print();
+    return 0;
+}

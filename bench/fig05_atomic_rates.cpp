@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Figure 5: atomic-update rates — the communication-intensity contrast
+ * between the PARSEC kernels and the irregular benchmarks.
+ *
+ * Paper shape: the irregular applications perform orders of magnitude
+ * more atomic updates per microsecond than blackscholes/bodytrack/
+ * freqmine (e.g. ~1/us for blackscholes vs ~100/us for mis g-n at 40
+ * threads). This gap is why quantum-based deterministic thread
+ * schedulers, adequate for PARSEC, collapse on irregular programs
+ * (Figure 6).
+ */
+
+#include <atomic>
+#include <cstdio>
+
+#include "apps_common.h"
+#include "coredet/coredet.h"
+#include "harness.h"
+#include "parsec/blackscholes.h"
+#include "parsec/bodytrack_like.h"
+#include "parsec/freqmine_like.h"
+#include "support/timer.h"
+
+using namespace galois;
+using namespace galois::bench;
+
+namespace {
+
+/** Count the PARSEC kernels' shared-memory operations by running them
+ *  under a counting scheduler shim. */
+class CountingScheduler
+{
+  public:
+    explicit CountingScheduler(unsigned threads) : inner_(threads) {}
+
+    void
+    run(const std::function<void(unsigned)>& body)
+    {
+        inner_.run(body);
+    }
+
+    void work(std::uint64_t = 1) {}
+
+    template <typename F>
+    auto
+    sync(F&& f) -> decltype(f())
+    {
+        ops_.fetch_add(1, std::memory_order_relaxed);
+        return f();
+    }
+
+    void
+    backoffRounds(unsigned k)
+    {
+        inner_.backoffRounds(k);
+    }
+
+    std::uint64_t ops() const { return ops_.load(); }
+
+  private:
+    coredet::RawScheduler inner_;
+    std::atomic<std::uint64_t> ops_{0};
+};
+
+} // namespace
+
+int
+main()
+{
+    const Settings s = settings();
+    const unsigned tmax = s.threads.back();
+    banner("Figure 5",
+           "Atomic updates per microsecond, 1 and max threads: PARSEC "
+           "kernels vs irregular applications.");
+
+    Table table({"app", "variant", "threads", "atomics/us"});
+
+    // PARSEC kernels.
+    const auto portfolio = parsec::randomPortfolio(
+        static_cast<std::size_t>(100000 * s.scale), 0xb5);
+    const auto tracking = parsec::makeTrackingProblem(
+        static_cast<std::size_t>(30 * s.scale) + 5, 0xb7);
+    const auto db = parsec::makeItemsetDb(
+        static_cast<std::size_t>(20000 * s.scale), 500, 10, 0xf3);
+
+    for (unsigned t : {1u, tmax}) {
+        {
+            CountingScheduler cs(t);
+            std::vector<double> prices;
+            support::Timer timer;
+            timer.start();
+            priceAll(cs, portfolio, 5, prices);
+            timer.stop();
+            table.addRow({"bs", "parsec", std::to_string(t),
+                          fmt(static_cast<double>(cs.ops()) /
+                                  (timer.seconds() * 1e6),
+                              3)});
+        }
+        {
+            CountingScheduler cs(t);
+            support::Timer timer;
+            timer.start();
+            (void)trackBody(cs, tracking,
+                            static_cast<std::size_t>(2000 * s.scale) + 64,
+                            0xb8);
+            timer.stop();
+            table.addRow({"bt", "parsec", std::to_string(t),
+                          fmt(static_cast<double>(cs.ops()) /
+                                  (timer.seconds() * 1e6),
+                              3)});
+        }
+        {
+            CountingScheduler cs(t);
+            support::Timer timer;
+            timer.start();
+            (void)mineFrequent(
+                cs, db, static_cast<std::uint64_t>(20 * s.scale));
+            timer.stop();
+            table.addRow({"fm", "parsec", std::to_string(t),
+                          fmt(static_cast<double>(cs.ops()) /
+                                  (timer.seconds() * 1e6),
+                              3)});
+        }
+    }
+
+    // Irregular applications.
+    for (auto& app : makeAllApps(s)) {
+        std::vector<Variant> variants{Variant::GN, Variant::GD};
+        if (app->hasPbbs())
+            variants.push_back(Variant::PBBS);
+        for (Variant v : variants) {
+            for (unsigned t : {1u, tmax}) {
+                const Measurement m = app->run(v, t, false);
+                table.addRow({app->name(), variantName(v),
+                              std::to_string(t),
+                              fmt(m.atomicsPerUs(), 3)});
+            }
+        }
+    }
+
+    table.print();
+    return 0;
+}

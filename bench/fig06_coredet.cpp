@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Figure 6: determinism by thread scheduling (CoreDet-style) on PARSEC
+ * kernels and the non-deterministic PBBS programs.
+ *
+ * Each program runs under the RawScheduler ("without CoreDet") and under
+ * the quantum/serial-mode DmpScheduler ("with CoreDet"); the table shows
+ * the slowdown of deterministic thread scheduling at each thread count.
+ * Paper shape: blackscholes is barely affected; bodytrack/freqmine show
+ * limited impact; the irregular nd-PBBS programs (bfs, dmr, dt) slow
+ * down massively (median 3.7X, max 55X across the suite) because each of
+ * their fine-grain synchronizations costs a full deterministic round —
+ * only the data-parallel mis survives.
+ */
+
+#include <cstdio>
+#include <functional>
+
+#include "apps/bfs.h"
+#include "apps/dmr.h"
+#include "apps/dt.h"
+#include "apps/mis.h"
+#include "coredet/coredet.h"
+#include "coredet/nd_apps.h"
+#include "graph/generators.h"
+#include "harness.h"
+#include "parsec/blackscholes.h"
+#include "parsec/bodytrack_like.h"
+#include "parsec/freqmine_like.h"
+
+using namespace galois;
+using namespace galois::bench;
+
+namespace {
+
+/** Quantum size: CoreDet's tunable (performance-only) parameter. */
+constexpr std::uint64_t kQuantum = 50000;
+
+struct Program
+{
+    std::string name;
+    /** Run under a scheduler; templated via two std::functions. */
+    std::function<void(coredet::RawScheduler&)> raw;
+    std::function<void(coredet::DmpScheduler&)> dmp;
+};
+
+template <typename Fn>
+double
+timeScheduled(Fn&& fn, int reps)
+{
+    std::vector<double> xs;
+    for (int r = 0; r < reps; ++r) {
+        support::Timer t;
+        t.start();
+        fn();
+        t.stop();
+        xs.push_back(t.seconds());
+    }
+    return median(std::move(xs));
+}
+
+} // namespace
+
+int
+main()
+{
+    const Settings s = settings();
+    banner("Figure 6",
+           "Slowdown of CoreDet-style deterministic thread scheduling "
+           "(t_coredet / t_plain) per thread count.");
+
+    // Inputs (smaller than the other figures: the deterministic runs of
+    // the irregular kernels are extremely slow — that is the point).
+    const auto bs_portfolio = parsec::randomPortfolio(
+        static_cast<std::size_t>(50000 * s.scale), 0xc1);
+    const auto bt_problem = parsec::makeTrackingProblem(
+        static_cast<std::size_t>(10 * s.scale) + 3, 0xc2);
+    const std::size_t bt_particles =
+        static_cast<std::size_t>(1000 * s.scale) + 64;
+    const auto fm_db = parsec::makeItemsetDb(
+        static_cast<std::size_t>(8000 * s.scale), 300, 8, 0xc3);
+
+    const auto bfs_n =
+        static_cast<graph::Node>(20000 * s.scale);
+    auto bfs_edges = graph::randomKOut(bfs_n, 5, 0xc4, true);
+    apps::bfs::Graph bfs_graph(bfs_n, bfs_edges);
+    apps::mis::Graph mis_graph(bfs_n,
+                               graph::randomKOut(bfs_n, 5, 0xc5, true));
+
+    const std::size_t dt_points =
+        static_cast<std::size_t>(3000 * s.scale);
+    const std::size_t dmr_points =
+        static_cast<std::size_t>(1000 * s.scale);
+
+    std::vector<Program> programs;
+    programs.push_back(
+        {"bs",
+         [&](coredet::RawScheduler& sch) {
+             std::vector<double> p;
+             priceAll(sch, bs_portfolio, 3, p);
+         },
+         [&](coredet::DmpScheduler& sch) {
+             std::vector<double> p;
+             priceAll(sch, bs_portfolio, 3, p);
+         }});
+    programs.push_back(
+        {"bt",
+         [&](coredet::RawScheduler& sch) {
+             (void)trackBody(sch, bt_problem, bt_particles, 0xc6);
+         },
+         [&](coredet::DmpScheduler& sch) {
+             (void)trackBody(sch, bt_problem, bt_particles, 0xc6);
+         }});
+    programs.push_back(
+        {"fm",
+         [&](coredet::RawScheduler& sch) {
+             (void)mineFrequent(sch, fm_db, 10);
+         },
+         [&](coredet::DmpScheduler& sch) {
+             (void)mineFrequent(sch, fm_db, 10);
+         }});
+    programs.push_back(
+        {"nd-bfs",
+         [&](coredet::RawScheduler& sch) {
+             (void)coredet::ndBfs(sch, bfs_graph, 0, 0);
+         },
+         [&](coredet::DmpScheduler& sch) {
+             (void)coredet::ndBfs(sch, bfs_graph, 0, 0);
+         }});
+    programs.push_back(
+        {"nd-mis",
+         [&](coredet::RawScheduler& sch) {
+             (void)coredet::ndMis(sch, mis_graph, 0);
+         },
+         [&](coredet::DmpScheduler& sch) {
+             (void)coredet::ndMis(sch, mis_graph, 0);
+         }});
+    programs.push_back(
+        {"nd-dt",
+         [&](coredet::RawScheduler& sch) {
+             apps::dt::Problem prob;
+             apps::dt::makeProblem(
+                 apps::dt::randomPoints(dt_points, 0xc7), 0xc8, prob);
+             (void)coredet::ndTriangulate(sch, prob, 0);
+         },
+         [&](coredet::DmpScheduler& sch) {
+             apps::dt::Problem prob;
+             apps::dt::makeProblem(
+                 apps::dt::randomPoints(dt_points, 0xc7), 0xc8, prob);
+             (void)coredet::ndTriangulate(sch, prob, 0);
+         }});
+    programs.push_back(
+        {"nd-dmr",
+         [&](coredet::RawScheduler& sch) {
+             apps::dmr::Problem prob;
+             apps::dmr::makeProblem(dmr_points, 0xc9, prob);
+             (void)coredet::ndRefine(sch, prob, 0);
+         },
+         [&](coredet::DmpScheduler& sch) {
+             apps::dmr::Problem prob;
+             apps::dmr::makeProblem(dmr_points, 0xc9, prob);
+             (void)coredet::ndRefine(sch, prob, 0);
+         }});
+
+    std::vector<std::string> headers{"program"};
+    for (unsigned t : s.threads)
+        headers.push_back("T=" + std::to_string(t) + " slowdown");
+    Table table(headers);
+
+    std::vector<double> max_thread_slowdowns;
+    for (auto& prog : programs) {
+        std::vector<std::string> row{prog.name};
+        double last = 0;
+        for (unsigned t : s.threads) {
+            const double plain = timeScheduled(
+                [&] {
+                    coredet::RawScheduler sch(t);
+                    prog.raw(sch);
+                },
+                s.reps);
+            const double det = timeScheduled(
+                [&] {
+                    coredet::DmpScheduler sch(t, kQuantum);
+                    prog.dmp(sch);
+                },
+                s.reps);
+            last = det / plain;
+            row.push_back(fmtX(last));
+        }
+        max_thread_slowdowns.push_back(last);
+        table.addRow(row);
+    }
+    table.print();
+
+    double lo = max_thread_slowdowns.front(), hi = lo;
+    for (double v : max_thread_slowdowns) {
+        lo = std::min(lo, v);
+        hi = std::max(hi, v);
+    }
+    std::printf("\nAt max threads (paper: median 3.7X, min 1.3X, max "
+                "55X): median %s, min %s, max %s\n",
+                fmtX(median(max_thread_slowdowns)).c_str(),
+                fmtX(lo).c_str(), fmtX(hi).c_str());
+    return 0;
+}

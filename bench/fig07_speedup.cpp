@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 7: speedups of g-n, g-d and PBBS over the best sequential
+ * baseline, as a function of thread count.
+ *
+ * Paper shape to look for: g-n is the fastest variant overall (median
+ * 2.4X over PBBS at max threads in the paper); g-d tracks PBBS from
+ * below (0.62X median); determinism costs real performance everywhere.
+ * Absolute speedup *magnitudes* depend on core count — on a small or
+ * oversubscribed host the curves flatten, but the ordering of variants
+ * is preserved.
+ */
+
+#include <cstdio>
+
+#include "apps_common.h"
+#include "harness.h"
+
+using namespace galois::bench;
+
+int
+main()
+{
+    const Settings s = settings();
+    banner("Figure 7",
+           "Speedup over the best sequential baseline (Figure 8) per "
+           "application, variant and thread count.");
+
+    std::vector<std::string> headers{"app", "variant"};
+    for (unsigned t : s.threads)
+        headers.push_back("T=" + std::to_string(t));
+    Table table(headers);
+
+    for (auto& app : makeAllApps(s)) {
+        const double base = timeIt(
+            [&] { (void)app->baselineSeconds(); }, s.reps);
+        std::vector<Variant> variants{Variant::GN, Variant::GD};
+        if (app->hasPbbs())
+            variants.push_back(Variant::PBBS);
+        for (Variant v : variants) {
+            std::vector<std::string> row{app->name(), variantName(v)};
+            for (unsigned t : s.threads) {
+                const double secs =
+                    medianRunSeconds(*app, v, t, s.reps);
+                row.push_back(fmt(base / secs, 2));
+            }
+            table.addRow(row);
+        }
+    }
+    table.print();
+    std::printf("\nValues are t_baseline / t_variant; > 1 means faster "
+                "than the sequential baseline.\n");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 8: baseline times for speedup calculations.
+ *
+ * The paper reports the best single-thread time per application: the
+ * Schardl-Leiserson-style optimized serial BFS, hi_pr for preflow-push,
+ * the serial Galois variants for the mesh codes, plus the PARSEC
+ * kernels' single-thread times. Those baselines anchor every speedup in
+ * Figure 7.
+ */
+
+#include <cstdio>
+
+#include "apps_common.h"
+#include "coredet/coredet.h"
+#include "harness.h"
+#include "parsec/blackscholes.h"
+#include "parsec/bodytrack_like.h"
+#include "parsec/freqmine_like.h"
+
+using namespace galois;
+using namespace galois::bench;
+
+int
+main()
+{
+    const Settings s = settings();
+    banner("Figure 8",
+           "Baseline times in seconds for speedup calculations (best "
+           "single-thread variant per application).");
+
+    Table table({"app", "variant", "time (s)"});
+
+    for (auto& app : makeAllApps(s)) {
+        const double secs =
+            timeIt([&] { (void)app->baselineSeconds(); }, s.reps);
+        table.addRow({app->name(), app->baselineName(), fmt(secs)});
+    }
+
+    // PARSEC kernels, single thread.
+    {
+        coredet::RawScheduler one(1);
+        const auto portfolio = parsec::randomPortfolio(
+            static_cast<std::size_t>(100000 * s.scale), 0xb5);
+        std::vector<double> prices;
+        const double bs = timeIt(
+            [&] { priceAll(one, portfolio, 5, prices); }, s.reps);
+        table.addRow({"bs", "serial", fmt(bs)});
+
+        const auto tracking = parsec::makeTrackingProblem(
+            static_cast<std::size_t>(30 * s.scale) + 5, 0xb7);
+        const double bt = timeIt(
+            [&] {
+                (void)trackBody(one, tracking,
+                                static_cast<std::size_t>(2000 * s.scale) +
+                                    64,
+                                0xb8);
+            },
+            s.reps);
+        table.addRow({"bt", "serial", fmt(bt)});
+
+        const auto db = parsec::makeItemsetDb(
+            static_cast<std::size_t>(20000 * s.scale), 500, 10, 0xf3);
+        const double fm = timeIt(
+            [&] {
+                (void)mineFrequent(one, db,
+                                   static_cast<std::uint64_t>(
+                                       20 * s.scale));
+            },
+            s.reps);
+        table.addRow({"fm", "serial", fmt(fm)});
+    }
+
+    table.print();
+    std::printf("\nNote: absolute times are machine-specific; the paper's "
+                "Figure 8 values were measured on 2010-era Xeons.\n");
+    return 0;
+}

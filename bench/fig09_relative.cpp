@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 9: performance of g-n and g-d relative to the handwritten
+ * deterministic PBBS variant, plus the paper's headline medians.
+ *
+ * The reported value is t_PBBS(p) / t_var(p): > 1 means the variant is
+ * faster than PBBS. Paper shape: g-n well above 1 (median 2.4X at max
+ * threads), g-d below 1 (median 0.62X; 0.70X with mis excluded).
+ * Only the four applications with a PBBS counterpart participate.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "apps_common.h"
+#include "harness.h"
+
+using namespace galois::bench;
+
+int
+main()
+{
+    const Settings s = settings();
+    banner("Figure 9",
+           "Performance relative to the PBBS variant: t_PBBS(p) / "
+           "t_var(p). Mean/Max over thread counts; I1 = 1 thread, Imax = "
+           "max threads.");
+
+    Table table({"app", "variant", "Mean", "Max", "I1", "Imax"});
+
+    std::vector<double> gn_imax, gd_imax, gd_imax_nomis;
+
+    for (auto& app : makeAllApps(s)) {
+        if (!app->hasPbbs())
+            continue;
+        // PBBS reference per thread count.
+        std::vector<double> pbbs;
+        for (unsigned t : s.threads)
+            pbbs.push_back(
+                medianRunSeconds(*app, Variant::PBBS, t, s.reps));
+
+        for (Variant v : {Variant::GN, Variant::GD}) {
+            std::vector<double> rel;
+            for (std::size_t i = 0; i < s.threads.size(); ++i) {
+                const double var_secs = medianRunSeconds(
+                    *app, v, s.threads[i], s.reps);
+                rel.push_back(pbbs[i] / var_secs);
+            }
+            const double mean_rel =
+                std::accumulate(rel.begin(), rel.end(), 0.0) /
+                static_cast<double>(rel.size());
+            const double max_rel =
+                *std::max_element(rel.begin(), rel.end());
+            table.addRow({app->name(), variantName(v), fmtX(mean_rel),
+                          fmtX(max_rel), fmtX(rel.front()),
+                          fmtX(rel.back())});
+            if (v == Variant::GN) {
+                gn_imax.push_back(rel.back());
+            } else {
+                gd_imax.push_back(rel.back());
+                if (app->name() != "mis")
+                    gd_imax_nomis.push_back(rel.back());
+            }
+        }
+        table.addRow({app->name(), "pbbs", "1.00X", "1.00X", "1.00X",
+                      "1.00X"});
+    }
+    table.print();
+
+    std::printf("\nHeadline medians at max threads (paper: g-n/pbbs = "
+                "2.4X, g-d/pbbs = 0.62X, 0.70X without mis):\n");
+    std::printf("  g-n vs pbbs : %s\n", fmtX(median(gn_imax)).c_str());
+    std::printf("  g-d vs pbbs : %s\n", fmtX(median(gd_imax)).c_str());
+    std::printf("  g-d vs pbbs (no mis): %s\n",
+                fmtX(median(gd_imax_nomis)).c_str());
+    return 0;
+}

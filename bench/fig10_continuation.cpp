@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 10: impact of the continuation optimization (Section 3.3).
+ *
+ * Compares g-d with and without the continuation (suspend-at-failsafe /
+ * resume-at-commit) optimization, both relative to the PBBS variant, and
+ * reports the median improvement the optimization delivers. Paper shape:
+ * median improvement 1.14X overall, with meaningful gains only for the
+ * structurally complicated mesh codes (dmr, dt) whose inspect prefix —
+ * cavity construction — dominates task cost.
+ */
+
+#include <cstdio>
+
+#include "apps_common.h"
+#include "harness.h"
+
+using namespace galois::bench;
+
+int
+main()
+{
+    const Settings s = settings();
+    const unsigned tmax = s.threads.back();
+    banner("Figure 10",
+           "g-d without the continuation optimization, relative to PBBS "
+           "and to optimized g-d (max threads).");
+
+    Table table({"app", "g-d/nc vs pbbs", "g-d vs pbbs",
+                 "continuation gain"});
+
+    std::vector<double> gains;
+    for (auto& app : makeAllApps(s)) {
+        const double nc =
+            medianRunSeconds(*app, Variant::GDNoCont, tmax, s.reps);
+        const double gd =
+            medianRunSeconds(*app, Variant::GD, tmax, s.reps);
+        const double gain = nc / gd;
+        gains.push_back(gain);
+        if (app->hasPbbs()) {
+            const double pbbs =
+                medianRunSeconds(*app, Variant::PBBS, tmax, s.reps);
+            table.addRow({app->name(), fmtX(pbbs / nc), fmtX(pbbs / gd),
+                          fmtX(gain)});
+        } else {
+            table.addRow({app->name(), "-", "-", fmtX(gain)});
+        }
+    }
+    table.print();
+
+    std::printf("\nMedian continuation improvement (paper: 1.14X): %s\n",
+                fmtX(median(gains)).c_str());
+    return 0;
+}

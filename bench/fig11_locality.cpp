@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Figure 11: locality proxy — "data requests satisfied from DRAM".
+ *
+ * The paper samples a DRAM-request performance counter to show that the
+ * deterministic variants lose the intra-task locality of the
+ * non-deterministic ones (DIG separates a task's inspect and commit
+ * phases by the rest of the round's window). We measure the same effect
+ * with the software cache model over the abstract-location access stream
+ * (see DESIGN.md for the substitution argument). Paper shape: g-n has
+ * far fewer DRAM requests (here: cache-model misses) than g-d and PBBS.
+ */
+
+#include <cstdio>
+
+#include "apps_common.h"
+#include "harness.h"
+
+using namespace galois::bench;
+
+int
+main()
+{
+    const Settings s = settings();
+    const unsigned tmax = s.threads.back();
+    banner("Figure 11",
+           "Cache-model misses (DRAM-request proxy) per variant at max "
+           "threads; lower is better locality.");
+
+    Table table({"app", "variant", "accesses", "misses", "miss ratio",
+                 "misses vs g-n"});
+
+    for (auto& app : makeAllApps(s)) {
+        std::vector<Variant> variants{Variant::GN, Variant::GD};
+        if (app->hasPbbs())
+            variants.push_back(Variant::PBBS);
+        double gn_misses = 0;
+        for (Variant v : variants) {
+            const Measurement m = app->run(v, tmax, /*locality=*/true);
+            if (v == Variant::GN)
+                gn_misses = static_cast<double>(m.cacheMisses);
+            const double ratio =
+                m.cacheAccesses == 0
+                    ? 0.0
+                    : static_cast<double>(m.cacheMisses) /
+                          static_cast<double>(m.cacheAccesses);
+            table.addRow(
+                {app->name(), variantName(v),
+                 std::to_string(m.cacheAccesses),
+                 std::to_string(m.cacheMisses), fmt(ratio, 3),
+                 gn_misses == 0
+                     ? "-"
+                     : fmtX(static_cast<double>(m.cacheMisses) /
+                            gn_misses)});
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,131 @@
+#include "harness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "support/timer.h"
+
+namespace galois::bench {
+
+Settings
+settings()
+{
+    Settings s;
+    if (const char* env = std::getenv("REPRO_SCALE")) {
+        const double v = std::atof(env);
+        if (v > 0)
+            s.scale = v;
+    }
+    if (const char* env = std::getenv("REPRO_REPS")) {
+        const int v = std::atoi(env);
+        if (v >= 1)
+            s.reps = v;
+    }
+    if (const char* env = std::getenv("REPRO_THREADS")) {
+        std::vector<unsigned> threads;
+        const char* p = env;
+        while (*p) {
+            char* end = nullptr;
+            const long v = std::strtol(p, &end, 10);
+            if (end == p)
+                break;
+            if (v >= 1 && v <= 1024)
+                threads.push_back(static_cast<unsigned>(v));
+            p = (*end == ',') ? end + 1 : end;
+        }
+        if (!threads.empty())
+            s.threads = threads;
+    }
+    return s;
+}
+
+double
+timeIt(const std::function<void()>& fn, int reps)
+{
+    std::vector<double> times;
+    times.reserve(reps);
+    for (int r = 0; r < reps; ++r) {
+        support::Timer t;
+        t.start();
+        fn();
+        t.stop();
+        times.push_back(t.seconds());
+    }
+    return median(std::move(times));
+}
+
+double
+median(std::vector<double> v)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const std::size_t n = v.size();
+    return n % 2 ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::print() const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size() && c < width.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        std::printf("| ");
+        for (std::size_t c = 0; c < width.size(); ++c) {
+            const std::string& cell = c < row.size() ? row[c] : "";
+            std::printf("%-*s | ", static_cast<int>(width[c]),
+                        cell.c_str());
+        }
+        std::printf("\n");
+    };
+    print_row(headers_);
+    std::printf("|");
+    for (std::size_t c = 0; c < width.size(); ++c) {
+        for (std::size_t i = 0; i < width[c] + 2; ++i)
+            std::printf("-");
+        std::printf("|");
+    }
+    std::printf("\n");
+    for (const auto& row : rows_)
+        print_row(row);
+}
+
+std::string
+fmt(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtX(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fX", v);
+    return buf;
+}
+
+void
+banner(const std::string& figure, const std::string& caption)
+{
+    std::printf("\n=== %s ===\n%s\n\n", figure.c_str(), caption.c_str());
+}
+
+} // namespace galois::bench

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared infrastructure for the per-figure benchmark binaries.
+ *
+ * Every table and figure of the paper's evaluation has its own binary in
+ * bench/; they share scaled input construction, repetition/timing policy
+ * and the fixed-width table printer through this header.
+ *
+ * Environment knobs (performance only — never output-affecting):
+ *   REPRO_SCALE    input-size multiplier (default 1.0)
+ *   REPRO_REPS     repetitions per measurement, median taken (default 1)
+ *   REPRO_THREADS  comma list of thread counts (default "1,2,4")
+ */
+
+#ifndef DETGALOIS_BENCH_HARNESS_H
+#define DETGALOIS_BENCH_HARNESS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace galois::bench {
+
+/** Global benchmark settings parsed from the environment. */
+struct Settings
+{
+    double scale = 1.0;
+    int reps = 1;
+    std::vector<unsigned> threads{1, 2, 4};
+
+    unsigned maxThreads() const { return threads.back(); }
+};
+
+/** Parse REPRO_* environment variables. */
+Settings settings();
+
+/** Median wall-clock seconds of reps executions of fn. */
+double timeIt(const std::function<void()>& fn, int reps);
+
+/** Fixed-width table printer (paper-shaped output). */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a row (stringified cells; must match header count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to stdout with aligned columns. */
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format helpers. */
+std::string fmt(double v, int precision = 3);
+std::string fmtX(double v); //!< "0.62X" style ratios
+
+/** Median of a vector (empty -> 0). */
+double median(std::vector<double> v);
+
+/** Print the standard figure banner. */
+void banner(const std::string& figure, const std::string& caption);
+
+} // namespace galois::bench
+
+#endif // DETGALOIS_BENCH_HARNESS_H

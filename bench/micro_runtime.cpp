@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Microbenchmarks (google-benchmark) for the runtime primitives that the
+ * paper's overhead analysis (Section 3.4) attributes costs to: mark
+ * acquisition, writeMarksMax, barriers, worklist operations, and the
+ * per-task overhead of each executor on trivial tasks.
+ *
+ * These quantify the "deterministic scheduler executes many more
+ * instructions" claim at the primitive level, complementing the
+ * end-to-end figures.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "galois/galois.h"
+#include "runtime/worklist.h"
+#include "support/barrier.h"
+
+using namespace galois;
+
+namespace {
+
+void
+BM_MarkAcquireRelease(benchmark::State& state)
+{
+    runtime::Lockable lock;
+    runtime::MarkOwner owner;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(lock.tryAcquire(&owner));
+        lock.releaseIfOwner(&owner);
+    }
+}
+BENCHMARK(BM_MarkAcquireRelease);
+
+void
+BM_MarkMax(benchmark::State& state)
+{
+    runtime::Lockable lock;
+    runtime::DetRecordBase a, b;
+    a.id = 1;
+    b.id = 2;
+    for (auto _ : state) {
+        runtime::MarkOwner* displaced = nullptr;
+        benchmark::DoNotOptimize(lock.markMax(&a, displaced));
+        benchmark::DoNotOptimize(lock.markMax(&b, displaced));
+        lock.forceRelease();
+    }
+}
+BENCHMARK(BM_MarkMax);
+
+void
+BM_WorklistPushPop(benchmark::State& state)
+{
+    runtime::ChunkedWorklist<int> wl;
+    for (auto _ : state) {
+        wl.push(7);
+        benchmark::DoNotOptimize(wl.pop());
+    }
+}
+BENCHMARK(BM_WorklistPushPop);
+
+void
+BM_BarrierRoundTrip(benchmark::State& state)
+{
+    // Single-participant barrier: measures the barrier bookkeeping that
+    // every deterministic round pays three times.
+    support::Barrier barrier(1);
+    for (auto _ : state)
+        barrier.wait();
+}
+BENCHMARK(BM_BarrierRoundTrip);
+
+/** Per-task executor overhead: N trivial independent tasks. */
+void
+executorOverhead(benchmark::State& state, Exec exec, unsigned threads)
+{
+    const int n = 16384;
+    std::vector<Lockable> locks(n);
+    std::vector<std::uint32_t> init(n);
+    for (int i = 0; i < n; ++i)
+        init[i] = static_cast<std::uint32_t>(i);
+    Config cfg;
+    cfg.exec = exec;
+    cfg.threads = threads;
+    for (auto _ : state) {
+        auto report = forEach(
+            init,
+            [&](std::uint32_t& i, Context<std::uint32_t>& ctx) {
+                ctx.acquire(locks[i]);
+                ctx.cautiousPoint();
+            },
+            cfg);
+        benchmark::DoNotOptimize(report.committed);
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+}
+
+void
+BM_ExecutorSerial(benchmark::State& state)
+{
+    executorOverhead(state, Exec::Serial, 1);
+}
+BENCHMARK(BM_ExecutorSerial)->Unit(benchmark::kMillisecond);
+
+void
+BM_ExecutorNonDet(benchmark::State& state)
+{
+    executorOverhead(state, Exec::NonDet,
+                     static_cast<unsigned>(state.range(0)));
+}
+BENCHMARK(BM_ExecutorNonDet)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void
+BM_ExecutorDet(benchmark::State& state)
+{
+    executorOverhead(state, Exec::Det,
+                     static_cast<unsigned>(state.range(0)));
+}
+BENCHMARK(BM_ExecutorDet)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

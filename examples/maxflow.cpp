@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Maximum-flow demo: preflow-push with global relabeling.
+ *
+ * Builds a random flow network, computes the max flow with the
+ * sequential hi_pr-style baseline and with the Galois preflow-push under
+ * the selected executor, and cross-checks the values (the max-flow value
+ * is unique even though flow assignments differ).
+ *
+ * Usage: maxflow [--exec serial|nondet|det] [--threads N] [--nodes N]
+ *                [--dimacs FILE]
+ *
+ * With --dimacs the network is read from a DIMACS max-flow file instead
+ * of being generated.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "apps/pfp.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+int
+main(int argc, char** argv)
+{
+    galois::Config cfg;
+    cfg.exec = galois::Exec::NonDet;
+    cfg.threads = 4;
+    galois::graph::Node nodes = 4096;
+    const char* dimacs = nullptr;
+
+    for (int i = 1; i + 1 < argc; i += 2) {
+        if (!std::strcmp(argv[i], "--exec"))
+            cfg.exec = galois::parseExec(argv[i + 1]);
+        else if (!std::strcmp(argv[i], "--threads"))
+            cfg.threads = static_cast<unsigned>(std::atoi(argv[i + 1]));
+        else if (!std::strcmp(argv[i], "--nodes"))
+            nodes = static_cast<galois::graph::Node>(
+                std::atol(argv[i + 1]));
+        else if (!std::strcmp(argv[i], "--dimacs"))
+            dimacs = argv[i + 1];
+    }
+
+    std::vector<galois::graph::Edge> edges;
+    galois::graph::Node source = 0;
+    galois::graph::Node sink;
+    if (dimacs) {
+        std::ifstream in(dimacs);
+        auto parsed = galois::graph::readDimacsMaxFlow(in);
+        if (!parsed) {
+            std::fprintf(stderr, "failed to parse %s\n", dimacs);
+            return 2;
+        }
+        nodes = parsed->numNodes;
+        source = parsed->source;
+        sink = parsed->sink;
+        edges = std::move(parsed->edges);
+        std::printf("DIMACS network %s: %u nodes, %zu arcs\n", dimacs,
+                    nodes, edges.size() / 2);
+    } else {
+        std::printf("Random flow network: %u nodes, 4-out, capacities "
+                    "1..100\n",
+                    nodes);
+        edges = galois::graph::randomFlowNetwork(nodes, 4, 100, 7);
+        sink = nodes - 1;
+    }
+
+    galois::apps::pfp::Graph g1(nodes, edges, /*find_reverse=*/true);
+    const auto serial = galois::apps::pfp::serialHiPr(g1, source, sink);
+    std::printf("hi_pr baseline      : flow = %lld\n",
+                static_cast<long long>(serial.value));
+
+    galois::apps::pfp::Graph g2(nodes, edges, /*find_reverse=*/true);
+    const auto par =
+        galois::apps::pfp::galoisPfp(g2, source, sink, cfg);
+    std::printf("galois pfp (%s, %u threads): flow = %lld, tasks = %llu, "
+                "aborts = %llu, %.3f s\n",
+                cfg.exec == galois::Exec::Serial   ? "serial"
+                : cfg.exec == galois::Exec::NonDet ? "nondet"
+                                                   : "det",
+                cfg.threads, static_cast<long long>(par.value),
+                static_cast<unsigned long long>(par.report.committed),
+                static_cast<unsigned long long>(par.report.aborted),
+                par.report.seconds);
+
+    const bool ok = par.value == serial.value &&
+                    galois::apps::pfp::isMaxFlow(g2, source, sink);
+    std::printf("values agree & flow is maximum: %s\n",
+                ok ? "yes" : "NO");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Quickstart: on-demand determinism in one page.
+ *
+ * A toy "account transfers" workload: tasks atomically move value
+ * between shared cells. The *same operator* runs under the serial,
+ * speculative (non-deterministic) and DIG (deterministic) executors —
+ * the scheduler is just a run-time switch, which is the paper's
+ * on-demand determinism. The demo prints a fingerprint of the final
+ * state per executor and thread count: watch the Det rows agree for
+ * every thread count while NonDet rows may differ run to run.
+ *
+ * Usage: quickstart [tasks] [cells]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "galois/galois.h"
+
+namespace {
+
+std::uint64_t
+fingerprint(const std::vector<long long>& cells)
+{
+    std::uint64_t h = 1469598103934665603ULL;
+    for (long long v : cells) {
+        h ^= static_cast<std::uint64_t>(v);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const int num_tasks = argc > 1 ? std::atoi(argv[1]) : 10000;
+    const int num_cells = argc > 2 ? std::atoi(argv[2]) : 64;
+
+    std::printf("Deterministic Galois quickstart: %d transfer tasks over "
+                "%d cells\n\n",
+                num_tasks, num_cells);
+    std::printf("%-8s %-8s %-18s %-10s %-8s\n", "exec", "threads",
+                "fingerprint", "committed", "aborted");
+
+    auto run = [&](galois::Exec exec, unsigned threads) {
+        std::vector<long long> cells(num_cells, 1000);
+        std::vector<galois::Lockable> locks(num_cells);
+
+        std::vector<int> tasks(num_tasks);
+        for (int i = 0; i < num_tasks; ++i)
+            tasks[i] = i;
+
+        galois::Config cfg;
+        cfg.exec = exec;
+        cfg.threads = threads;
+
+        auto report = galois::forEach(
+            tasks,
+            [&](int& i, galois::Context<int>& ctx) {
+                // Cautious discipline: acquire the whole neighborhood,
+                // then announce the failsafe point, then write.
+                const int from = i % num_cells;
+                const int to = (i * 13 + 7) % num_cells;
+                ctx.acquire(locks[from]);
+                ctx.acquire(locks[to]);
+                ctx.cautiousPoint();
+                // Non-commutative transfer: the final state encodes the
+                // execution order, so determinism is visible.
+                const long long amount = cells[from] / 3 + i % 10;
+                cells[from] -= amount;
+                cells[to] += amount;
+            },
+            cfg);
+
+        const char* name = exec == galois::Exec::Serial ? "serial"
+                           : exec == galois::Exec::NonDet ? "nondet"
+                                                          : "det";
+        std::printf("%-8s %-8u %016llx   %-10llu %-8llu\n", name, threads,
+                    static_cast<unsigned long long>(fingerprint(cells)),
+                    static_cast<unsigned long long>(report.committed),
+                    static_cast<unsigned long long>(report.aborted));
+    };
+
+    run(galois::Exec::Serial, 1);
+    for (unsigned t : {1u, 2u, 4u, 8u})
+        run(galois::Exec::NonDet, t);
+    for (unsigned t : {1u, 2u, 4u, 8u})
+        run(galois::Exec::Det, t);
+
+    std::printf("\nThe four Det fingerprints are identical (portable, "
+                "thread-count independent); the NonDet ones need not "
+                "be.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+#include "apps/bfs.h"
+
+namespace galois::apps::bfs {
+
+std::vector<std::uint32_t>
+serialBfs(const Graph& g, graph::Node source)
+{
+    std::vector<std::uint32_t> dist(g.numNodes(), kInf);
+    // Preallocated ring buffer: every node enters the queue at most once.
+    std::vector<graph::Node> queue(g.numNodes());
+    std::size_t head = 0, tail = 0;
+    dist[source] = 0;
+    queue[tail++] = source;
+    while (head < tail) {
+        const graph::Node n = queue[head++];
+        const std::uint32_t d = dist[n] + 1;
+        for (graph::Node m : g.neighbors(n)) {
+            if (dist[m] == kInf) {
+                dist[m] = d;
+                queue[tail++] = m;
+            }
+        }
+    }
+    return dist;
+}
+
+RunReport
+galoisBfs(Graph& g, graph::Node source, const Config& cfg)
+{
+    g.data(source).dist = 0;
+
+    auto op = [&g](graph::Node& n, Context<graph::Node>& ctx) {
+        // Read phase: acquire the node and its out-neighbors.
+        ctx.acquire(g.lock(n));
+        for (graph::Node m : g.neighbors(n))
+            ctx.acquire(g.lock(m));
+        ctx.cautiousPoint();
+        // Write phase: relax out-edges; improved neighbors become tasks.
+        const std::uint32_t d = g.data(n).dist;
+        if (d == kInf)
+            return;
+        for (graph::Node m : g.neighbors(n)) {
+            if (g.data(m).dist > d + 1) {
+                g.data(m).dist = d + 1;
+                ctx.push(m);
+            }
+        }
+    };
+
+    std::vector<graph::Node> initial{source};
+    return forEach(initial, op, cfg);
+}
+
+void
+reset(Graph& g)
+{
+    for (graph::Node n = 0; n < g.numNodes(); ++n)
+        g.data(n).dist = kInf;
+}
+
+std::vector<std::uint32_t>
+distances(const Graph& g)
+{
+    std::vector<std::uint32_t> out(g.numNodes());
+    for (graph::Node n = 0; n < g.numNodes(); ++n)
+        out[n] = g.data(n).dist;
+    return out;
+}
+
+} // namespace galois::apps::bfs

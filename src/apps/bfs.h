@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Breadth-first search (the paper's `bfs` benchmark).
+ *
+ * Three implementations:
+ *  - serialBfs: optimized sequential level-order BFS with a dedicated
+ *    queue — stand-in for the Schardl-Leiserson baseline the paper uses
+ *    for Figure 8 (custom data structures, no synchronization).
+ *  - galoisBfs: the Lonestar-style *unordered relaxation* algorithm on
+ *    the Galois API: a task relaxes the out-edges of a node and creates a
+ *    task for every improved neighbor. Runs under any executor — this is
+ *    `g-n` (NonDet) and `g-d` (Det) in the evaluation.
+ *
+ * The relaxation fixed point (distance array) is identical for every
+ * serializable execution, so the output is checked against serialBfs.
+ */
+
+#ifndef DETGALOIS_APPS_BFS_H
+#define DETGALOIS_APPS_BFS_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "galois/galois.h"
+#include "graph/csr_graph.h"
+
+namespace galois::apps::bfs {
+
+/** "Unreached" distance. */
+inline constexpr std::uint32_t kInf =
+    std::numeric_limits<std::uint32_t>::max();
+
+struct NodeData
+{
+    std::uint32_t dist = kInf;
+};
+
+using Graph = graph::CsrGraph<NodeData>;
+
+/** Optimized sequential BFS; returns the distance array. */
+std::vector<std::uint32_t> serialBfs(const Graph& g, graph::Node source);
+
+/**
+ * Galois relaxation BFS. Distances are left in g's node data.
+ *
+ * @return run statistics of the for_each.
+ */
+RunReport galoisBfs(Graph& g, graph::Node source, const Config& cfg);
+
+/** Reset all distances to kInf (between runs on the same graph). */
+void reset(Graph& g);
+
+/** Copy the distance array out of the graph. */
+std::vector<std::uint32_t> distances(const Graph& g);
+
+} // namespace galois::apps::bfs
+
+#endif // DETGALOIS_APPS_BFS_H

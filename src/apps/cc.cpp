@@ -1,0 +1,92 @@
+#include "apps/cc.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace galois::apps::cc {
+
+std::vector<std::uint32_t>
+serialComponents(const Graph& g)
+{
+    // Union-find with path halving; roots are then canonicalized to the
+    // minimum node id of each component so results are comparable with
+    // label propagation.
+    std::vector<std::uint32_t> parent(g.numNodes());
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](std::uint32_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+    for (graph::Node u = 0; u < g.numNodes(); ++u) {
+        for (graph::Node v : g.neighbors(u)) {
+            const std::uint32_t ru = find(u);
+            const std::uint32_t rv = find(v);
+            if (ru != rv)
+                parent[std::max(ru, rv)] = std::min(ru, rv);
+        }
+    }
+    std::vector<std::uint32_t> out(g.numNodes());
+    for (graph::Node u = 0; u < g.numNodes(); ++u)
+        out[u] = find(u);
+    return out;
+}
+
+RunReport
+galoisComponents(Graph& g, const Config& cfg)
+{
+    reset(g);
+
+    auto op = [&g](graph::Node& u, Context<graph::Node>& ctx) {
+        ctx.acquire(g.lock(u));
+        for (graph::Node v : g.neighbors(u))
+            ctx.acquire(g.lock(v));
+        ctx.cautiousPoint();
+        // Propagate the minimum label in both directions.
+        std::uint32_t lo = g.data(u).label;
+        for (graph::Node v : g.neighbors(u))
+            lo = std::min(lo, g.data(v).label);
+        if (lo < g.data(u).label)
+            g.data(u).label = lo;
+        for (graph::Node v : g.neighbors(u)) {
+            if (g.data(v).label > lo) {
+                g.data(v).label = lo;
+                ctx.push(v);
+            }
+        }
+    };
+
+    std::vector<graph::Node> initial(g.numNodes());
+    for (graph::Node n = 0; n < g.numNodes(); ++n)
+        initial[n] = n;
+    return forEach(initial, op, cfg);
+}
+
+void
+reset(Graph& g)
+{
+    for (graph::Node n = 0; n < g.numNodes(); ++n)
+        g.data(n).label = n;
+}
+
+std::vector<std::uint32_t>
+labels(const Graph& g)
+{
+    std::vector<std::uint32_t> out(g.numNodes());
+    for (graph::Node n = 0; n < g.numNodes(); ++n)
+        out[n] = g.data(n).label;
+    return out;
+}
+
+std::size_t
+countComponents(const std::vector<std::uint32_t>& labels)
+{
+    std::vector<std::uint32_t> sorted(labels);
+    std::sort(sorted.begin(), sorted.end());
+    sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+    return sorted.size();
+}
+
+} // namespace galois::apps::cc

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Connected components by label propagation (extension app).
+ *
+ * Every node starts labeled with its own id; a task propagates the
+ * minimum label across its edges and re-activates improved neighbors.
+ * The fixed point — each node labeled with the minimum node id of its
+ * component — is unique, so all executors agree; like sssp this is a
+ * label-correcting workload whose task count depends on schedule.
+ */
+
+#ifndef DETGALOIS_APPS_CC_H
+#define DETGALOIS_APPS_CC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "galois/galois.h"
+#include "graph/csr_graph.h"
+
+namespace galois::apps::cc {
+
+struct NodeData
+{
+    std::uint32_t label = 0;
+};
+
+using Graph = graph::CsrGraph<NodeData>;
+
+/** Union-find reference. */
+std::vector<std::uint32_t> serialComponents(const Graph& g);
+
+/** Galois label propagation; labels left in node data. */
+RunReport galoisComponents(Graph& g, const Config& cfg);
+
+/** Reset labels to node ids. */
+void reset(Graph& g);
+
+std::vector<std::uint32_t> labels(const Graph& g);
+
+/** Number of distinct components in a label vector. */
+std::size_t countComponents(const std::vector<std::uint32_t>& labels);
+
+} // namespace galois::apps::cc
+
+#endif // DETGALOIS_APPS_CC_H

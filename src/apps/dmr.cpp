@@ -1,0 +1,131 @@
+#include "apps/dmr.h"
+
+#include <stdexcept>
+
+#include "apps/dt.h"
+
+namespace galois::apps::dmr {
+
+using geom::Cavity;
+using geom::kNoTri;
+using geom::Point;
+using geom::TriId;
+using geom::VertId;
+
+namespace {
+
+/** Saved inspect-phase state (continuation optimization). */
+struct DmrState
+{
+    Cavity cav;
+    bool noop = false;  //!< task was stale (triangle already consumed)
+    bool split = false; //!< a segment midpoint was inserted instead
+};
+
+} // namespace
+
+void
+makeProblem(std::size_t num_points, std::uint64_t seed, Problem& prob)
+{
+    auto pts = dt::randomPoints(num_points, seed);
+    // Pin the domain to the unit square so boundary handling sees clean
+    // 90-degree corners.
+    pts.push_back(Point{0, 0});
+    pts.push_back(Point{1, 0});
+    pts.push_back(Point{0, 1});
+    pts.push_back(Point{1, 1});
+
+    dt::Problem tri;
+    dt::makeProblem(pts, seed ^ 0x9e3779b97f4a7c15ULL, tri);
+    Config cfg;
+    cfg.exec = Exec::Serial;
+    dt::triangulate(tri, cfg);
+
+    geom::extractAliveSubmesh(tri.mesh, dt::kNumSuperVerts, prob.mesh);
+}
+
+std::vector<TriId>
+badTriangles(const Problem& prob)
+{
+    std::vector<TriId> bad;
+    for (TriId t : prob.mesh.aliveTriangles())
+        if (prob.mesh.minAngle(t) < prob.minAngleDeg)
+            bad.push_back(t);
+    return bad;
+}
+
+RunReport
+refine(Problem& prob, const Config& cfg)
+{
+    geom::Mesh& mesh = prob.mesh;
+
+    auto op = [&](TriId& bad, Context<TriId>& ctx) {
+        DmrState* s = ctx.savedState<DmrState>();
+        if (!s) {
+            DmrState fresh;
+            ctx.acquire(mesh.tri(bad).lock);
+            if (!mesh.tri(bad).alive) {
+                // Stale task: an earlier refinement consumed it.
+                fresh.noop = true;
+                s = &ctx.saveState<DmrState>(std::move(fresh));
+            } else {
+                if (prob.maxTriangles != 0 &&
+                    mesh.numTriangleSlots() > prob.maxTriangles) {
+                    throw std::runtime_error(
+                        "dmr: triangle budget exceeded (non-terminating "
+                        "refinement?)");
+                }
+                // Try the circumcenter; if it is outside the domain or
+                // encroaches a boundary segment, split that segment
+                // instead (Ruppert: circumcenters are rejected on
+                // encroachment, segment midpoints are always inserted —
+                // the domain is convex, so a midpoint cavity cannot
+                // escape).
+                auto acquire = [&](TriId t) {
+                    ctx.acquire(mesh.tri(t).lock);
+                };
+                const bool ok =
+                    buildCavity(mesh, bad, mesh.circumcenterOf(bad),
+                                fresh.cav, acquire,
+                                /*detect_escape=*/true);
+                if (!ok) {
+                    fresh.split = true;
+                    const auto [a, b] = mesh.edgeVerts(
+                        fresh.cav.escapeTri, fresh.cav.escapeEdge);
+                    buildCavity(mesh, fresh.cav.escapeTri,
+                                geom::midpoint(mesh.point(a),
+                                               mesh.point(b)),
+                                fresh.cav, acquire,
+                                /*detect_escape=*/false);
+                }
+                s = &ctx.saveState<DmrState>(std::move(fresh));
+            }
+        }
+        ctx.cautiousPoint();
+        if (s->noop)
+            return;
+
+        const VertId nv = mesh.addVertex(s->cav.center);
+        std::vector<TriId> created;
+        geom::retriangulate(mesh, s->cav, nv, created);
+        for (TriId t : created)
+            if (mesh.minAngle(t) < prob.minAngleDeg)
+                ctx.push(t);
+        // A segment split may leave the original bad triangle standing
+        // (its cavity was the midpoint's, not the circumcenter's):
+        // re-queue it so it is eventually fixed.
+        if (s->split && mesh.tri(bad).alive)
+            ctx.push(bad);
+    };
+
+    return forEach(badTriangles(prob), op, cfg);
+}
+
+bool
+validate(const Problem& prob)
+{
+    return prob.mesh.checkConsistency() && prob.mesh.checkDelaunay() &&
+           badTriangles(prob).empty();
+}
+
+} // namespace galois::apps::dmr

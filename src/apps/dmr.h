@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Delaunay mesh refinement (the paper's `dmr` benchmark).
+ *
+ * Lonestar-style Ruppert/Chew refinement: a *bad* triangle (smallest
+ * angle below the quality threshold) is fixed by inserting its
+ * circumcenter — killing the Bowyer-Watson cavity of the circumcenter and
+ * fanning new triangles around it. If the cavity would escape the mesh
+ * through a boundary segment, the midpoint of that segment is inserted
+ * instead (encroachment handling). Newly created bad triangles become new
+ * tasks.
+ *
+ * This is the flagship workload for the continuation optimization
+ * (Section 3.3/Figure 10): the inspect phase builds the cavity — by far
+ * the expensive prefix — and saves it, so the commit phase only
+ * re-triangulates.
+ */
+
+#ifndef DETGALOIS_APPS_DMR_H
+#define DETGALOIS_APPS_DMR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "galois/galois.h"
+#include "geom/cavity.h"
+#include "geom/mesh.h"
+
+namespace galois::apps::dmr {
+
+/** A refinement problem instance. */
+struct Problem
+{
+    geom::Mesh mesh;
+    double minAngleDeg = 30.0; //!< quality threshold (Lonestar default)
+    std::size_t maxTriangles = 0; //!< safety cap (0 = none)
+};
+
+/**
+ * Build a refinement input: Delaunay-triangulate `num_points` random
+ * points in the unit square (plus its corners, so the domain is the
+ * square) and strip the super triangle. Matches the paper's input recipe
+ * ("a Delaunay triangulated mesh of randomly selected points from the
+ * unit square").
+ */
+void makeProblem(std::size_t num_points, std::uint64_t seed, Problem& prob);
+
+/** All currently-bad live triangles, in id order (the initial tasks). */
+std::vector<geom::TriId> badTriangles(const Problem& prob);
+
+/** Refine until no bad triangle remains, under the configured executor. */
+RunReport refine(Problem& prob, const Config& cfg);
+
+/** Validity: structure + Delaunay + no bad triangle left. */
+bool validate(const Problem& prob);
+
+} // namespace galois::apps::dmr
+
+#endif // DETGALOIS_APPS_DMR_H

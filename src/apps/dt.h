@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Delaunay triangulation (the paper's `dt` benchmark).
+ *
+ * Incremental Bowyer-Watson insertion with point bucketing (conflict
+ * lists): every uninserted point knows the live triangle containing it;
+ * inserting a point kills its cavity, fans new triangles around it, and
+ * redistributes the dead triangles' bucketed points. One task per point;
+ * the task's neighborhood is its point lock, the cavity (dead + border
+ * triangles) and the point locks of every redistributed point — fully
+ * cautious, so the same operator runs speculatively (g-n), under DIG
+ * scheduling (g-d) or serially.
+ *
+ * Insertion order is randomized offline (the paper: "random insertion
+ * order has been shown to be optimal"; PBBS randomizes offline, Lonestar
+ * uses a biased randomized insertion order — we follow the offline
+ * shuffle and, like the paper, exclude the reordering from timings).
+ */
+
+#ifndef DETGALOIS_APPS_DT_H
+#define DETGALOIS_APPS_DT_H
+
+#include <cstdint>
+#include <vector>
+
+#include "galois/galois.h"
+#include "geom/cavity.h"
+#include "geom/mesh.h"
+
+namespace galois::apps::dt {
+
+/** Number of synthetic super-triangle vertices (ids 0, 1, 2). */
+inline constexpr geom::VertId kNumSuperVerts = 3;
+
+/** A triangulation problem instance (mesh + point-location state). */
+struct Problem
+{
+    geom::Mesh mesh;
+    /** Per-point abstract location guarding pointTri[] and bucket
+     *  membership of that point. */
+    std::vector<Lockable> pointLocks;
+    /** Live triangle whose bucket currently holds each uninserted point. */
+    std::vector<geom::TriId> pointTri;
+    /** Tasks: vertex ids of the real points, in insertion order. */
+    std::vector<geom::VertId> insertOrder;
+    /**
+     * Number of leading insertions performed serially before the
+     * configured executor takes over (BRIO-style warm-up, set by
+     * makeProblem to ~4*sqrt(n)). The first insertions are inherently
+     * serial — every one of them conflicts on the root bucket — and
+     * their neighborhoods span the whole point set; warming up serially
+     * makes the parallel phase start from a mesh where buckets are
+     * small. Deterministic: the prefix is a fixed function of the
+     * insertion order.
+     */
+    std::size_t serialPrefix = 0;
+};
+
+/**
+ * Set up a problem: super triangle, vertices for all points (deduplicated
+ * by exact coordinates), everything bucketed in the root triangle.
+ * Insertion order is a deterministic shuffle of the points (seeded).
+ */
+void makeProblem(const std::vector<geom::Point>& points, std::uint64_t seed,
+                 Problem& prob);
+
+/** Run the triangulation under the configured executor (serial warm-up
+ *  prefix first; see Problem::serialPrefix). */
+RunReport triangulate(Problem& prob, const Config& cfg);
+
+/** Insert insertOrder[begin, end) under the configured executor.
+ *  Building block of triangulate(); exposed for the PBBS variant. */
+RunReport insertRange(Problem& prob, std::size_t begin, std::size_t end,
+                      const Config& cfg);
+
+/** Delaunay + structural validity of the finished triangulation
+ *  (super-triangle faces excluded from the Delaunay check). */
+bool validate(const Problem& prob);
+
+/** Expected live-triangle count (including super-vertex faces) for n
+ *  inserted points in general position: 2(n+3) - 2 - 3. */
+std::size_t expectedTriangles(std::size_t num_points);
+
+/** Uniform random points in the unit square (deterministic). */
+std::vector<geom::Point> randomPoints(std::size_t n, std::uint64_t seed);
+
+} // namespace galois::apps::dt
+
+#endif // DETGALOIS_APPS_DT_H

@@ -1,0 +1,84 @@
+#include "apps/mis.h"
+
+namespace galois::apps::mis {
+
+std::vector<Flag>
+serialMis(const Graph& g)
+{
+    std::vector<Flag> f(g.numNodes(), Flag::Undecided);
+    for (graph::Node n = 0; n < g.numNodes(); ++n) {
+        bool blocked = false;
+        for (graph::Node m : g.neighbors(n)) {
+            if (f[m] == Flag::In) {
+                blocked = true;
+                break;
+            }
+        }
+        f[n] = blocked ? Flag::Out : Flag::In;
+    }
+    return f;
+}
+
+RunReport
+galoisMis(Graph& g, const Config& cfg)
+{
+    auto op = [&g](graph::Node& n, Context<graph::Node>& ctx) {
+        ctx.acquire(g.lock(n));
+        for (graph::Node m : g.neighbors(n))
+            ctx.acquire(g.lock(m));
+        ctx.cautiousPoint();
+        if (g.data(n).flag != Flag::Undecided)
+            return;
+        bool blocked = false;
+        for (graph::Node m : g.neighbors(n)) {
+            if (g.data(m).flag == Flag::In) {
+                blocked = true;
+                break;
+            }
+        }
+        g.data(n).flag = blocked ? Flag::Out : Flag::In;
+    };
+
+    std::vector<graph::Node> initial(g.numNodes());
+    for (graph::Node n = 0; n < g.numNodes(); ++n)
+        initial[n] = n;
+    return forEach(initial, op, cfg);
+}
+
+void
+reset(Graph& g)
+{
+    for (graph::Node n = 0; n < g.numNodes(); ++n)
+        g.data(n).flag = Flag::Undecided;
+}
+
+std::vector<Flag>
+flags(const Graph& g)
+{
+    std::vector<Flag> out(g.numNodes());
+    for (graph::Node n = 0; n < g.numNodes(); ++n)
+        out[n] = g.data(n).flag;
+    return out;
+}
+
+bool
+isMaximalIndependentSet(const Graph& g, const std::vector<Flag>& f)
+{
+    for (graph::Node n = 0; n < g.numNodes(); ++n) {
+        if (f[n] == Flag::Undecided)
+            return false;
+        bool has_in_neighbor = false;
+        for (graph::Node m : g.neighbors(n)) {
+            if (f[m] == Flag::In) {
+                has_in_neighbor = true;
+                if (f[n] == Flag::In && m != n)
+                    return false; // two adjacent In nodes
+            }
+        }
+        if (f[n] == Flag::Out && !has_in_neighbor)
+            return false; // not maximal
+    }
+    return true;
+}
+
+} // namespace galois::apps::mis

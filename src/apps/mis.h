@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Maximal independent set (the paper's `mis` benchmark).
+ *
+ * galoisMis is the Lonestar-style non-deterministic greedy algorithm: one
+ * task per node; a task atomically inspects its neighbors and joins the
+ * set iff none of them joined already. Any serializable execution yields
+ * a *maximal* independent set; which one depends on the serialization —
+ * making this the paper's example of an algorithm whose output genuinely
+ * varies between non-deterministic runs and is pinned down by DIG
+ * scheduling.
+ *
+ * serialMis is the greedy sequential reference (node-order priority).
+ */
+
+#ifndef DETGALOIS_APPS_MIS_H
+#define DETGALOIS_APPS_MIS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "galois/galois.h"
+#include "graph/csr_graph.h"
+
+namespace galois::apps::mis {
+
+enum class Flag : std::uint8_t
+{
+    Undecided = 0,
+    In = 1,
+    Out = 2
+};
+
+struct NodeData
+{
+    Flag flag = Flag::Undecided;
+};
+
+using Graph = graph::CsrGraph<NodeData>;
+
+/** Greedy sequential MIS in node order. */
+std::vector<Flag> serialMis(const Graph& g);
+
+/** Galois greedy MIS; flags are left in g's node data. */
+RunReport galoisMis(Graph& g, const Config& cfg);
+
+/** Reset all flags to Undecided. */
+void reset(Graph& g);
+
+/** Copy flags out of the graph. */
+std::vector<Flag> flags(const Graph& g);
+
+/**
+ * Validate that flags describe a maximal independent set of g:
+ * no two adjacent In nodes, every node decided, and every Out node has an
+ * In neighbor.
+ */
+bool isMaximalIndependentSet(const Graph& g, const std::vector<Flag>& f);
+
+} // namespace galois::apps::mis
+
+#endif // DETGALOIS_APPS_MIS_H

@@ -1,0 +1,87 @@
+#include "apps/mm.h"
+
+#include "graph/generators.h"
+
+namespace galois::apps::mm {
+
+Problem
+makeProblem(std::uint32_t num_nodes, unsigned k, std::uint64_t seed)
+{
+    Problem prob;
+    prob.numNodes = num_nodes;
+    for (const graph::Edge& e :
+         graph::randomKOut(num_nodes, k, seed, /*symmetric=*/false)) {
+        prob.edges.emplace_back(e.src, e.dst);
+    }
+    prob.reset();
+    return prob;
+}
+
+void
+serialMatch(Problem& prob)
+{
+    prob.reset();
+    for (std::size_t i = 0; i < prob.edges.size(); ++i) {
+        const auto [u, v] = prob.edges[i];
+        if (u != v && !prob.matched[u] && !prob.matched[v]) {
+            prob.matched[u] = prob.matched[v] = 1;
+            prob.inMatching[i] = 1;
+        }
+    }
+}
+
+RunReport
+galoisMatch(Problem& prob, const Config& cfg)
+{
+    prob.reset();
+    std::vector<std::uint32_t> tasks(prob.edges.size());
+    for (std::uint32_t i = 0; i < tasks.size(); ++i)
+        tasks[i] = i;
+
+    auto op = [&](std::uint32_t& i, Context<std::uint32_t>& ctx) {
+        const auto [u, v] = prob.edges[i];
+        ctx.acquire(prob.nodeLocks[u]);
+        ctx.acquire(prob.nodeLocks[v]);
+        ctx.cautiousPoint();
+        if (!prob.matched[u] && !prob.matched[v] && u != v) {
+            prob.matched[u] = prob.matched[v] = 1;
+            prob.inMatching[i] = 1;
+        }
+    };
+    return forEach(tasks, op, cfg);
+}
+
+bool
+isMaximalMatching(const Problem& prob)
+{
+    std::vector<std::uint32_t> degree(prob.numNodes, 0);
+    for (std::size_t i = 0; i < prob.edges.size(); ++i) {
+        if (!prob.inMatching[i])
+            continue;
+        const auto [u, v] = prob.edges[i];
+        ++degree[u];
+        ++degree[v];
+        if (!prob.matched[u] || !prob.matched[v])
+            return false; // matched flags out of sync
+    }
+    for (std::uint32_t d : degree)
+        if (d > 1)
+            return false; // vertex matched twice
+    // Maximality: no edge with two free endpoints.
+    for (const auto& [u, v] : prob.edges)
+        if (u != v && !prob.matched[u] && !prob.matched[v])
+            return false;
+    return true;
+}
+
+std::vector<std::uint32_t>
+matchedEdges(const Problem& prob)
+{
+    std::vector<std::uint32_t> out;
+    for (std::uint32_t i = 0; i < prob.inMatching.size(); ++i)
+        if (prob.inMatching[i])
+            out.push_back(i);
+    return out;
+}
+
+} // namespace galois::apps::mm

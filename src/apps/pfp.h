@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Preflow-push maximum flow (the paper's `pfp` benchmark).
+ *
+ * galoisPfp is the Lonestar-style algorithm: one task per active node; a
+ * task acquires its node and all neighbors, then discharges the node
+ * completely (pushing flow along admissible residual edges, relabeling
+ * when stuck), activating any neighbor that gains excess. Heights are
+ * initialized once with the global relabeling heuristic (reverse BFS from
+ * the sink — Goldberg-Tarjan [13] in the paper); thereafter the operator
+ * relabels locally. Discharge order is non-deterministic under the
+ * speculative executor, but the max-flow *value* is unique, and under DIG
+ * scheduling the entire flow assignment is deterministic.
+ *
+ * serialHiPr is the sequential baseline of Figure 8: FIFO push-relabel
+ * with periodic global relabeling, in the style of Goldberg's hi_pr.
+ */
+
+#ifndef DETGALOIS_APPS_PFP_H
+#define DETGALOIS_APPS_PFP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "galois/galois.h"
+#include "graph/csr_graph.h"
+
+namespace galois::apps::pfp {
+
+struct NodeData
+{
+    std::int64_t excess = 0;
+    std::uint32_t height = 0;
+    bool queued = false; //!< node has a pending activation task
+};
+
+/** Flow network: edgeData(e) is the residual capacity of e; the graph
+ *  must be built with find_reverse so reverseEdge() is valid. */
+using Graph = graph::CsrGraph<NodeData>;
+
+/** Result of a max-flow computation. */
+struct FlowResult
+{
+    std::int64_t value = 0; //!< flow into the sink
+    RunReport report;       //!< executor statistics (galois variant only)
+};
+
+/** Sequential FIFO push-relabel with periodic global relabeling. */
+FlowResult serialHiPr(Graph& g, graph::Node source, graph::Node sink);
+
+/** Galois preflow-push with up-front global relabeling. */
+FlowResult galoisPfp(Graph& g, graph::Node source, graph::Node sink,
+                     const Config& cfg);
+
+/** Restore all node data and residual capacities (edge data must be
+ *  reloaded by the caller — this only clears node state). */
+void resetNodes(Graph& g);
+
+/**
+ * Validate a finished computation: excess conservation (zero everywhere
+ * but source/sink) and no augmenting source->sink path left in the
+ * residual graph (i.e. the flow is maximum).
+ */
+bool isMaxFlow(const Graph& g, graph::Node source, graph::Node sink);
+
+} // namespace galois::apps::pfp
+
+#endif // DETGALOIS_APPS_PFP_H

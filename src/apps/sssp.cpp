@@ -1,0 +1,97 @@
+#include "apps/sssp.h"
+
+#include <queue>
+
+#include "graph/generators.h"
+
+#include "support/prng.h"
+
+namespace galois::apps::sssp {
+
+std::vector<graph::Edge>
+randomWeightedGraph(graph::Node num_nodes, unsigned k, std::int64_t max_w,
+                    std::uint64_t seed)
+{
+    // Symmetric: each undirected edge appears in both directions with
+    // the same weight.
+    support::Prng rng(seed);
+    auto edges = graph::randomKOut(num_nodes, k, seed, /*symmetric=*/true);
+    for (std::size_t i = 0; i + 1 < edges.size(); i += 2) {
+        const std::int64_t w =
+            1 + static_cast<std::int64_t>(
+                    rng.nextBounded(static_cast<std::uint64_t>(max_w)));
+        edges[i].data = w;
+        edges[i + 1].data = w;
+    }
+    return edges;
+}
+
+std::vector<std::int64_t>
+serialDijkstra(const Graph& g, graph::Node source)
+{
+    std::vector<std::int64_t> dist(g.numNodes(), kInf);
+    using Entry = std::pair<std::int64_t, graph::Node>;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+    dist[source] = 0;
+    heap.emplace(0, source);
+    while (!heap.empty()) {
+        const auto [d, u] = heap.top();
+        heap.pop();
+        if (d != dist[u])
+            continue; // stale entry
+        for (std::uint64_t e = g.edgeBegin(u); e < g.edgeEnd(u); ++e) {
+            const graph::Node v = g.dst(e);
+            const std::int64_t nd = d + g.edgeData(e);
+            if (nd < dist[v]) {
+                dist[v] = nd;
+                heap.emplace(nd, v);
+            }
+        }
+    }
+    return dist;
+}
+
+RunReport
+galoisSssp(Graph& g, graph::Node source, const Config& cfg)
+{
+    g.data(source).dist = 0;
+
+    auto op = [&g](graph::Node& u, Context<graph::Node>& ctx) {
+        ctx.acquire(g.lock(u));
+        for (graph::Node v : g.neighbors(u))
+            ctx.acquire(g.lock(v));
+        ctx.cautiousPoint();
+        const std::int64_t d = g.data(u).dist;
+        if (d >= kInf)
+            return;
+        for (std::uint64_t e = g.edgeBegin(u); e < g.edgeEnd(u); ++e) {
+            const graph::Node v = g.dst(e);
+            const std::int64_t nd = d + g.edgeData(e);
+            if (nd < g.data(v).dist) {
+                g.data(v).dist = nd;
+                ctx.push(v);
+            }
+        }
+    };
+
+    std::vector<graph::Node> initial{source};
+    return forEach(initial, op, cfg);
+}
+
+void
+reset(Graph& g)
+{
+    for (graph::Node n = 0; n < g.numNodes(); ++n)
+        g.data(n).dist = kInf;
+}
+
+std::vector<std::int64_t>
+distances(const Graph& g)
+{
+    std::vector<std::int64_t> out(g.numNodes());
+    for (graph::Node n = 0; n < g.numNodes(); ++n)
+        out[n] = g.data(n).dist;
+    return out;
+}
+
+} // namespace galois::apps::sssp

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Single-source shortest paths (extension app, Lonestar-style).
+ *
+ * Unordered chaotic relaxation over weighted edges: a task relaxes a
+ * node's out-edges and creates a task for every improved neighbor —
+ * bfs's weighted generalization. The distance fixed point is unique, so
+ * every serializable execution agrees with the Dijkstra reference; the
+ * *work* done to reach it varies wildly with scheduling, which makes
+ * sssp a good stress of worklist policy and of deterministic-round
+ * overhead on label-correcting workloads.
+ */
+
+#ifndef DETGALOIS_APPS_SSSP_H
+#define DETGALOIS_APPS_SSSP_H
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "galois/galois.h"
+#include "graph/csr_graph.h"
+
+namespace galois::apps::sssp {
+
+inline constexpr std::int64_t kInf =
+    std::numeric_limits<std::int64_t>::max() / 4;
+
+struct NodeData
+{
+    std::int64_t dist = kInf;
+};
+
+/** Weighted graph: edgeData(e) is the (non-negative) edge length. */
+using Graph = graph::CsrGraph<NodeData>;
+
+/** Symmetric random k-out graph with uniform weights in [1, max_w]. */
+std::vector<graph::Edge> randomWeightedGraph(graph::Node num_nodes,
+                                             unsigned k,
+                                             std::int64_t max_w,
+                                             std::uint64_t seed);
+
+/** Dijkstra reference (binary heap). */
+std::vector<std::int64_t> serialDijkstra(const Graph& g,
+                                         graph::Node source);
+
+/** Galois chaotic relaxation; distances left in node data. */
+RunReport galoisSssp(Graph& g, graph::Node source, const Config& cfg);
+
+void reset(Graph& g);
+std::vector<std::int64_t> distances(const Graph& g);
+
+} // namespace galois::apps::sssp
+
+#endif // DETGALOIS_APPS_SSSP_H

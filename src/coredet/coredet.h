@@ -1,0 +1,250 @@
+/**
+ * @file
+ * CoreDet-style deterministic thread scheduling (the comparison system of
+ * Section 5.2).
+ *
+ * CoreDet [3] compiles ordinary threaded programs into a form whose
+ * execution is split into *quanta* by counting instructions; threads run
+ * in parallel between synchronization points, and all communication
+ * (atomic operations, synchronization) is funneled through a serial mode
+ * in which a token passes deterministically over the threads. We cannot
+ * reuse the original LLVM-2.6-based compiler, so this module implements
+ * the same scheduling algorithm (DMP-O style) as a runtime with explicit
+ * instrumentation shims:
+ *
+ *  - work(n): account n "instructions" of thread-private execution; when
+ *    the quantum is exhausted, the thread waits at the round barrier;
+ *  - sync(f): a communicating operation — the thread waits for the round
+ *    barrier and executes f in deterministic thread order (the token).
+ *
+ * The resulting behavior matches what the paper measures: programs whose
+ * communication is rare (blackscholes) pay only the quantum barriers,
+ * while fine-grain irregular programs, which synchronize orders of
+ * magnitude more often, serialize almost completely — each sync costs a
+ * full round of the token.
+ *
+ * A RawScheduler with identical interface executes the same instrumented
+ * programs without determinism (plain hardware atomicity) — the paper's
+ * "without CoreDet" baseline.
+ */
+
+#ifndef DETGALOIS_COREDET_COREDET_H
+#define DETGALOIS_COREDET_COREDET_H
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+
+#include "support/barrier.h"
+#include "support/cacheline.h"
+#include "support/per_thread.h"
+#include "support/thread_pool.h"
+
+namespace galois::coredet {
+
+/** Scheduling statistics of one deterministic execution. */
+struct CoreDetStats
+{
+    std::uint64_t rounds = 0;    //!< serial-mode rounds executed
+    std::uint64_t syncOps = 0;   //!< serialized operations
+    std::uint64_t quantaEnds = 0; //!< quantum expirations (no sync pending)
+};
+
+/**
+ * Deterministic scheduler for a fixed team of threads.
+ *
+ * Program structure: every thread calls run-body code that reports
+ * thread-private progress via work() and performs ALL shared-memory
+ * communication via sync(). A thread whose body returns keeps
+ * participating in rounds (as a no-op) until every thread has finished —
+ * the deterministic equivalent of pthread_join.
+ */
+class DmpScheduler
+{
+  public:
+    /**
+     * @param threads team size.
+     * @param quantum instructions per quantum (CoreDet's tunable
+     *                parameter; the paper notes overheads vary 160%-250%
+     *                with it).
+     */
+    DmpScheduler(unsigned threads, std::uint64_t quantum)
+        : threads_(threads), quantum_(quantum), barrier_(threads)
+    {}
+
+    /** Execute body(tid) on every thread of the team, deterministically. */
+    void
+    run(const std::function<void(unsigned)>& body)
+    {
+        finished_.store(0, std::memory_order_relaxed);
+        turn_.store(0, std::memory_order_relaxed);
+        support::ThreadPool::get().run(threads_, [&](unsigned tid) {
+            Local& me = locals_.local();
+            me.insns = 0;
+            me.done = false;
+            body(tid);
+            me.done = true;
+            finished_.fetch_add(1, std::memory_order_acq_rel);
+            // Keep the team's rounds going until everyone is done. The
+            // exit decision is taken *inside* the round, after the
+            // barrier, so all threads leave at the same round — a thread
+            // must never abandon teammates waiting at the barrier.
+            while (!round(tid, nullptr)) {
+                // keep participating
+            }
+        });
+    }
+
+    /** Account n thread-private instructions. */
+    void
+    work(std::uint64_t n = 1)
+    {
+        Local& me = locals_.local();
+        me.insns += n;
+        if (me.insns >= quantum_) {
+            me.insns = 0;
+            ++stats_.local().quantaEnds;
+            round(support::ThreadPool::threadId(), nullptr);
+        }
+    }
+
+    /**
+     * Execute f as a communicating (serialized) operation; returns f's
+     * result. Every shared-memory access of the program must go through
+     * here for the execution to be deterministic.
+     */
+    template <typename F>
+    auto
+    sync(F&& f) -> decltype(f())
+    {
+        using R = decltype(f());
+        ++stats_.local().syncOps;
+        if constexpr (std::is_void_v<R>) {
+            std::function<void()> wrapped = [&] { f(); };
+            round(support::ThreadPool::threadId(), &wrapped);
+        } else {
+            R result{};
+            std::function<void()> wrapped = [&] { result = f(); };
+            round(support::ThreadPool::threadId(), &wrapped);
+            return result;
+        }
+    }
+
+    /**
+     * Sit out k rounds (participating, but performing no operation).
+     *
+     * Speculative programs need this for livelock avoidance: because the
+     * schedule is deterministic, two conflicting workers would otherwise
+     * retry in lockstep forever. A tid-asymmetric number of backoff
+     * rounds deterministically breaks the symmetry.
+     */
+    void
+    backoffRounds(unsigned k)
+    {
+        const unsigned tid = support::ThreadPool::threadId();
+        for (unsigned i = 0; i < k; ++i)
+            round(tid, nullptr);
+    }
+
+    /** Aggregate statistics over all threads. */
+    CoreDetStats
+    stats() const
+    {
+        CoreDetStats total;
+        for (std::size_t t = 0; t < stats_.size(); ++t) {
+            total.rounds += stats_.remote(t).rounds;
+            total.syncOps += stats_.remote(t).syncOps;
+            total.quantaEnds += stats_.remote(t).quantaEnds;
+        }
+        return total;
+    }
+
+  private:
+    struct Local
+    {
+        std::uint64_t insns = 0;
+        bool done = false;
+    };
+
+    /**
+     * One deterministic round: parallel-mode barrier, then the serial
+     * token passes over the threads in tid order; a thread holding the
+     * token runs its pending operation.
+     *
+     * @return true when every thread of the team has finished its body —
+     *         read after the barrier so all threads agree and exit their
+     *         drain loops on the same round.
+     */
+    bool
+    round(unsigned tid, std::function<void()>* pending)
+    {
+        ++stats_.local().rounds;
+        barrier_.wait();
+        const bool all_done =
+            finished_.load(std::memory_order_acquire) == threads_;
+        // Serial mode: token = turn_ counts 0..threads-1.
+        while (turn_.load(std::memory_order_acquire) != tid)
+            std::this_thread::yield();
+        if (pending)
+            (*pending)();
+        if (tid + 1 == threads_)
+            turn_.store(0, std::memory_order_release);
+        else
+            turn_.store(tid + 1, std::memory_order_release);
+        barrier_.wait();
+        return all_done;
+    }
+
+    unsigned threads_;
+    std::uint64_t quantum_;
+    support::Barrier barrier_;
+    alignas(support::cacheLineSize) std::atomic<unsigned> turn_{0};
+    std::atomic<unsigned> finished_{0};
+    support::PerThread<Local> locals_;
+    support::PerThread<CoreDetStats> stats_;
+};
+
+/**
+ * Non-deterministic scheduler with the same interface: work() is free,
+ * sync(f) executes f directly relying on f's own atomicity (the
+ * instrumented programs use std::atomic operations inside f). This is
+ * the "without CoreDet" configuration.
+ */
+class RawScheduler
+{
+  public:
+    explicit RawScheduler(unsigned threads) : threads_(threads) {}
+
+    void
+    run(const std::function<void(unsigned)>& body)
+    {
+        support::ThreadPool::get().run(threads_, body);
+    }
+
+    void work(std::uint64_t = 1) {}
+
+    template <typename F>
+    auto
+    sync(F&& f) -> decltype(f())
+    {
+        return f();
+    }
+
+    /** Non-deterministic equivalent: just yield k times. */
+    void
+    backoffRounds(unsigned k)
+    {
+        for (unsigned i = 0; i < k; ++i)
+            std::this_thread::yield();
+    }
+
+    CoreDetStats stats() const { return CoreDetStats{}; }
+
+  private:
+    unsigned threads_;
+};
+
+} // namespace galois::coredet
+
+#endif // DETGALOIS_COREDET_COREDET_H

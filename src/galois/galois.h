@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Public Galois-style API: on-demand deterministic parallelism.
+ *
+ * A program is the unordered-task loop of Figure 1a:
+ *
+ * @code
+ *   galois::Config cfg;
+ *   cfg.exec = galois::Exec::Det;   // or NonDet, or Serial — on demand
+ *   cfg.threads = 8;
+ *   galois::RunReport r = galois::forEach(initial_tasks,
+ *       [&](Node& n, galois::Context<Node>& ctx) {
+ *           ctx.acquire(n.lock());            // declare neighborhood
+ *           for (auto e : g.edges(n))
+ *               ctx.acquire(g.dst(e).lock());
+ *           ctx.cautiousPoint();              // failsafe point
+ *           ...writes...; ctx.push(child);    // create new tasks
+ *       }, cfg);
+ * @endcode
+ *
+ * The operator is written once; whether it runs non-deterministically
+ * (speculative, Fig. 1b), deterministically (DIG scheduling, Fig. 2) or
+ * serially is chosen by Config::exec at run time — the paper's on-demand
+ * determinism. Under Exec::Det the final state is a function of the input
+ * only: identical across thread counts and machines (portability) with an
+ * adaptive, output-invariant-by-default window policy (parameter-freedom).
+ */
+
+#ifndef DETGALOIS_GALOIS_GALOIS_H
+#define DETGALOIS_GALOIS_GALOIS_H
+
+#include <string>
+#include <vector>
+
+#include "runtime/executor_det.h"
+#include "runtime/executor_nondet.h"
+#include "runtime/executor_serial.h"
+
+namespace galois {
+
+/** Scheduler selection — the on-demand determinism switch. */
+enum class Exec
+{
+    Serial, //!< one thread, FIFO (reference semantics)
+    NonDet, //!< speculative parallel execution (Fig. 1b) — fastest
+    Det     //!< deterministic DIG scheduling (Fig. 2) — portable output
+};
+
+/** Operator-facing context (alias of the runtime context). */
+template <typename T>
+using Context = runtime::UserContext<T>;
+
+using runtime::Lockable;
+using runtime::RunReport;
+using DetOptions = runtime::DetOptions;
+
+/** Speculative-executor worklist policy (NonDet only). */
+enum class NdWorklist
+{
+    ChunkedFifo, //!< breadth-ish order; right for relaxation fixpoints
+    ChunkedLifo  //!< depth-ish order; best locality for cavity workloads
+};
+
+/** Execution configuration. */
+struct Config
+{
+    Exec exec = Exec::NonDet;
+    unsigned threads = 1;
+    /** Deterministic-scheduler tuning (ignored by other executors). */
+    runtime::DetOptions det;
+    /** Worklist policy of the speculative executor. */
+    NdWorklist ndWorklist = NdWorklist::ChunkedFifo;
+    /** Feed the software cache model (locality experiments, Fig. 11). */
+    bool collectLocality = false;
+};
+
+/** Parse an executor name ("serial", "nondet", "det") — the command-line
+ *  switch the paper describes for selecting determinism on demand. */
+inline Exec
+parseExec(const std::string& name)
+{
+    if (name == "serial")
+        return Exec::Serial;
+    if (name == "det")
+        return Exec::Det;
+    return Exec::NonDet;
+}
+
+/**
+ * Execute the unordered-task loop over the initial tasks with operator op.
+ *
+ * @tparam T  task value type (copyable).
+ * @tparam F  callable void(T&, Context<T>&); must follow the cautious-task
+ *            discipline (acquire everything before the first write, and
+ *            mark the boundary with ctx.cautiousPoint()).
+ * @return aggregate statistics of the run.
+ */
+template <typename T, typename F>
+RunReport
+forEach(const std::vector<T>& initial, F&& op, const Config& cfg)
+{
+    switch (cfg.exec) {
+      case Exec::Serial:
+        return runtime::executeSerial(initial, std::forward<F>(op),
+                                      cfg.collectLocality);
+      case Exec::NonDet:
+        if (cfg.ndWorklist == NdWorklist::ChunkedLifo) {
+            return runtime::executeNonDet<false>(initial,
+                                                 std::forward<F>(op),
+                                                 cfg.threads,
+                                                 cfg.collectLocality);
+        }
+        return runtime::executeNonDet<true>(initial, std::forward<F>(op),
+                                            cfg.threads,
+                                            cfg.collectLocality);
+      case Exec::Det:
+        return runtime::executeDet(initial, std::forward<F>(op),
+                                   cfg.threads, cfg.det,
+                                   cfg.collectLocality);
+    }
+    return RunReport{}; // unreachable
+}
+
+} // namespace galois
+
+#endif // DETGALOIS_GALOIS_GALOIS_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Data-parallel companions to forEach: doAll and reductions.
+ *
+ * The Galois system surrounds its unordered-task loop with simpler
+ * parallel constructs that many operators and all of the handwritten
+ * deterministic baselines need: a blocked parallel loop over a fixed
+ * range (doAll) and per-thread reducers combined at the end of a region
+ * (Reducible). Both are deterministic by construction for deterministic
+ * combine functions: doAll partitions the range by index and reducers
+ * combine in thread order.
+ */
+
+#ifndef DETGALOIS_GALOIS_LOOPS_H
+#define DETGALOIS_GALOIS_LOOPS_H
+
+#include <cstddef>
+#include <functional>
+
+#include "support/per_thread.h"
+#include "support/thread_pool.h"
+
+namespace galois {
+
+/**
+ * Parallel loop over [0, n): fn(i) for every index, contiguous blocks
+ * per thread. No conflict detection — iterations must be independent
+ * (or synchronize on their own).
+ */
+template <typename Fn>
+void
+doAll(std::size_t n, unsigned threads, Fn&& fn)
+{
+    if (threads <= 1 || n < 2) {
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+    support::ThreadPool::get().run(threads, [&](unsigned tid) {
+        const std::size_t per = n / threads;
+        const std::size_t extra = n % threads;
+        const std::size_t begin =
+            tid * per + std::min<std::size_t>(tid, extra);
+        const std::size_t end = begin + per + (tid < extra ? 1 : 0);
+        for (std::size_t i = begin; i < end; ++i)
+            fn(i);
+    });
+}
+
+/**
+ * Per-thread accumulator with a deterministic final reduction.
+ *
+ * @tparam T       value type.
+ * @tparam Combine binary functor: T(T, T), associative; the reduction
+ *                 folds per-thread partials in thread-id order, so even
+ *                 non-commutative combines are deterministic.
+ */
+template <typename T, typename Combine = std::plus<T>>
+class Reducible
+{
+  public:
+    explicit Reducible(T identity = T(), Combine combine = Combine())
+        : identity_(identity), combine_(combine), slots_(identity)
+    {}
+
+    /** Fold v into the calling thread's partial. */
+    void
+    update(const T& v)
+    {
+        T& slot = slots_.local();
+        slot = combine_(slot, v);
+    }
+
+    /** Combine all partials (thread-id order) and reset them. */
+    T
+    reduce()
+    {
+        T acc = identity_;
+        for (std::size_t t = 0; t < slots_.size(); ++t) {
+            acc = combine_(acc, slots_.remote(t));
+            slots_.remote(t) = identity_;
+        }
+        return acc;
+    }
+
+  private:
+    T identity_;
+    Combine combine_;
+    support::PerThread<T> slots_;
+};
+
+/** Min/max combiners for Reducible. */
+template <typename T>
+struct MinOf
+{
+    T operator()(const T& a, const T& b) const { return b < a ? b : a; }
+};
+
+template <typename T>
+struct MaxOf
+{
+    T operator()(const T& a, const T& b) const { return a < b ? b : a; }
+};
+
+} // namespace galois
+
+#endif // DETGALOIS_GALOIS_LOOPS_H

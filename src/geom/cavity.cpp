@@ -1,0 +1,62 @@
+#include "geom/cavity.h"
+
+namespace galois::geom {
+
+void
+retriangulate(Mesh& mesh, const Cavity& cav, VertId new_vert,
+              std::vector<TriId>& created)
+{
+    created.clear();
+
+    for (TriId d : cav.dead)
+        mesh.tri(d).alive = false;
+
+    // Fan edges (new_vert, x) waiting for their twin, keyed by x. Every
+    // interior border vertex occurs in exactly two border edges; a vertex
+    // occurring once leaves its fan edge on the mesh boundary.
+    struct Open
+    {
+        VertId key;
+        TriId t;
+        int edge;
+    };
+    std::vector<Open> open;
+
+    auto match = [&](VertId key, TriId t, int edge) {
+        for (std::size_t i = 0; i < open.size(); ++i) {
+            if (open[i].key == key) {
+                mesh.setNeighbor(t, edge, open[i].t);
+                mesh.setNeighbor(open[i].t, open[i].edge, t);
+                open.erase(open.begin() + static_cast<long>(i));
+                return;
+            }
+        }
+        open.push_back(Open{key, t, edge});
+    };
+
+    for (const BorderEdge& be : cav.border) {
+        // Degenerate fan triangle: the center lies on (or beyond) the
+        // border edge. Happens only for the boundary segment being split
+        // by a refinement midpoint; skip it — the two adjacent fan
+        // triangles' unmatched edges become the split segment halves.
+        if (orient2d(mesh.point(be.a), mesh.point(be.b), cav.center) <= 0)
+            continue;
+
+        // v = {a, b, new_vert}: CCW because the border edge is CCW seen
+        // from inside the cavity and the center is inside. Edge 2 is
+        // (a, b) -> outer; edge 0 is (b, new_vert); edge 1 is
+        // (new_vert, a).
+        const TriId t = mesh.createTriangle(be.a, be.b, new_vert);
+        created.push_back(t);
+
+        mesh.setNeighbor(t, 2, be.outer);
+        if (be.outer != kNoTri) {
+            const int back = mesh.findEdge(be.outer, be.a, be.b);
+            mesh.setNeighbor(be.outer, back, t);
+        }
+        match(be.b, t, 0);
+        match(be.a, t, 1);
+    }
+}
+
+} // namespace galois::geom

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Bowyer-Watson cavities: the shared core of Delaunay triangulation and
+ * Delaunay mesh refinement.
+ *
+ * The cavity of a point c is the connected set of triangles whose
+ * circumcircle contains c; re-triangulating it as a fan around c restores
+ * the Delaunay property. In the Galois formulation the cavity *is* the
+ * task neighborhood: buildCavity invokes the caller's acquire callback on
+ * every triangle it reads (dead triangles and the live triangles across
+ * the cavity border, whose neighbor links the commit rewrites), making
+ * the operator cautious by construction.
+ *
+ * For refinement, the insertion point is a circumcenter, which may fall
+ * outside the mesh domain. buildCavity detects the boundary edge through
+ * which the expansion escapes so that the caller can split that segment
+ * instead (Ruppert-style encroachment handling, as in the Lonestar dmr
+ * benchmark).
+ */
+
+#ifndef DETGALOIS_GEOM_CAVITY_H
+#define DETGALOIS_GEOM_CAVITY_H
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/mesh.h"
+
+namespace galois::geom {
+
+/** One edge of the cavity border, CCW as seen from inside the cavity. */
+struct BorderEdge
+{
+    VertId a;
+    VertId b;
+    TriId outer; //!< live triangle across the edge, or kNoTri (boundary)
+};
+
+/** A built cavity, ready to retriangulate. */
+struct Cavity
+{
+    Point center;
+    std::vector<TriId> dead;
+    std::vector<BorderEdge> border;
+
+    /** Set when the expansion escaped the mesh through a boundary edge. */
+    bool escaped = false;
+    TriId escapeTri = kNoTri;
+    int escapeEdge = -1;
+
+    void
+    clear()
+    {
+        dead.clear();
+        border.clear();
+        escaped = false;
+        escapeTri = kNoTri;
+        escapeEdge = -1;
+    }
+};
+
+/**
+ * Build the cavity of `center` by BFS from `start` (which must have
+ * center inside its circumcircle).
+ *
+ * @param acquire        callback invoked on every triangle the cavity
+ *                       reads or will write (dead and border-outer);
+ *                       under the Galois executors this performs the
+ *                       abstract-location acquire and may unwind.
+ * @param detect_escape  refinement mode: if the expansion crosses a mesh
+ *                       boundary edge whose far side contains center,
+ *                       stop and report it in cav.escaped/escapeTri/
+ *                       escapeEdge.
+ * @return true if the cavity is complete, false if it escaped.
+ */
+template <typename AcquireFn>
+bool
+buildCavity(const Mesh& mesh, TriId start, const Point& center, Cavity& cav,
+            AcquireFn&& acquire, bool detect_escape)
+{
+    cav.clear();
+    cav.center = center;
+
+    std::vector<TriId> queue{start};
+    std::vector<TriId> visited{start};
+    acquire(start);
+
+    auto is_visited = [&](TriId t) {
+        return std::find(visited.begin(), visited.end(), t) !=
+               visited.end();
+    };
+
+    for (std::size_t qi = 0; qi < queue.size(); ++qi) {
+        const TriId t = queue[qi];
+        cav.dead.push_back(t);
+        for (int i = 0; i < 3; ++i) {
+            const auto [a, b] = mesh.edgeVerts(t, i);
+            const TriId n = mesh.tri(t).nbr[i];
+            if (n == kNoTri) {
+                // Ruppert encroachment handling: the center may not be
+                // inserted if it lies beyond this boundary segment
+                // (outside the domain) or strictly inside the segment's
+                // diametral circle — in both cases the caller must split
+                // the segment instead. Without the diametral-circle test
+                // refinement cascades into slivers along the boundary
+                // and never terminates.
+                if (detect_escape) {
+                    const Point& pa = mesh.point(a);
+                    const Point& pb = mesh.point(b);
+                    const Point m = midpoint(pa, pb);
+                    const bool beyond = orient2d(pa, pb, center) < 0;
+                    const bool encroaches =
+                        center != m &&
+                        dist2(center, m) < dist2(pa, pb) / 4.0;
+                    if (beyond || encroaches) {
+                        cav.escaped = true;
+                        cav.escapeTri = t;
+                        cav.escapeEdge = i;
+                        return false;
+                    }
+                }
+                cav.border.push_back(BorderEdge{a, b, kNoTri});
+                continue;
+            }
+            if (!is_visited(n)) {
+                acquire(n);
+                visited.push_back(n);
+                if (mesh.inCircumcircle(n, center)) {
+                    queue.push_back(n);
+                    continue;
+                }
+            } else if (mesh.inCircumcircle(n, center)) {
+                // Already queued as dead; not a border edge.
+                continue;
+            }
+            cav.border.push_back(BorderEdge{a, b, n});
+        }
+    }
+    return true;
+}
+
+/**
+ * Kill the cavity's dead triangles and fan-retriangulate its border
+ * around new_vert (which must be located at cav.center).
+ *
+ * Border edges collinear with the center (a split boundary segment) are
+ * skipped; the resulting unmatched fan edges become mesh boundary —
+ * exactly the two halves of the split segment.
+ *
+ * @param[out] created new triangle ids, in deterministic creation order.
+ */
+void retriangulate(Mesh& mesh, const Cavity& cav, VertId new_vert,
+                   std::vector<TriId>& created);
+
+} // namespace galois::geom
+
+#endif // DETGALOIS_GEOM_CAVITY_H

@@ -1,0 +1,185 @@
+#include "geom/mesh.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+
+namespace galois::geom {
+
+std::vector<TriId>
+Mesh::aliveTriangles() const
+{
+    std::vector<TriId> out;
+    const std::size_t n = tris_.size();
+    for (std::size_t t = 0; t < n; ++t)
+        if (tris_[t].alive)
+            out.push_back(static_cast<TriId>(t));
+    return out;
+}
+
+std::size_t
+Mesh::numAliveTriangles() const
+{
+    return aliveTriangles().size();
+}
+
+bool
+Mesh::checkConsistency() const
+{
+    for (TriId t : aliveTriangles()) {
+        const Triangle& tr = tris_[t];
+        // CCW orientation.
+        if (orient2d(verts_[tr.v[0]], verts_[tr.v[1]], verts_[tr.v[2]]) <=
+            0) {
+            return false;
+        }
+        for (int i = 0; i < 3; ++i) {
+            const TriId n = tr.nbr[i];
+            if (n == kNoTri)
+                continue;
+            if (!tris_[n].alive)
+                return false;
+            const auto [a, b] = edgeVerts(t, i);
+            const int back = findEdge(n, a, b);
+            if (back < 0)
+                return false; // neighbor does not share the edge
+            if (tris_[n].nbr[back] != t)
+                return false; // asymmetric link
+        }
+    }
+    return true;
+}
+
+bool
+Mesh::checkDelaunay(VertId skip_below) const
+{
+    auto touches_skipped = [&](const Triangle& tr) {
+        return tr.v[0] < skip_below || tr.v[1] < skip_below ||
+               tr.v[2] < skip_below;
+    };
+    for (TriId t : aliveTriangles()) {
+        const Triangle& tr = tris_[t];
+        if (touches_skipped(tr))
+            continue;
+        for (int i = 0; i < 3; ++i) {
+            const TriId n = tr.nbr[i];
+            if (n == kNoTri)
+                continue;
+            const Triangle& nt = tris_[n];
+            if (touches_skipped(nt))
+                continue;
+            // Opposite vertex of the neighbor across edge i.
+            const auto [a, b] = edgeVerts(t, i);
+            VertId opp = nt.v[0];
+            for (int j = 0; j < 3; ++j)
+                if (nt.v[j] != a && nt.v[j] != b)
+                    opp = nt.v[j];
+            if (inCircumcircle(t, verts_[opp]))
+                return false;
+        }
+    }
+    return true;
+}
+
+std::uint64_t
+Mesh::geometricHash(VertId skip_below) const
+{
+    // Canonical form: per-triangle, the three (x, y) bit patterns sorted;
+    // the triangle list itself sorted. Hash with FNV-1a.
+    struct Key
+    {
+        std::uint64_t c[6];
+        bool
+        operator<(const Key& o) const
+        {
+            return std::lexicographical_compare(c, c + 6, o.c, o.c + 6);
+        }
+    };
+    auto bits = [](double d) {
+        std::uint64_t u;
+        std::memcpy(&u, &d, sizeof(u));
+        return u;
+    };
+
+    std::vector<Key> keys;
+    for (TriId t : aliveTriangles()) {
+        const Triangle& tr = tris_[t];
+        if (tr.v[0] < skip_below || tr.v[1] < skip_below ||
+            tr.v[2] < skip_below) {
+            continue;
+        }
+        std::array<std::pair<std::uint64_t, std::uint64_t>, 3> pts;
+        for (int i = 0; i < 3; ++i) {
+            const Point& p = verts_[tr.v[i]];
+            pts[i] = {bits(p.x), bits(p.y)};
+        }
+        std::sort(pts.begin(), pts.end());
+        Key k;
+        for (int i = 0; i < 3; ++i) {
+            k.c[2 * i] = pts[i].first;
+            k.c[2 * i + 1] = pts[i].second;
+        }
+        keys.push_back(k);
+    }
+    std::sort(keys.begin(), keys.end());
+
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const Key& k : keys) {
+        for (std::uint64_t c : k.c) {
+            h ^= c;
+            h *= 1099511628211ULL;
+        }
+    }
+    return h;
+}
+
+} // namespace galois::geom
+
+namespace galois::geom {
+
+void
+extractAliveSubmesh(const Mesh& src, VertId skip_below, Mesh& dst)
+{
+    std::unordered_map<VertId, VertId> vmap;
+    auto map_vert = [&](VertId v) {
+        auto it = vmap.find(v);
+        if (it != vmap.end())
+            return it->second;
+        const VertId nv = dst.addVertex(src.point(v));
+        vmap.emplace(v, nv);
+        return nv;
+    };
+
+    // Undirected-edge key -> (triangle, edge index) awaiting its twin.
+    auto edge_key = [](VertId a, VertId b) {
+        const std::uint64_t lo = a < b ? a : b;
+        const std::uint64_t hi = a < b ? b : a;
+        return (hi << 32) | lo;
+    };
+    std::unordered_map<std::uint64_t, std::pair<TriId, int>> open;
+
+    for (TriId t : src.aliveTriangles()) {
+        const Triangle& tr = src.tri(t);
+        if (tr.v[0] < skip_below || tr.v[1] < skip_below ||
+            tr.v[2] < skip_below) {
+            continue;
+        }
+        const TriId nt = dst.createTriangle(
+            map_vert(tr.v[0]), map_vert(tr.v[1]), map_vert(tr.v[2]));
+        for (int i = 0; i < 3; ++i) {
+            const auto [a, b] = dst.edgeVerts(nt, i);
+            const std::uint64_t key = edge_key(a, b);
+            auto it = open.find(key);
+            if (it == open.end()) {
+                open.emplace(key, std::pair{nt, i});
+            } else {
+                dst.setNeighbor(nt, i, it->second.first);
+                dst.setNeighbor(it->second.first, it->second.second, nt);
+                open.erase(it);
+            }
+        }
+    }
+    // Edges left in `open` are boundary: nbr stays kNoTri.
+}
+
+} // namespace galois::geom

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Concurrent triangle mesh for Delaunay triangulation (dt) and Delaunay
+ * mesh refinement (dmr).
+ *
+ * Triangles and vertices live in append-only segmented storage so that
+ * concurrently executing tasks can create elements without invalidating
+ * anything another task holds. Each triangle embeds a Lockable: the
+ * triangle is the abstract location tasks acquire, exactly the
+ * graph-element-level synchronization the paper describes. Dead triangles
+ * are never reclaimed during a parallel phase (alive flag), which keeps
+ * stale task payloads safe to inspect.
+ *
+ * Conventions: triangle vertices are CCW; edge i connects v[(i+1)%3] and
+ * v[(i+2)%3] (the edge opposite vertex i); nbr[i] is the triangle across
+ * edge i, or kNoTri on the mesh boundary.
+ */
+
+#ifndef DETGALOIS_GEOM_MESH_H
+#define DETGALOIS_GEOM_MESH_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "geom/point.h"
+#include "runtime/lockable.h"
+#include "support/segmented_vector.h"
+
+namespace galois::geom {
+
+using TriId = std::uint32_t;
+using VertId = std::uint32_t;
+
+inline constexpr TriId kNoTri = ~TriId(0);
+
+/** Mesh triangle; see file comment for conventions. */
+struct Triangle
+{
+    std::array<VertId, 3> v{};
+    std::array<TriId, 3> nbr{kNoTri, kNoTri, kNoTri};
+    bool alive = false;
+    runtime::Lockable lock;
+    /** Uninserted points located inside this triangle (dt only). */
+    std::vector<VertId> bucket;
+};
+
+/** Concurrent triangle mesh. */
+class Mesh
+{
+  public:
+    Mesh() = default;
+
+    // ------------------------------------------------------------------
+    // Element creation (safe from concurrent tasks)
+    // ------------------------------------------------------------------
+
+    /** Add a vertex; returns its stable id. */
+    VertId
+    addVertex(const Point& p)
+    {
+        return static_cast<VertId>(verts_.emplaceBack(p));
+    }
+
+    /** Create a live triangle with CCW vertices (a, b, c). */
+    TriId
+    createTriangle(VertId a, VertId b, VertId c)
+    {
+        const TriId t = static_cast<TriId>(tris_.emplaceBack());
+        Triangle& tr = tris_[t];
+        tr.v = {a, b, c};
+        tr.nbr = {kNoTri, kNoTri, kNoTri};
+        tr.alive = true;
+        return t;
+    }
+
+    // ------------------------------------------------------------------
+    // Access
+    // ------------------------------------------------------------------
+
+    Triangle& tri(TriId t) { return tris_[t]; }
+    const Triangle& tri(TriId t) const { return tris_[t]; }
+
+    const Point& point(VertId v) const { return verts_[v]; }
+
+    std::size_t numVertices() const { return verts_.size(); }
+    std::size_t numTriangleSlots() const { return tris_.size(); }
+
+    /** Vertices of edge i of triangle t: (first, second) CCW. */
+    std::pair<VertId, VertId>
+    edgeVerts(TriId t, int i) const
+    {
+        const Triangle& tr = tris_[t];
+        return {tr.v[(i + 1) % 3], tr.v[(i + 2) % 3]};
+    }
+
+    /** Edge index of triangle t whose endpoints are {a, b}; -1 if none. */
+    int
+    findEdge(TriId t, VertId a, VertId b) const
+    {
+        for (int i = 0; i < 3; ++i) {
+            const auto [ea, eb] = edgeVerts(t, i);
+            if ((ea == a && eb == b) || (ea == b && eb == a))
+                return i;
+        }
+        return -1;
+    }
+
+    /** Set t's neighbor across edge i (one direction only). */
+    void
+    setNeighbor(TriId t, int i, TriId n)
+    {
+        tris_[t].nbr[i] = n;
+    }
+
+    // ------------------------------------------------------------------
+    // Geometry helpers
+    // ------------------------------------------------------------------
+
+    /** Is p strictly inside the circumcircle of t? */
+    bool
+    inCircumcircle(TriId t, const Point& p) const
+    {
+        const Triangle& tr = tris_[t];
+        return inCircle(verts_[tr.v[0]], verts_[tr.v[1]], verts_[tr.v[2]],
+                        p) > 0;
+    }
+
+    /** Is p inside triangle t (inclusive of edges)? */
+    bool
+    contains(TriId t, const Point& p) const
+    {
+        for (int i = 0; i < 3; ++i) {
+            const auto [a, b] = edgeVerts(t, i);
+            if (orient2d(verts_[a], verts_[b], p) < 0)
+                return false;
+        }
+        return true;
+    }
+
+    /** Smallest angle of triangle t in degrees. */
+    double
+    minAngle(TriId t) const
+    {
+        const Triangle& tr = tris_[t];
+        return minAngleDeg(verts_[tr.v[0]], verts_[tr.v[1]],
+                           verts_[tr.v[2]]);
+    }
+
+    /** Circumcenter of triangle t. */
+    Point
+    circumcenterOf(TriId t) const
+    {
+        const Triangle& tr = tris_[t];
+        return circumcenter(verts_[tr.v[0]], verts_[tr.v[1]],
+                            verts_[tr.v[2]]);
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-mesh queries (sequential use: setup / validation / hashing)
+    // ------------------------------------------------------------------
+
+    /** Ids of all live triangles, in id order. */
+    std::vector<TriId> aliveTriangles() const;
+
+    /** Count of live triangles. */
+    std::size_t numAliveTriangles() const;
+
+    /**
+     * Structural validation: neighbor links are symmetric, neighbors are
+     * alive and share exactly the expected edge, vertices are CCW.
+     */
+    bool checkConsistency() const;
+
+    /**
+     * Local Delaunay check: for every live triangle and every neighbor,
+     * the opposite vertex of the neighbor is not strictly inside the
+     * triangle's circumcircle. Triangles touching a vertex < skip_below
+     * (e.g. super-triangle vertices) are ignored.
+     */
+    bool checkDelaunay(VertId skip_below = 0) const;
+
+    /**
+     * Canonical geometric fingerprint of the live triangulation:
+     * independent of triangle/vertex creation order (triangles are
+     * canonicalized by their vertex coordinates and sorted). Used by the
+     * portability tests: identical meshes hash identically even when
+     * element ids differ across runs.
+     */
+    std::uint64_t geometricHash(VertId skip_below = 0) const;
+
+  private:
+    support::SegmentedVector<Point> verts_;
+    support::SegmentedVector<Triangle> tris_;
+};
+
+/**
+ * Copy the live triangles of src that avoid every vertex < skip_below
+ * into dst (which must be empty), compacting vertex ids and rebuilding
+ * neighbor links. Edges whose twin was dropped become mesh boundary.
+ *
+ * Used to turn a Delaunay triangulation (with its synthetic super
+ * triangle) into the input mesh for refinement.
+ */
+void extractAliveSubmesh(const Mesh& src, VertId skip_below, Mesh& dst);
+
+} // namespace galois::geom
+
+#endif // DETGALOIS_GEOM_MESH_H

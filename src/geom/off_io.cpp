@@ -1,0 +1,94 @@
+#include "geom/off_io.h"
+
+#include <istream>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace galois::geom {
+
+void
+writeOff(std::ostream& os, const Mesh& mesh, VertId skip_below)
+{
+    // Collect referenced vertices and compact their ids.
+    std::vector<TriId> faces;
+    std::unordered_map<VertId, std::size_t> vmap;
+    std::vector<VertId> verts;
+    for (TriId t : mesh.aliveTriangles()) {
+        const Triangle& tr = mesh.tri(t);
+        if (tr.v[0] < skip_below || tr.v[1] < skip_below ||
+            tr.v[2] < skip_below) {
+            continue;
+        }
+        faces.push_back(t);
+        for (VertId v : tr.v) {
+            if (vmap.emplace(v, verts.size()).second)
+                verts.push_back(v);
+        }
+    }
+
+    os << "OFF\n" << verts.size() << ' ' << faces.size() << " 0\n";
+    os.precision(17);
+    for (VertId v : verts) {
+        const Point& p = mesh.point(v);
+        os << p.x << ' ' << p.y << " 0\n";
+    }
+    for (TriId t : faces) {
+        const Triangle& tr = mesh.tri(t);
+        os << "3 " << vmap[tr.v[0]] << ' ' << vmap[tr.v[1]] << ' '
+           << vmap[tr.v[2]] << '\n';
+    }
+}
+
+bool
+readOff(std::istream& is, Mesh& dst)
+{
+    std::string magic;
+    if (!(is >> magic) || magic != "OFF")
+        return false;
+    std::size_t nv = 0, nf = 0, ne = 0;
+    if (!(is >> nv >> nf >> ne))
+        return false;
+
+    for (std::size_t i = 0; i < nv; ++i) {
+        double x, y, z;
+        if (!(is >> x >> y >> z))
+            return false;
+        dst.addVertex(Point{x, y});
+    }
+
+    auto edge_key = [](VertId a, VertId b) {
+        const std::uint64_t lo = a < b ? a : b;
+        const std::uint64_t hi = a < b ? b : a;
+        return (hi << 32) | lo;
+    };
+    std::unordered_map<std::uint64_t, std::pair<TriId, int>> open;
+
+    for (std::size_t f = 0; f < nf; ++f) {
+        std::size_t arity = 0;
+        VertId a, b, c;
+        if (!(is >> arity >> a >> b >> c) || arity != 3)
+            return false;
+        if (a >= nv || b >= nv || c >= nv)
+            return false;
+        if (orient2d(dst.point(a), dst.point(b), dst.point(c)) < 0)
+            std::swap(b, c); // enforce CCW
+        const TriId t = dst.createTriangle(a, b, c);
+        for (int i = 0; i < 3; ++i) {
+            const auto [ea, eb] = dst.edgeVerts(t, i);
+            const std::uint64_t key = edge_key(ea, eb);
+            auto it = open.find(key);
+            if (it == open.end()) {
+                open.emplace(key, std::pair{t, i});
+            } else {
+                dst.setNeighbor(t, i, it->second.first);
+                dst.setNeighbor(it->second.first, it->second.second, t);
+                open.erase(it);
+            }
+        }
+    }
+    return true;
+}
+
+} // namespace galois::geom

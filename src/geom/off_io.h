@@ -1,0 +1,40 @@
+/**
+ * @file
+ * OFF (Object File Format) import/export for triangle meshes.
+ *
+ * Lets users feed their own triangulations to the refinement app and
+ * inspect results in standard geometry viewers. The reader rebuilds
+ * neighbor links from shared edges; unmatched edges become mesh
+ * boundary.
+ */
+
+#ifndef DETGALOIS_GEOM_OFF_IO_H
+#define DETGALOIS_GEOM_OFF_IO_H
+
+#include <iosfwd>
+
+#include "geom/mesh.h"
+
+namespace galois::geom {
+
+/**
+ * Write the live triangles of the mesh as OFF (z = 0).
+ *
+ * @param skip_below drop triangles touching vertices < skip_below
+ *                   (super-triangle vertices).
+ */
+void writeOff(std::ostream& os, const Mesh& mesh, VertId skip_below = 0);
+
+/**
+ * Read an OFF file into dst (which must be empty).
+ *
+ * Only triangular faces are accepted; the z coordinate is ignored.
+ * Faces are re-oriented CCW if needed and linked through shared edges.
+ *
+ * @return true on success; false on malformed input (dst undefined).
+ */
+bool readOff(std::istream& is, Mesh& dst);
+
+} // namespace galois::geom
+
+#endif // DETGALOIS_GEOM_OFF_IO_H

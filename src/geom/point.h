@@ -1,0 +1,136 @@
+/**
+ * @file
+ * 2-D points and the geometric predicates used by Delaunay triangulation
+ * and Delaunay mesh refinement.
+ *
+ * Predicates are evaluated in extended (long double) precision from
+ * exactly representable double inputs. This is not a full exact-arithmetic
+ * implementation (Shewchuk); for the uniformly random inputs of the
+ * evaluation the extra bits eliminate the sign errors that matter, and —
+ * critically for this paper's determinism claims — every evaluation is a
+ * pure function of its inputs, so results are identical across runs and
+ * thread counts.
+ */
+
+#ifndef DETGALOIS_GEOM_POINT_H
+#define DETGALOIS_GEOM_POINT_H
+
+#include <cmath>
+
+namespace galois::geom {
+
+/** Cartesian point. */
+struct Point
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    friend bool
+    operator==(const Point& a, const Point& b)
+    {
+        return a.x == b.x && a.y == b.y;
+    }
+};
+
+/**
+ * Orientation of the triple (a, b, c).
+ *
+ * @return > 0 if counter-clockwise, < 0 if clockwise, 0 if collinear.
+ */
+inline double
+orient2d(const Point& a, const Point& b, const Point& c)
+{
+    const long double det =
+        (static_cast<long double>(b.x) - a.x) *
+            (static_cast<long double>(c.y) - a.y) -
+        (static_cast<long double>(b.y) - a.y) *
+            (static_cast<long double>(c.x) - a.x);
+    return static_cast<double>(det);
+}
+
+/**
+ * In-circle test: is d strictly inside the circumcircle of CCW triangle
+ * (a, b, c)?
+ *
+ * @return > 0 inside, < 0 outside, 0 on the circle.
+ */
+inline double
+inCircle(const Point& a, const Point& b, const Point& c, const Point& d)
+{
+    const long double adx = static_cast<long double>(a.x) - d.x;
+    const long double ady = static_cast<long double>(a.y) - d.y;
+    const long double bdx = static_cast<long double>(b.x) - d.x;
+    const long double bdy = static_cast<long double>(b.y) - d.y;
+    const long double cdx = static_cast<long double>(c.x) - d.x;
+    const long double cdy = static_cast<long double>(c.y) - d.y;
+
+    const long double ad2 = adx * adx + ady * ady;
+    const long double bd2 = bdx * bdx + bdy * bdy;
+    const long double cd2 = cdx * cdx + cdy * cdy;
+
+    const long double det = adx * (bdy * cd2 - cdy * bd2) -
+                            ady * (bdx * cd2 - cdx * bd2) +
+                            ad2 * (bdx * cdy - cdx * bdy);
+    return static_cast<double>(det);
+}
+
+/** Circumcenter of triangle (a, b, c) (assumed non-degenerate). */
+inline Point
+circumcenter(const Point& a, const Point& b, const Point& c)
+{
+    const long double abx = static_cast<long double>(b.x) - a.x;
+    const long double aby = static_cast<long double>(b.y) - a.y;
+    const long double acx = static_cast<long double>(c.x) - a.x;
+    const long double acy = static_cast<long double>(c.y) - a.y;
+    const long double d = 2 * (abx * acy - aby * acx);
+    const long double ab2 = abx * abx + aby * aby;
+    const long double ac2 = acx * acx + acy * acy;
+    const long double ux = (acy * ab2 - aby * ac2) / d;
+    const long double uy = (abx * ac2 - acx * ab2) / d;
+    return Point{static_cast<double>(a.x + ux),
+                 static_cast<double>(a.y + uy)};
+}
+
+/** Squared distance. */
+inline double
+dist2(const Point& a, const Point& b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return dx * dx + dy * dy;
+}
+
+/** Smallest interior angle of triangle (a, b, c), in degrees. */
+inline double
+minAngleDeg(const Point& a, const Point& b, const Point& c)
+{
+    // Law of cosines on all three corners; the smallest angle is opposite
+    // the shortest edge.
+    const double la = dist2(b, c); // opposite a
+    const double lb = dist2(a, c); // opposite b
+    const double lc = dist2(a, b); // opposite c
+    auto angle = [](double opp2, double s1_2, double s2_2) {
+        const double denom = 2.0 * std::sqrt(s1_2) * std::sqrt(s2_2);
+        double cosv = (s1_2 + s2_2 - opp2) / denom;
+        if (cosv > 1.0)
+            cosv = 1.0;
+        if (cosv < -1.0)
+            cosv = -1.0;
+        return std::acos(cosv) * 180.0 / 3.14159265358979323846;
+    };
+    const double aa = angle(la, lb, lc);
+    const double ab = angle(lb, la, lc);
+    const double ac = 180.0 - aa - ab;
+    return std::fmin(aa, std::fmin(ab, ac));
+}
+
+/** Midpoint of segment (a, b). */
+inline Point
+midpoint(const Point& a, const Point& b)
+{
+    return Point{(a.x + b.x) / 2.0, (a.y + b.y) / 2.0};
+}
+
+} // namespace galois::geom
+
+#endif // DETGALOIS_GEOM_POINT_H

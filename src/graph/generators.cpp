@@ -1,0 +1,101 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include "support/prng.h"
+
+namespace galois::graph {
+
+namespace {
+
+/** Pick k distinct neighbors != u. */
+void
+pickNeighbors(support::Prng& rng, Node u, Node n, unsigned k,
+              std::vector<Node>& out)
+{
+    out.clear();
+    while (out.size() < k) {
+        const Node v = static_cast<Node>(rng.nextBounded(n));
+        if (v == u)
+            continue;
+        if (std::find(out.begin(), out.end(), v) != out.end())
+            continue;
+        out.push_back(v);
+    }
+}
+
+} // namespace
+
+std::vector<Edge>
+randomKOut(Node num_nodes, unsigned k, std::uint64_t seed, bool symmetric)
+{
+    support::Prng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<std::size_t>(num_nodes) * k *
+                  (symmetric ? 2 : 1));
+    std::vector<Node> picks;
+    for (Node u = 0; u < num_nodes; ++u) {
+        pickNeighbors(rng, u, num_nodes, k, picks);
+        for (Node v : picks) {
+            edges.push_back(Edge{u, v, 0});
+            if (symmetric)
+                edges.push_back(Edge{v, u, 0});
+        }
+    }
+    return edges;
+}
+
+std::vector<Edge>
+randomFlowNetwork(Node num_nodes, unsigned k, std::int64_t max_capacity,
+                  std::uint64_t seed)
+{
+    support::Prng rng(seed);
+    std::vector<Edge> edges;
+    edges.reserve(static_cast<std::size_t>(num_nodes) * k * 2);
+    std::vector<Node> picks;
+    for (Node u = 0; u < num_nodes; ++u) {
+        pickNeighbors(rng, u, num_nodes, k, picks);
+        for (Node v : picks) {
+            const std::int64_t cap =
+                1 + static_cast<std::int64_t>(
+                        rng.nextBounded(
+                            static_cast<std::uint64_t>(max_capacity)));
+            // Forward capacity on (u, v); the twin starts at 0 residual
+            // capacity. Flow apps treat edgeData as residual capacity.
+            edges.push_back(Edge{u, v, cap});
+            edges.push_back(Edge{v, u, 0});
+        }
+    }
+    // Dedicated high-capacity source and sink arcs: without them the
+    // min cut collapses to the source's k random edges and the instance
+    // is trivial at any size. Fan the source into (and the sink out of)
+    // sqrt(n)-ish random nodes, as flow benchmark generators do.
+    if (num_nodes >= 4) {
+        const Node source = 0;
+        const Node sink = num_nodes - 1;
+        Node fan = 4;
+        while (fan * fan < num_nodes)
+            ++fan;
+        fan = std::min<Node>(fan * 4, num_nodes / 2);
+        const std::int64_t big = 4 * max_capacity;
+        for (Node i = 0; i < fan; ++i) {
+            const Node a = 1 + static_cast<Node>(
+                                   rng.nextBounded(num_nodes - 2));
+            const Node b = 1 + static_cast<Node>(
+                                   rng.nextBounded(num_nodes - 2));
+            const std::int64_t cap_a =
+                1 + static_cast<std::int64_t>(rng.nextBounded(
+                        static_cast<std::uint64_t>(big)));
+            const std::int64_t cap_b =
+                1 + static_cast<std::int64_t>(rng.nextBounded(
+                        static_cast<std::uint64_t>(big)));
+            edges.push_back(Edge{source, a, cap_a});
+            edges.push_back(Edge{a, source, 0});
+            edges.push_back(Edge{b, sink, cap_b});
+            edges.push_back(Edge{sink, b, 0});
+        }
+    }
+    return edges;
+}
+
+} // namespace graph

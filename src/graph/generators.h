@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Deterministic input generators matching the paper's data sets
+ * (Section 4.2), parameterized by size so experiments can scale.
+ *
+ *  - bfs / mis: "a random graph of 10 million nodes where each node is
+ *    connected to five randomly selected nodes".
+ *  - pfp: "a random graph of 2^23 nodes with each node connected to 4
+ *    random neighbors", with random capacities, plus designated source
+ *    and sink.
+ *
+ * All generation is driven by the portable PRNG, so every run — on any
+ * machine — sees bit-identical inputs.
+ */
+
+#ifndef DETGALOIS_GRAPH_GENERATORS_H
+#define DETGALOIS_GRAPH_GENERATORS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace galois::graph {
+
+/**
+ * Random k-out edge list: each node chooses k distinct random neighbors
+ * (no self loops). With symmetric=true every edge appears in both
+ * directions (undirected view), as needed by bfs/mis.
+ */
+std::vector<Edge> randomKOut(Node num_nodes, unsigned k,
+                             std::uint64_t seed, bool symmetric);
+
+/**
+ * Random k-out flow network for preflow-push: symmetric edges with
+ * capacity in [1, max_capacity] on forward edges and 0 on the residual
+ * twins. By convention source is node 0 and sink is node num_nodes-1.
+ */
+std::vector<Edge> randomFlowNetwork(Node num_nodes, unsigned k,
+                                    std::int64_t max_capacity,
+                                    std::uint64_t seed);
+
+} // namespace galois::graph
+
+#endif // DETGALOIS_GRAPH_GENERATORS_H

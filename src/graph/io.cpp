@@ -1,0 +1,117 @@
+#include "graph/io.h"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <string>
+
+namespace galois::graph {
+
+std::optional<std::vector<Edge>>
+readEdgeList(std::istream& is, Node& num_nodes)
+{
+    std::vector<Edge> edges;
+    num_nodes = 0;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream ls(line);
+        std::uint64_t u, v;
+        std::int64_t w = 0;
+        if (!(ls >> u >> v))
+            return std::nullopt;
+        ls >> w; // optional weight
+        if (u > ~Node(0) || v > ~Node(0))
+            return std::nullopt;
+        edges.push_back(Edge{static_cast<Node>(u),
+                             static_cast<Node>(v), w});
+        num_nodes = std::max(num_nodes, static_cast<Node>(u) + 1);
+        num_nodes = std::max(num_nodes, static_cast<Node>(v) + 1);
+    }
+    return edges;
+}
+
+std::optional<DimacsMaxFlow>
+readDimacsMaxFlow(std::istream& is)
+{
+    DimacsMaxFlow out;
+    bool have_problem = false, have_source = false, have_sink = false;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream ls(line);
+        char kind;
+        ls >> kind;
+        switch (kind) {
+          case 'c':
+            break; // comment
+          case 'p': {
+            std::string problem;
+            std::uint64_t n, m;
+            if (!(ls >> problem >> n >> m) || problem != "max")
+                return std::nullopt;
+            out.numNodes = static_cast<Node>(n);
+            out.edges.reserve(2 * m);
+            have_problem = true;
+            break;
+          }
+          case 'n': {
+            std::uint64_t id;
+            char which;
+            if (!(ls >> id >> which) || id == 0)
+                return std::nullopt;
+            if (which == 's') {
+                out.source = static_cast<Node>(id - 1);
+                have_source = true;
+            } else if (which == 't') {
+                out.sink = static_cast<Node>(id - 1);
+                have_sink = true;
+            } else {
+                return std::nullopt;
+            }
+            break;
+          }
+          case 'a': {
+            std::uint64_t u, v;
+            std::int64_t cap;
+            if (!have_problem || !(ls >> u >> v >> cap) || u == 0 ||
+                v == 0 || u > out.numNodes || v > out.numNodes) {
+                return std::nullopt;
+            }
+            out.edges.push_back(Edge{static_cast<Node>(u - 1),
+                                     static_cast<Node>(v - 1), cap});
+            out.edges.push_back(Edge{static_cast<Node>(v - 1),
+                                     static_cast<Node>(u - 1), 0});
+            break;
+          }
+          default:
+            return std::nullopt;
+        }
+    }
+    if (!have_problem || !have_source || !have_sink)
+        return std::nullopt;
+    return out;
+}
+
+namespace detail {
+
+void
+writeDimacsHeader(std::ostream& os, Node num_nodes, std::uint64_t num_arcs,
+                  Node source, Node sink)
+{
+    os << "p max " << num_nodes << ' ' << num_arcs << '\n'
+       << "n " << source + 1 << " s\n"
+       << "n " << sink + 1 << " t\n";
+}
+
+void
+writeDimacsArc(std::ostream& os, Node u, Node v, std::int64_t cap)
+{
+    os << "a " << u + 1 << ' ' << v + 1 << ' ' << cap << '\n';
+}
+
+} // namespace detail
+
+} // namespace galois::graph

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Graph import: whitespace edge lists and DIMACS max-flow files.
+ *
+ * Lets users run the benchmark applications on their own inputs. The
+ * DIMACS reader targets the format used by the max-flow community (and
+ * by hi_pr, the paper's pfp baseline): `p max N M`, `n id s|t`,
+ * `a u v cap` — 1-based ids, converted to 0-based here.
+ */
+
+#ifndef DETGALOIS_GRAPH_IO_H
+#define DETGALOIS_GRAPH_IO_H
+
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+#include "graph/csr_graph.h"
+
+namespace galois::graph {
+
+/**
+ * Read a plain edge list: one "u v [weight]" per line, '#' comments.
+ *
+ * @param[out] num_nodes 1 + max node id seen.
+ * @return edges, or nullopt on malformed input.
+ */
+std::optional<std::vector<Edge>> readEdgeList(std::istream& is,
+                                              Node& num_nodes);
+
+/** A parsed DIMACS max-flow instance. */
+struct DimacsMaxFlow
+{
+    Node numNodes = 0;
+    Node source = 0;
+    Node sink = 0;
+    /** Arcs with capacities, plus 0-capacity residual twins, ready for
+     *  CsrGraph(..., find_reverse=true). */
+    std::vector<Edge> edges;
+};
+
+/** Read a DIMACS max-flow file; nullopt on malformed input. */
+std::optional<DimacsMaxFlow> readDimacsMaxFlow(std::istream& is);
+
+namespace detail {
+void writeDimacsHeader(std::ostream& os, Node num_nodes,
+                       std::uint64_t num_arcs, Node source, Node sink);
+void writeDimacsArc(std::ostream& os, Node u, Node v, std::int64_t cap);
+} // namespace detail
+
+/** Write a flow network in DIMACS max-flow format (capacities are the
+ *  current edgeData of forward arcs; 0-capacity twins are skipped). */
+template <typename NodeData>
+void
+writeDimacsMaxFlow(std::ostream& os, const CsrGraph<NodeData>& g,
+                   Node source, Node sink)
+{
+    std::uint64_t arcs = 0;
+    for (std::uint64_t e = 0; e < g.numEdges(); ++e)
+        arcs += g.edgeData(e) > 0;
+    detail::writeDimacsHeader(os, g.numNodes(), arcs, source, sink);
+    for (Node u = 0; u < g.numNodes(); ++u)
+        for (std::uint64_t e = g.edgeBegin(u); e < g.edgeEnd(u); ++e)
+            if (g.edgeData(e) > 0)
+                detail::writeDimacsArc(os, u, g.dst(e), g.edgeData(e));
+}
+
+} // namespace galois::graph
+
+#endif // DETGALOIS_GRAPH_IO_H

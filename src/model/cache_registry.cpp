@@ -1,0 +1,54 @@
+#include "model/cache_registry.h"
+
+#include <atomic>
+#include <memory>
+
+#include "support/cacheline.h"
+#include "support/thread_pool.h"
+
+namespace galois::model {
+
+namespace {
+
+std::atomic<bool> enabled{false};
+
+using PaddedModel = support::CachePadded<CacheModel>;
+
+std::vector<PaddedModel>&
+models()
+{
+    static std::vector<PaddedModel> instance(
+        support::ThreadPool::get().maxThreads());
+    return instance;
+}
+
+} // namespace
+
+void
+enableThreadCaches(bool on)
+{
+    for (auto& m : models())
+        m.get().reset();
+    enabled.store(on, std::memory_order_release);
+}
+
+CacheModel*
+threadCache()
+{
+    if (!enabled.load(std::memory_order_acquire))
+        return nullptr;
+    return &models()[support::ThreadPool::threadId()].get();
+}
+
+CacheTotals
+aggregateThreadCaches()
+{
+    CacheTotals t;
+    for (auto& m : models()) {
+        t.accesses += m.get().accesses();
+        t.misses += m.get().misses();
+    }
+    return t;
+}
+
+} // namespace galois::model

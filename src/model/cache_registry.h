@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Process-wide per-thread cache-model registry.
+ *
+ * The Galois executors thread their cache model through the user context,
+ * but the handwritten PBBS-style kernels have no context object. For the
+ * locality experiments (Fig. 11) they report their abstract-location
+ * accesses through this registry instead: when enabled, threadCache()
+ * returns the calling thread's private model; when disabled it returns
+ * nullptr and instrumentation compiles down to a pointer test.
+ */
+
+#ifndef DETGALOIS_MODEL_CACHE_REGISTRY_H
+#define DETGALOIS_MODEL_CACHE_REGISTRY_H
+
+#include <cstdint>
+
+#include "model/cache_model.h"
+
+namespace galois::model {
+
+/** Enable/disable registry instrumentation (also resets all models). */
+void enableThreadCaches(bool on);
+
+/** The calling thread's model, or nullptr when disabled. */
+CacheModel* threadCache();
+
+/** Record one access if instrumentation is enabled. */
+inline void
+recordAccess(const void* addr)
+{
+    if (CacheModel* c = threadCache())
+        c->access(addr);
+}
+
+/** Aggregate counts over every thread's model. */
+struct CacheTotals
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+};
+CacheTotals aggregateThreadCaches();
+
+} // namespace galois::model
+
+#endif // DETGALOIS_MODEL_CACHE_REGISTRY_H

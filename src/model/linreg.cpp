@@ -1,0 +1,50 @@
+#include "model/linreg.h"
+
+#include <cmath>
+
+namespace galois::model {
+
+LinearFit
+fitLinear(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    LinearFit fit;
+    fit.n = xs.size() < ys.size() ? xs.size() : ys.size();
+    if (fit.n < 2)
+        return fit;
+
+    double sx = 0, sy = 0;
+    for (std::size_t i = 0; i < fit.n; ++i) {
+        sx += xs[i];
+        sy += ys[i];
+    }
+    const double mx = sx / static_cast<double>(fit.n);
+    const double my = sy / static_cast<double>(fit.n);
+
+    double sxx = 0, sxy = 0, syy = 0;
+    for (std::size_t i = 0; i < fit.n; ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0) {
+        fit.b0 = my;
+        return fit;
+    }
+    fit.b1 = sxy / sxx;
+    fit.b0 = my - fit.b1 * mx;
+    if (syy == 0.0) {
+        fit.r2 = 1.0; // all residuals are zero for a constant target
+    } else {
+        double ssr = 0;
+        for (std::size_t i = 0; i < fit.n; ++i) {
+            const double resid = ys[i] - (fit.b0 + fit.b1 * xs[i]);
+            ssr += resid * resid;
+        }
+        fit.r2 = 1.0 - ssr / syy;
+    }
+    return fit;
+}
+
+} // namespace galois::model

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Ordinary least-squares fit of the paper's locality model (Section 5.4).
+ *
+ * Figure 12 fits  eff_var = B0 + B1 * (PC_ref / PC_var) * eff_ref  and
+ * reports how well the linear model explains the efficiency of a variant
+ * from a reference variant's efficiency scaled by the ratio of a
+ * performance counter. This module provides the fit and its R².
+ */
+
+#ifndef DETGALOIS_MODEL_LINREG_H
+#define DETGALOIS_MODEL_LINREG_H
+
+#include <cstddef>
+#include <vector>
+
+namespace galois::model {
+
+/** Result of a simple linear regression y = b0 + b1 * x. */
+struct LinearFit
+{
+    double b0 = 0.0; //!< intercept
+    double b1 = 0.0; //!< slope
+    double r2 = 0.0; //!< coefficient of determination
+    std::size_t n = 0; //!< number of points
+};
+
+/**
+ * Fit y = b0 + b1*x by ordinary least squares.
+ *
+ * @pre xs.size() == ys.size(); with fewer than 2 points the fit is
+ *      degenerate (b1 = 0, r2 = 0).
+ */
+LinearFit fitLinear(const std::vector<double>& xs,
+                    const std::vector<double>& ys);
+
+} // namespace galois::model
+
+#endif // DETGALOIS_MODEL_LINREG_H

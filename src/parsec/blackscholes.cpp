@@ -1,0 +1,67 @@
+#include "parsec/blackscholes.h"
+
+#include <cmath>
+
+#include "support/prng.h"
+
+namespace galois::parsec {
+
+namespace {
+
+/** Cumulative normal distribution (Abramowitz-Stegun polynomial, the
+ *  same approximation the PARSEC kernel uses). */
+double
+cndf(double x)
+{
+    const bool negative = x < 0.0;
+    if (negative)
+        x = -x;
+    const double k = 1.0 / (1.0 + 0.2316419 * x);
+    const double poly =
+        k * (0.319381530 +
+             k * (-0.356563782 +
+                  k * (1.781477937 +
+                       k * (-1.821255978 + k * 1.330274429))));
+    const double pdf =
+        std::exp(-0.5 * x * x) / std::sqrt(2.0 * 3.14159265358979323846);
+    const double cnd = 1.0 - pdf * poly;
+    return negative ? 1.0 - cnd : cnd;
+}
+
+} // namespace
+
+double
+priceOption(const Option& o)
+{
+    const double sqrt_t = std::sqrt(o.time);
+    const double d1 =
+        (std::log(o.spot / o.strike) +
+         (o.rate + 0.5 * o.volatility * o.volatility) * o.time) /
+        (o.volatility * sqrt_t);
+    const double d2 = d1 - o.volatility * sqrt_t;
+    const double discounted = o.strike * std::exp(-o.rate * o.time);
+    if (o.isPut)
+        return discounted * cndf(-d2) - o.spot * cndf(-d1);
+    return o.spot * cndf(d1) - discounted * cndf(d2);
+}
+
+std::vector<Option>
+randomPortfolio(std::size_t n, std::uint64_t seed)
+{
+    support::Prng rng(seed);
+    std::vector<Option> opts;
+    opts.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Option o;
+        o.spot = rng.nextDouble(10.0, 200.0);
+        o.strike = rng.nextDouble(10.0, 200.0);
+        o.rate = rng.nextDouble(0.01, 0.1);
+        o.volatility = rng.nextDouble(0.05, 0.9);
+        o.time = rng.nextDouble(0.1, 3.0);
+        o.isPut = (rng.next() & 1) != 0;
+        opts.push_back(o);
+    }
+    return opts;
+}
+
+} // namespace galois::parsec

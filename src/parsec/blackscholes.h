@@ -1,0 +1,82 @@
+/**
+ * @file
+ * blackscholes — PARSEC-style option pricing kernel.
+ *
+ * Full closed-form Black-Scholes-Merton pricer over a portfolio of
+ * options, matching the PARSEC kernel's structure: an embarrassingly
+ * data-parallel loop repeated NUM_RUNS times, with essentially no
+ * synchronization. In the paper this is the canonical "conventional"
+ * workload: deterministic thread schedulers handle it well (Fig. 6) and
+ * its atomic-update rate is orders of magnitude below the irregular
+ * benchmarks (Fig. 5).
+ */
+
+#ifndef DETGALOIS_PARSEC_BLACKSCHOLES_H
+#define DETGALOIS_PARSEC_BLACKSCHOLES_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+namespace galois::parsec {
+
+/** One option contract. */
+struct Option
+{
+    double spot;       //!< current underlying price
+    double strike;     //!< strike price
+    double rate;       //!< risk-free rate
+    double volatility; //!< annualized volatility
+    double time;       //!< years to expiry
+    bool isPut;        //!< put (true) or call (false)
+};
+
+/** Price one option (closed form). */
+double priceOption(const Option& o);
+
+/** Deterministic random portfolio in PARSEC-like parameter ranges. */
+std::vector<Option> randomPortfolio(std::size_t n, std::uint64_t seed);
+
+/**
+ * Price the whole portfolio `runs` times under the given scheduler
+ * policy (RawScheduler = plain threads; DmpScheduler = CoreDet-style).
+ * One sync per block grab; per-option math is accounted as work.
+ *
+ * @return checksum of all prices (guards against dead-code elimination
+ *         and doubles as a determinism probe).
+ */
+template <typename Sched>
+double
+priceAll(Sched& sched, const std::vector<Option>& options, int runs,
+         std::vector<double>& out_prices)
+{
+    out_prices.assign(options.size(), 0.0);
+    for (int r = 0; r < runs; ++r) {
+        std::atomic<std::size_t> cursor{0};
+        sched.run([&](unsigned) {
+            constexpr std::size_t kBlock = 1024;
+            for (;;) {
+                const std::size_t begin = sched.sync([&] {
+                    return cursor.fetch_add(kBlock,
+                                            std::memory_order_relaxed);
+                });
+                if (begin >= options.size())
+                    break;
+                const std::size_t end =
+                    std::min(options.size(), begin + kBlock);
+                for (std::size_t i = begin; i < end; ++i) {
+                    out_prices[i] = priceOption(options[i]);
+                    sched.work(20);
+                }
+            }
+        });
+    }
+    double checksum = 0;
+    for (double p : out_prices)
+        checksum += p;
+    return checksum;
+}
+
+} // namespace galois::parsec
+
+#endif // DETGALOIS_PARSEC_BLACKSCHOLES_H

@@ -1,0 +1,23 @@
+#include "parsec/bodytrack_like.h"
+
+namespace galois::parsec {
+
+TrackingProblem
+makeTrackingProblem(std::size_t frames, std::uint64_t seed)
+{
+    support::Prng rng(seed);
+    TrackingProblem prob;
+    prob.observations.reserve(frames);
+    std::array<double, TrackingProblem::kDims> truth{};
+    for (std::size_t f = 0; f < frames; ++f) {
+        std::array<double, TrackingProblem::kDims> obs{};
+        for (int d = 0; d < TrackingProblem::kDims; ++d) {
+            truth[d] += rng.nextDouble(-0.02, 0.02); // smooth motion
+            obs[d] = truth[d] + rng.nextDouble(-0.01, 0.01); // sensor noise
+        }
+        prob.observations.push_back(obs);
+    }
+    return prob;
+}
+
+} // namespace galois::parsec

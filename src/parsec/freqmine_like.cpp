@@ -1,0 +1,36 @@
+#include "parsec/freqmine_like.h"
+
+#include <algorithm>
+
+#include "support/prng.h"
+
+namespace galois::parsec {
+
+ItemsetDb
+makeItemsetDb(std::size_t transactions, std::uint32_t items,
+              unsigned avg_len, std::uint64_t seed)
+{
+    support::Prng rng(seed);
+    ItemsetDb db;
+    db.numItems = items;
+    db.transactions.reserve(transactions);
+    for (std::size_t t = 0; t < transactions; ++t) {
+        const unsigned len =
+            1 + static_cast<unsigned>(rng.nextBounded(2 * avg_len));
+        std::vector<std::uint32_t> tx;
+        tx.reserve(len);
+        for (unsigned i = 0; i < len; ++i) {
+            // Skewed popularity: squaring a uniform [0,1) variate biases
+            // item choice toward low ids (Zipf-like head).
+            const double u = rng.nextDouble();
+            tx.push_back(
+                static_cast<std::uint32_t>(u * u * items) % items);
+        }
+        std::sort(tx.begin(), tx.end());
+        tx.erase(std::unique(tx.begin(), tx.end()), tx.end());
+        db.transactions.push_back(std::move(tx));
+    }
+    return db;
+}
+
+} // namespace galois::parsec

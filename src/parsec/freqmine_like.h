@@ -1,0 +1,144 @@
+/**
+ * @file
+ * freqmine-like kernel: frequent-itemset counting.
+ *
+ * PARSEC's freqmine runs FP-growth over a transaction database with
+ * OpenMP: parallel scans build per-thread counting structures that are
+ * merged at phase boundaries. We reproduce that shape: phase 1 counts
+ * item frequencies over the transactions (per-thread histograms, merged
+ * once); phase 2 counts frequent pairs among the surviving items (the
+ * heart of the support-counting work). Communication is one shared
+ * cursor per block plus the per-phase merges — a coarse-grain profile
+ * like the original (Figs. 5-6 contrast workload).
+ */
+
+#ifndef DETGALOIS_PARSEC_FREQMINE_LIKE_H
+#define DETGALOIS_PARSEC_FREQMINE_LIKE_H
+
+#include <atomic>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace galois::parsec {
+
+/** Transaction database: each transaction is a sorted set of item ids. */
+struct ItemsetDb
+{
+    std::uint32_t numItems = 0;
+    std::vector<std::vector<std::uint32_t>> transactions;
+};
+
+/** Deterministic synthetic database with skewed (Zipf-ish) item
+ *  popularity, the regime FP-growth targets. */
+ItemsetDb makeItemsetDb(std::size_t transactions, std::uint32_t items,
+                        unsigned avg_len, std::uint64_t seed);
+
+/** Result: per-item support and frequent-pair supports. */
+struct MiningResult
+{
+    std::vector<std::uint64_t> itemSupport;
+    /** (itemA << 32 | itemB) -> support, for frequent items only. */
+    std::unordered_map<std::uint64_t, std::uint64_t> pairSupport;
+    std::uint64_t frequentItems = 0;
+    std::uint64_t frequentPairs = 0;
+};
+
+/**
+ * Mine frequent items and pairs with the given minimum support, under a
+ * scheduler policy.
+ */
+template <typename Sched>
+MiningResult
+mineFrequent(Sched& sched, const ItemsetDb& db, std::uint64_t min_support)
+{
+    MiningResult res;
+    const unsigned slots = support::ThreadPool::get().maxThreads();
+
+    // Phase 1: item supports (per-thread histograms, merged serially).
+    std::vector<std::vector<std::uint64_t>> hist(
+        slots, std::vector<std::uint64_t>(db.numItems, 0));
+    {
+        std::atomic<std::size_t> cursor{0};
+        sched.run([&](unsigned tid) {
+            constexpr std::size_t kBlock = 256;
+            for (;;) {
+                const std::size_t begin = sched.sync([&] {
+                    return cursor.fetch_add(kBlock,
+                                            std::memory_order_relaxed);
+                });
+                if (begin >= db.transactions.size())
+                    break;
+                const std::size_t end =
+                    std::min(db.transactions.size(), begin + kBlock);
+                for (std::size_t t = begin; t < end; ++t) {
+                    for (std::uint32_t item : db.transactions[t])
+                        ++hist[tid][item];
+                    sched.work(db.transactions[t].size());
+                }
+            }
+        });
+    }
+    res.itemSupport.assign(db.numItems, 0);
+    for (unsigned s = 0; s < slots; ++s)
+        for (std::uint32_t i = 0; i < db.numItems; ++i)
+            res.itemSupport[i] += hist[s][i];
+
+    std::vector<bool> frequent(db.numItems, false);
+    for (std::uint32_t i = 0; i < db.numItems; ++i) {
+        if (res.itemSupport[i] >= min_support) {
+            frequent[i] = true;
+            ++res.frequentItems;
+        }
+    }
+
+    // Phase 2: pair supports among frequent items (per-thread maps,
+    // merged serially).
+    std::vector<std::unordered_map<std::uint64_t, std::uint64_t>> pmaps(
+        slots);
+    {
+        std::atomic<std::size_t> cursor{0};
+        sched.run([&](unsigned tid) {
+            constexpr std::size_t kBlock = 128;
+            for (;;) {
+                const std::size_t begin = sched.sync([&] {
+                    return cursor.fetch_add(kBlock,
+                                            std::memory_order_relaxed);
+                });
+                if (begin >= db.transactions.size())
+                    break;
+                const std::size_t end =
+                    std::min(db.transactions.size(), begin + kBlock);
+                for (std::size_t t = begin; t < end; ++t) {
+                    const auto& tx = db.transactions[t];
+                    for (std::size_t a = 0; a < tx.size(); ++a) {
+                        if (!frequent[tx[a]])
+                            continue;
+                        for (std::size_t b = a + 1; b < tx.size(); ++b) {
+                            if (!frequent[tx[b]])
+                                continue;
+                            const std::uint64_t key =
+                                (std::uint64_t(tx[a]) << 32) | tx[b];
+                            ++pmaps[tid][key];
+                        }
+                    }
+                    sched.work(tx.size() * tx.size() / 2 + 1);
+                }
+            }
+        });
+    }
+    for (unsigned s = 0; s < slots; ++s)
+        for (const auto& [key, count] : pmaps[s])
+            res.pairSupport[key] += count;
+    for (const auto& [key, count] : res.pairSupport)
+        if (count >= min_support)
+            ++res.frequentPairs;
+
+    return res;
+}
+
+} // namespace galois::parsec
+
+#endif // DETGALOIS_PARSEC_FREQMINE_LIKE_H

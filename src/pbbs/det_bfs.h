@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Handwritten deterministic BFS in the PBBS style.
+ *
+ * Bulk-synchronous level BFS: each round expands the current frontier in
+ * parallel; a node discovered by several frontier nodes deterministically
+ * keeps the *minimum* parent (CAS-min — a commutative, order-insensitive
+ * combiner, the standard PBBS "write-with-min" idiom). The next frontier
+ * is gathered in node-id order, so the execution — and the parent tree —
+ * is identical for every thread count. This is the `PBBS` variant of the
+ * bfs benchmark (determinism by construction, application-specific).
+ */
+
+#ifndef DETGALOIS_PBBS_DET_BFS_H
+#define DETGALOIS_PBBS_DET_BFS_H
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "model/cache_registry.h"
+#include "support/per_thread.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace galois::pbbs {
+
+/** Statistics reported by the PBBS-style kernels (Figs. 4 and 5). */
+struct PbbsStats
+{
+    std::uint64_t rounds = 0;
+    std::uint64_t atomicOps = 0;
+    std::uint64_t committed = 0; //!< node expansions
+    std::uint64_t aborted = 0;   //!< failed reservations / lost CASes
+    double seconds = 0.0;
+};
+
+/** Per-node result of the deterministic BFS. */
+struct DetBfsResult
+{
+    std::vector<std::uint32_t> dist;
+    std::vector<std::uint32_t> parent;
+    PbbsStats stats;
+};
+
+/**
+ * Deterministic level-synchronous BFS from source using `threads`
+ * workers. Output is independent of the thread count.
+ */
+template <typename NodeData>
+DetBfsResult
+detBfs(const graph::CsrGraph<NodeData>& g, graph::Node source,
+       unsigned threads)
+{
+    constexpr std::uint32_t kInf = ~std::uint32_t(0);
+    const graph::Node n = g.numNodes();
+
+    support::Timer timer;
+    timer.start();
+
+    DetBfsResult res;
+    res.dist.assign(n, kInf);
+    res.parent.assign(n, kInf);
+
+    // CAS-min parent proposals for the current round.
+    std::vector<std::atomic<std::uint32_t>> proposal(n);
+    for (graph::Node v = 0; v < n; ++v)
+        proposal[v].store(kInf, std::memory_order_relaxed);
+
+    std::vector<graph::Node> frontier{source};
+    res.dist[source] = 0;
+    res.parent[source] = source;
+
+    support::PerThread<PbbsStats> stats;
+    std::uint32_t level = 0;
+
+    while (!frontier.empty()) {
+        ++level;
+        ++res.stats.rounds;
+
+        // Expand: every frontier node proposes itself as parent of its
+        // undiscovered neighbors; min wins (deterministic combiner).
+        support::ThreadPool::get().run(threads, [&](unsigned tid) {
+            PbbsStats& my = stats.local();
+            const std::size_t per =
+                (frontier.size() + threads - 1) / threads;
+            const std::size_t begin = tid * per;
+            const std::size_t end =
+                std::min(frontier.size(), begin + per);
+            for (std::size_t i = begin; i < end; ++i) {
+                const graph::Node u = frontier[i];
+                ++my.committed;
+                model::recordAccess(&proposal[u]);
+                for (graph::Node v : g.neighbors(u)) {
+                    model::recordAccess(&proposal[v]);
+                    if (res.dist[v] != kInf)
+                        continue;
+                    std::uint32_t cur =
+                        proposal[v].load(std::memory_order_relaxed);
+                    while (u < cur) {
+                        ++my.atomicOps;
+                        if (proposal[v].compare_exchange_weak(
+                                cur, u, std::memory_order_acq_rel)) {
+                            break;
+                        }
+                        ++my.aborted;
+                    }
+                }
+            }
+        });
+
+        // Gather: next frontier in deterministic node-id order. Each
+        // thread scans a contiguous slice of all proposals and collects
+        // locally; slices are concatenated in thread order.
+        std::vector<std::vector<graph::Node>> next(threads);
+        support::ThreadPool::get().run(threads, [&](unsigned tid) {
+            const graph::Node per = (n + threads - 1) / threads;
+            const graph::Node begin = tid * per;
+            const graph::Node end =
+                std::min<graph::Node>(n, begin + per);
+            for (graph::Node v = begin; v < end; ++v) {
+                const std::uint32_t p =
+                    proposal[v].load(std::memory_order_relaxed);
+                if (p != kInf && res.dist[v] == kInf) {
+                    res.dist[v] = level;
+                    res.parent[v] = p;
+                    next[tid].push_back(v);
+                    proposal[v].store(kInf, std::memory_order_relaxed);
+                }
+            }
+        });
+
+        frontier.clear();
+        for (auto& part : next)
+            frontier.insert(frontier.end(), part.begin(), part.end());
+    }
+
+    timer.stop();
+    for (std::size_t t = 0; t < stats.size(); ++t) {
+        res.stats.atomicOps += stats.remote(t).atomicOps;
+        res.stats.committed += stats.remote(t).committed;
+        res.stats.aborted += stats.remote(t).aborted;
+    }
+    res.stats.seconds = timer.seconds();
+    return res;
+}
+
+} // namespace galois::pbbs
+
+#endif // DETGALOIS_PBBS_DET_BFS_H

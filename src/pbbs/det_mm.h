@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Handwritten deterministic maximal matching in the PBBS style, via
+ * deterministic reservations: each round, a prefix of the remaining
+ * edges reserves both endpoints with its priority; edges holding both
+ * reservations match, edges that lost an endpoint to a matched edge
+ * drop, the rest retry. The result equals the sequential greedy matching
+ * in edge-list order, for any thread count and round size.
+ */
+
+#ifndef DETGALOIS_PBBS_DET_MM_H
+#define DETGALOIS_PBBS_DET_MM_H
+
+#include "apps/mm.h"
+#include "pbbs/reservations.h"
+
+namespace galois::pbbs {
+
+namespace detail {
+
+class MmStep
+{
+  public:
+    explicit MmStep(apps::mm::Problem& prob) : prob_(prob) {}
+
+    bool
+    reserve(std::uint32_t& edge, Reservation& res)
+    {
+        const auto [u, v] = prob_.edges[edge];
+        if (u == v || prob_.matched[u] || prob_.matched[v])
+            return false; // already covered: drop
+        res.reserve(prob_.nodeLocks[u]);
+        res.reserve(prob_.nodeLocks[v]);
+        return true;
+    }
+
+    void
+    commit(std::uint32_t& edge, Reservation&, std::vector<std::uint32_t>&)
+    {
+        const auto [u, v] = prob_.edges[edge];
+        prob_.matched[u] = prob_.matched[v] = 1;
+        prob_.inMatching[edge] = 1;
+    }
+
+  private:
+    apps::mm::Problem& prob_;
+};
+
+} // namespace detail
+
+/** PBBS-style deterministic maximal matching. */
+inline PbbsStats
+detMatch(apps::mm::Problem& prob, unsigned threads,
+         std::size_t round_size = 4096)
+{
+    prob.reset();
+    std::vector<std::uint32_t> items(prob.edges.size());
+    for (std::uint32_t i = 0; i < items.size(); ++i)
+        items[i] = i;
+    detail::MmStep step(prob);
+    return speculativeFor(std::move(items), step, threads, round_size);
+}
+
+} // namespace galois::pbbs
+
+#endif // DETGALOIS_PBBS_DET_MM_H

@@ -1,0 +1,137 @@
+#include "pbbs/det_sf.h"
+
+#include <numeric>
+
+namespace galois::pbbs {
+
+namespace {
+
+std::uint32_t
+findRoot(const std::vector<std::uint32_t>& parent, std::uint32_t x)
+{
+    while (parent[x] != x)
+        x = parent[x];
+    return x;
+}
+
+/** Reservation step: items are edge indices. */
+class SfStep
+{
+  public:
+    SfStep(const SfProblem& prob, SfResult& result,
+           std::vector<runtime::Lockable>& locks)
+        : prob_(prob), result_(result), locks_(locks)
+    {}
+
+    bool
+    reserve(std::uint32_t& edge, Reservation& res)
+    {
+        const auto [u, v] = prob_.edges[edge];
+        // Read-only root lookup: parents change only in commit phases.
+        const std::uint32_t ru = findRoot(result_.parent, u);
+        const std::uint32_t rv = findRoot(result_.parent, v);
+        if (ru == rv)
+            return false; // already connected: drop
+        roots_[edge] = {ru, rv};
+        res.reserve(locks_[ru]);
+        res.reserve(locks_[rv]);
+        return true;
+    }
+
+    void
+    commit(std::uint32_t& edge, Reservation&, std::vector<std::uint32_t>&)
+    {
+        const auto [ru, rv] = roots_[edge];
+        // We hold both root reservations, so both are still roots: link
+        // the larger under the smaller (a deterministic rule).
+        const std::uint32_t lo = std::min(ru, rv);
+        const std::uint32_t hi = std::max(ru, rv);
+        result_.parent[hi] = lo;
+        result_.inForest[edge] = 1;
+    }
+
+    /** Pre-size the per-edge root scratch. */
+    void
+    init(std::size_t num_edges)
+    {
+        roots_.assign(num_edges,
+                      {~std::uint32_t(0), ~std::uint32_t(0)});
+    }
+
+  private:
+    const SfProblem& prob_;
+    SfResult& result_;
+    std::vector<runtime::Lockable>& locks_;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> roots_;
+};
+
+} // namespace
+
+SfResult
+serialSpanningForest(const SfProblem& prob)
+{
+    SfResult r;
+    r.inForest.assign(prob.edges.size(), 0);
+    r.parent.resize(prob.numNodes);
+    std::iota(r.parent.begin(), r.parent.end(), 0);
+    for (std::size_t i = 0; i < prob.edges.size(); ++i) {
+        const auto [u, v] = prob.edges[i];
+        const std::uint32_t ru = findRoot(r.parent, u);
+        const std::uint32_t rv = findRoot(r.parent, v);
+        if (ru == rv)
+            continue;
+        r.parent[std::max(ru, rv)] = std::min(ru, rv);
+        r.inForest[i] = 1;
+    }
+    return r;
+}
+
+SfResult
+detSpanningForest(const SfProblem& prob, unsigned threads,
+                  std::size_t round_size)
+{
+    SfResult r;
+    r.inForest.assign(prob.edges.size(), 0);
+    r.parent.resize(prob.numNodes);
+    std::iota(r.parent.begin(), r.parent.end(), 0);
+
+    std::vector<runtime::Lockable> locks(prob.numNodes);
+    std::vector<std::uint32_t> items(prob.edges.size());
+    std::iota(items.begin(), items.end(), 0);
+
+    SfStep step(prob, r, locks);
+    step.init(prob.edges.size());
+    r.stats = speculativeFor(std::move(items), step, threads, round_size);
+    return r;
+}
+
+bool
+validateForest(const SfProblem& prob, const SfResult& result)
+{
+    // Rebuild a union-find from the forest edges only: every edge must
+    // join two previously-disconnected components (acyclic)...
+    std::vector<std::uint32_t> parent(prob.numNodes);
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](std::uint32_t x) {
+        while (parent[x] != x)
+            x = parent[x];
+        return x;
+    };
+    for (std::size_t i = 0; i < prob.edges.size(); ++i) {
+        if (!result.inForest[i])
+            continue;
+        const auto [u, v] = prob.edges[i];
+        const std::uint32_t ru = find(u);
+        const std::uint32_t rv = find(v);
+        if (ru == rv)
+            return false; // cycle
+        parent[std::max(ru, rv)] = std::min(ru, rv);
+    }
+    // ...and the forest must connect everything the graph connects.
+    for (const auto& [u, v] : prob.edges)
+        if (find(u) != find(v))
+            return false; // not spanning
+    return true;
+}
+
+} // namespace galois::pbbs

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Handwritten deterministic spanning forest in the PBBS style
+ * (deterministic reservations over union-find roots).
+ *
+ * Edges are processed in index order: each round, a prefix of the
+ * remaining edges looks up the current component roots of its endpoints
+ * (read-only — all structure writes happen in commit phases) and
+ * reserves both roots; an edge holding both reservations links the
+ * larger root under the smaller and joins the forest. The result is the
+ * same spanning forest the sequential greedy (Kruskal-order) algorithm
+ * produces, for any thread count — one of the original deterministic-
+ * reservations showcases of Blelloch et al. [7].
+ */
+
+#ifndef DETGALOIS_PBBS_DET_SF_H
+#define DETGALOIS_PBBS_DET_SF_H
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pbbs/reservations.h"
+
+namespace galois::pbbs {
+
+/** A spanning-forest problem over an explicit edge list. */
+struct SfProblem
+{
+    std::uint32_t numNodes = 0;
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+};
+
+/** Result: per-edge membership + final union-find parents. */
+struct SfResult
+{
+    std::vector<std::uint8_t> inForest; //!< per edge
+    std::vector<std::uint32_t> parent;  //!< union-find state (unflattened)
+    PbbsStats stats;
+
+    /** Component root of node x (walks the parent chain). */
+    std::uint32_t
+    find(std::uint32_t x) const
+    {
+        while (parent[x] != x)
+            x = parent[x];
+        return x;
+    }
+};
+
+/** Sequential greedy (edge-index order) reference. */
+SfResult serialSpanningForest(const SfProblem& prob);
+
+/** Deterministic-reservations spanning forest. */
+SfResult detSpanningForest(const SfProblem& prob, unsigned threads,
+                           std::size_t round_size = 4096);
+
+/** Validity: forest edges are acyclic and connect exactly the same
+ *  components as the full graph. */
+bool validateForest(const SfProblem& prob, const SfResult& result);
+
+} // namespace galois::pbbs
+
+#endif // DETGALOIS_PBBS_DET_SF_H

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Deterministic reservations — the PBBS "speculative_for" idiom
+ * (Blelloch et al. [7]), used by the handwritten deterministic dt and dmr
+ * variants.
+ *
+ * Items are processed in rounds over a *fixed-size* prefix of the
+ * remaining work (the hand-tuned round-size parameter the paper calls out:
+ * PBBS programs "have a tunable parameter that controls the round size,
+ * but no method to adaptively set it" — unlike DIG's adaptive window).
+ * Each round:
+ *
+ *   1. reserve: every prefix item marks the abstract locations it needs
+ *      with its priority (earlier item wins; implemented with the same
+ *      order-insensitive mark-max primitive, so reservation outcomes are
+ *      independent of thread interleaving);
+ *   2. commit: items holding all their marks apply their update; the rest
+ *      are retried in a later round, in order.
+ *
+ * The result is deterministic by construction for any thread count.
+ */
+
+#ifndef DETGALOIS_PBBS_RESERVATIONS_H
+#define DETGALOIS_PBBS_RESERVATIONS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "model/cache_registry.h"
+#include "pbbs/det_bfs.h" // PbbsStats
+#include "runtime/lockable.h"
+#include "support/per_thread.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace galois::pbbs {
+
+/** Priority-carrying owner used to reserve abstract locations. */
+struct Reservation : runtime::MarkOwner
+{
+    std::vector<runtime::Lockable*> held;
+    /** Set when some reserve() lost to a higher-priority item: losing
+     *  even one location disqualifies the whole item this round. */
+    bool lost = false;
+
+    /** Reserve l with our priority; earlier (higher-id) items win. */
+    void
+    reserve(runtime::Lockable& l)
+    {
+        model::recordAccess(&l); // locality proxy (Fig. 11)
+        if (l.owner(std::memory_order_relaxed) == this)
+            return;
+        runtime::MarkOwner* displaced = nullptr;
+        if (l.markMax(this, displaced))
+            held.push_back(&l);
+        else
+            lost = true;
+    }
+
+    /** Do we still hold everything we reserved, and lost nothing? */
+    bool
+    check() const
+    {
+        if (lost)
+            return false;
+        for (runtime::Lockable* l : held)
+            if (l->owner() != this)
+                return false;
+        return true;
+    }
+
+    void
+    release()
+    {
+        for (runtime::Lockable* l : held)
+            l->releaseIfOwner(this);
+        held.clear();
+        lost = false;
+    }
+};
+
+/**
+ * Round-based speculative loop.
+ *
+ * Step requirements:
+ *   bool reserve(Item&, Reservation&)  — read phase; returns false to
+ *                                        drop the item (stale no-op);
+ *   void commit(Item&, Reservation&, std::vector<Item>& out_new)
+ *                                      — write phase (all marks held).
+ *
+ * @param round_size fixed prefix size per round (the PBBS parameter).
+ */
+template <typename Item, typename Step>
+PbbsStats
+speculativeFor(std::vector<Item> work, Step& step, unsigned threads,
+               std::size_t round_size)
+{
+    support::Timer timer;
+    timer.start();
+
+    PbbsStats stats;
+    support::PerThread<PbbsStats> tstats;
+    std::uint64_t priority_base = ~std::uint64_t(0) - 1;
+
+    struct Slot
+    {
+        Reservation res;
+        bool viable = false;
+    };
+    std::vector<Slot> slots(round_size);
+    std::vector<std::vector<Item>> fresh(
+        support::ThreadPool::get().maxThreads());
+    std::vector<std::vector<Item>> failed(
+        support::ThreadPool::get().maxThreads());
+
+    std::size_t cursor = 0;
+    std::vector<Item> carry; // failed items, in priority order
+    std::uint64_t total_committed = 0;
+
+    while (!carry.empty() || cursor < work.size()) {
+        ++stats.rounds;
+        // Assemble the round's prefix: retried items first (they are
+        // older, hence higher priority), then untried ones. The prefix
+        // grows with progress (min(round_size, max(32, committed)));
+        // this is the BRIO-style doubling PBBS's incremental codes use —
+        // early dependence-heavy work runs in small rounds, bulk work in
+        // full-size ones. The growth schedule depends only on committed
+        // counts, so it is deterministic.
+        const std::size_t prefix = std::min<std::size_t>(
+            round_size,
+            std::max<std::size_t>(32, total_committed));
+        std::vector<Item> cur;
+        cur.reserve(prefix);
+        std::size_t carry_taken = 0;
+        while (cur.size() < prefix && carry_taken < carry.size())
+            cur.push_back(carry[carry_taken++]);
+        while (cur.size() < prefix && cursor < work.size())
+            cur.push_back(work[cursor++]);
+        carry.erase(carry.begin(),
+                    carry.begin() + static_cast<long>(carry_taken));
+
+        // Priorities: earlier in `cur` = higher id = wins mark-max.
+        for (std::size_t i = 0; i < cur.size(); ++i) {
+            slots[i].res.id = priority_base - i;
+            slots[i].res.held.clear();
+            slots[i].res.lost = false;
+            slots[i].viable = false;
+        }
+        priority_base -= cur.size();
+
+        // Phase 1: reserve.
+        support::ThreadPool::get().run(threads, [&](unsigned tid) {
+            const std::size_t per = (cur.size() + threads - 1) / threads;
+            const std::size_t begin = tid * per;
+            const std::size_t end = std::min(cur.size(), begin + per);
+            for (std::size_t i = begin; i < end; ++i)
+                slots[i].viable = step.reserve(cur[i], slots[i].res);
+        });
+
+        // Phase 2: check + commit; collect failures and new items.
+        support::ThreadPool::get().run(threads, [&](unsigned tid) {
+            PbbsStats& my = tstats.local();
+            const std::size_t per = (cur.size() + threads - 1) / threads;
+            const std::size_t begin = tid * per;
+            const std::size_t end = std::min(cur.size(), begin + per);
+            for (std::size_t i = begin; i < end; ++i) {
+                Slot& s = slots[i];
+                my.atomicOps += s.res.held.size();
+                if (!s.viable) {
+                    s.res.release();
+                    ++my.committed; // dropped stale item counts as done
+                    continue;
+                }
+                if (s.res.check()) {
+                    step.commit(cur[i], s.res, fresh[tid]);
+                    ++my.committed;
+                } else {
+                    failed[tid].push_back(cur[i]);
+                    ++my.aborted;
+                }
+                s.res.release();
+            }
+        });
+
+        // Deterministic merge: per-thread slices are contiguous in
+        // priority order. Failed items keep their priority, so they go
+        // *before* any not-yet-tried carry remainder.
+        std::vector<Item> new_carry;
+        for (auto& f : failed) {
+            new_carry.insert(new_carry.end(), f.begin(), f.end());
+            f.clear();
+        }
+        total_committed += cur.size() - new_carry.size();
+        new_carry.insert(new_carry.end(), carry.begin(), carry.end());
+        carry = std::move(new_carry);
+        for (auto& f : fresh) {
+            // New items go to the back of the untried work. The
+            // per-thread slices partition `cur` contiguously, so this
+            // concatenation reproduces `cur`'s priority order exactly —
+            // independent of the thread count.
+            work.insert(work.end(), f.begin(), f.end());
+            f.clear();
+        }
+    }
+
+    timer.stop();
+    for (std::size_t t = 0; t < tstats.size(); ++t) {
+        stats.atomicOps += tstats.remote(t).atomicOps;
+        stats.committed += tstats.remote(t).committed;
+        stats.aborted += tstats.remote(t).aborted;
+    }
+    stats.seconds = timer.seconds();
+    return stats;
+}
+
+} // namespace galois::pbbs
+
+#endif // DETGALOIS_PBBS_RESERVATIONS_H

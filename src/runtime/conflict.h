@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Control-flow signals used by the executors.
+ *
+ * Tasks in the Galois model are *cautious*: they acquire every abstract
+ * location in their neighborhood before the first write (the failsafe
+ * point). A conflict can therefore only be detected before any global
+ * state has been modified, so "rollback" is simply unwinding the operator
+ * — which we implement with exceptions that the executors catch.
+ */
+
+#ifndef DETGALOIS_RUNTIME_CONFLICT_H
+#define DETGALOIS_RUNTIME_CONFLICT_H
+
+namespace galois::runtime {
+
+/**
+ * Thrown by UserContext::acquire() when a task loses an abstract location.
+ *
+ * Deliberately not derived from std::exception: user operators must not
+ * accidentally swallow it with a catch-all for std::exception.
+ */
+struct ConflictSignal
+{};
+
+/**
+ * Thrown by UserContext::cautiousPoint() during the deterministic inspect
+ * phase to stop the task at its failsafe point (Section 3.2: "when the
+ * task reaches its failsafe point ... it immediately returns").
+ */
+struct FailsafeSignal
+{};
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_CONFLICT_H

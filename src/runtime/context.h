@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Per-task execution context — the operator-facing half of the runtime.
+ *
+ * A Galois operator has the signature void(T& item, UserContext<T>& ctx).
+ * Through the context the operator:
+ *
+ *  - declares its neighborhood with acquire() (abstract-location locking,
+ *    Section 2.1);
+ *  - announces its failsafe point with cautiousPoint() (the boundary
+ *    between the read prefix and the write suffix of a cautious task);
+ *  - creates new tasks with push() (the S(t) of Figure 1a);
+ *  - optionally saves inspect-phase state for the continuation
+ *    optimization with saveState()/savedState() (Section 3.3).
+ *
+ * The same operator code runs unchanged under the serial executor, the
+ * non-deterministic speculative executor and the deterministic DIG
+ * executor; the context's mode determines what each call does. This is
+ * the mechanism behind the paper's *on-demand determinism*: the scheduler
+ * is chosen by a runtime parameter, not by rewriting the program.
+ */
+
+#ifndef DETGALOIS_RUNTIME_CONTEXT_H
+#define DETGALOIS_RUNTIME_CONTEXT_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "model/cache_model.h"
+#include "runtime/conflict.h"
+#include "runtime/lockable.h"
+#include "runtime/stats.h"
+
+namespace galois::runtime {
+
+/**
+ * Non-template part of a deterministic task record.
+ *
+ * Lives here (rather than in the executor) because UserContext must be
+ * able to flip the notSelected flag of a *displaced* task when the
+ * continuation optimization's flag protocol is active: when task t
+ * overwrites the mark of a smaller-id task u during inspect, t becomes
+ * responsible for preventing u from committing (Section 3.3).
+ */
+struct DetRecordBase : MarkOwner
+{
+    /** Set when some other task stole one of our neighborhood marks. */
+    std::atomic<bool> notSelected{false};
+};
+
+/**
+ * Operator-facing context. One instance per executing thread; the
+ * executor re-points it at the current task before each execution.
+ */
+template <typename T>
+class UserContext
+{
+  public:
+    /** What the current execution of the operator is for. */
+    enum class Mode
+    {
+        Serial,     //!< reference sequential execution
+        NonDet,     //!< speculative execution with CAS-acquired marks
+        DetInspect, //!< DIG inspect phase: writeMarksMax, stop at failsafe
+        DetCheck,   //!< DIG select phase, baseline: re-execute, verify marks
+        DetCommit   //!< DIG select phase, continuation opt: resume and run
+    };
+
+    UserContext() = default;
+
+    UserContext(const UserContext&) = delete;
+    UserContext& operator=(const UserContext&) = delete;
+
+    // ------------------------------------------------------------------
+    // Operator API
+    // ------------------------------------------------------------------
+
+    /**
+     * Add abstract location l to this task's neighborhood.
+     *
+     * Must be called before the task's first write to l's underlying data
+     * (cautious-task discipline). May throw ConflictSignal; operators must
+     * let it propagate.
+     */
+    void
+    acquire(Lockable& l)
+    {
+        if (cache_) {
+            ++stats_->cacheAccesses;
+            if (cache_->access(&l))
+                ++stats_->cacheMisses;
+        }
+        switch (mode_) {
+          case Mode::Serial:
+            return;
+          case Mode::NonDet:
+            acquireNonDet(l);
+            return;
+          case Mode::DetInspect:
+            acquireInspect(l);
+            return;
+          case Mode::DetCheck:
+            if (l.owner() != owner_)
+                throw ConflictSignal{};
+            return;
+          case Mode::DetCommit:
+            // Selection was already decided by the notSelected flag; the
+            // marks are guaranteed to still carry our id (see DESIGN.md).
+            assert(l.owner() == owner_);
+            return;
+        }
+    }
+
+    /**
+     * Failsafe-point annotation: all acquires are done, writes may begin.
+     *
+     * Under DIG inspect this unwinds the operator (the paper's system
+     * returns from the task at its first global write; we use an explicit
+     * annotation instead of a compiler transform).
+     */
+    void
+    cautiousPoint()
+    {
+        if (mode_ == Mode::DetInspect)
+            throw FailsafeSignal{};
+    }
+
+    /** Create a new task (must be called after the failsafe point). */
+    void
+    push(const T& item)
+    {
+        if (mode_ == Mode::DetInspect)
+            return; // inspect executions are discarded at the failsafe
+        ++stats_->pushed;
+        pushes_.push_back(item);
+    }
+
+    /**
+     * Create a new task with a pre-assigned deterministic id
+     * (Section 3.3, third optimization). Ids must be unique within a
+     * generation; only meaningful under deterministic scheduling, where it
+     * replaces the (parent, k) sort. Other executors ignore the id.
+     */
+    void
+    push(const T& item, std::uint64_t preassigned_id)
+    {
+        if (mode_ == Mode::DetInspect)
+            return;
+        ++stats_->pushed;
+        pushes_.push_back(item);
+        pushIds_.push_back(preassigned_id);
+    }
+
+    /**
+     * Allocate per-task state (continuation optimization, Section 3.3).
+     *
+     * Under DIG inspect the object is stored in the task record and
+     * survives to the commit phase of the same round, where savedState()
+     * recalls it — this is the paper's library mechanism for suspending a
+     * task at its failsafe point and resuming it at commit without
+     * re-executing the prefix. Under every other mode the object lives in
+     * per-thread scratch that is reclaimed when the task ends, so operator
+     * code is identical across schedulers.
+     */
+    template <typename S, typename... Args>
+    S&
+    saveState(Args&&... args)
+    {
+        S* s = new S(std::forward<Args>(args)...);
+        if (mode_ == Mode::DetInspect && localSlot_ && !*localSlot_) {
+            *localSlot_ = s;
+            *localDeleter_ = [](void* p) { delete static_cast<S*>(p); };
+        } else {
+            clearScratch();
+            scratch_ = s;
+            scratchDel_ = [](void* p) { delete static_cast<S*>(p); };
+        }
+        return *s;
+    }
+
+    /**
+     * Retrieve state saved during this round's inspect phase. Non-null
+     * only in the DIG commit phase with the continuation optimization;
+     * in every other situation the operator must recompute its prefix.
+     */
+    template <typename S>
+    S*
+    savedState()
+    {
+        if (mode_ != Mode::DetCommit || !localSlot_)
+            return nullptr;
+        return static_cast<S*>(*localSlot_);
+    }
+
+    /** Current execution mode (exposed for tests and advanced operators). */
+    Mode mode() const { return mode_; }
+
+    /** Record an application-level atomic update (Fig. 5 accounting). */
+    void countAtomic(std::uint64_t n = 1) { stats_->atomicOps += n; }
+
+    // ------------------------------------------------------------------
+    // Executor API (not for operators)
+    // ------------------------------------------------------------------
+
+    /** Reset per-task state before running an operator. */
+    void
+    beginTask(Mode mode, MarkOwner* owner, std::vector<Lockable*>* nbhd,
+              void** local_slot = nullptr,
+              void (**local_deleter)(void*) = nullptr)
+    {
+        mode_ = mode;
+        owner_ = owner;
+        nbhd_ = nbhd;
+        localSlot_ = local_slot;
+        localDeleter_ = local_deleter;
+        pushes_.clear();
+        pushIds_.clear();
+        clearScratch();
+    }
+
+    ~UserContext() { clearScratch(); }
+
+    void bindStats(ThreadStats* stats) { stats_ = stats; }
+    void bindCache(model::CacheModel* cache) { cache_ = cache; }
+
+    ThreadStats& stats() { return *stats_; }
+
+    /** Tasks pushed by the last operator execution. */
+    std::vector<T>& pendingPushes() { return pushes_; }
+    /** Pre-assigned ids parallel to pendingPushes (empty if none given). */
+    std::vector<std::uint64_t>& pendingPushIds() { return pushIds_; }
+
+  private:
+    void
+    acquireNonDet(Lockable& l)
+    {
+        // Fast path: we already own it (repeated acquire of the same
+        // location is common, e.g. a node reached via two edges).
+        if (l.owner(std::memory_order_relaxed) == owner_)
+            return;
+        ++stats_->atomicOps;
+        if (!l.tryAcquire(owner_))
+            throw ConflictSignal{};
+        nbhd_->push_back(&l);
+    }
+
+    void
+    acquireInspect(Lockable& l)
+    {
+        if (l.owner(std::memory_order_relaxed) == owner_)
+            return;
+        ++stats_->atomicOps;
+        MarkOwner* displaced = nullptr;
+        if (l.markMax(owner_, displaced)) {
+            nbhd_->push_back(&l);
+            if (displaced != nullptr) {
+                // We stole the mark from a smaller-id task: flag it so it
+                // skips its commit (continuation-optimization protocol;
+                // harmless under baseline scheduling, where the mark check
+                // catches it anyway).
+                static_cast<DetRecordBase*>(displaced)
+                    ->notSelected.store(true, std::memory_order_release);
+            }
+        } else {
+            // A larger id holds the location: we cannot commit this
+            // round. Unlike writeMarks (Fig. 1b), writeMarksMax must keep
+            // marking the remaining locations, so do NOT unwind here.
+            static_cast<DetRecordBase*>(owner_)->notSelected.store(
+                true, std::memory_order_release);
+        }
+    }
+
+    void
+    clearScratch()
+    {
+        if (scratch_) {
+            scratchDel_(scratch_);
+            scratch_ = nullptr;
+        }
+    }
+
+    Mode mode_ = Mode::Serial;
+    MarkOwner* owner_ = nullptr;
+    void* scratch_ = nullptr;
+    void (*scratchDel_)(void*) = nullptr;
+    std::vector<Lockable*>* nbhd_ = nullptr;
+    void** localSlot_ = nullptr;
+    void (**localDeleter_)(void*) = nullptr;
+    ThreadStats* stats_ = nullptr;
+    model::CacheModel* cache_ = nullptr;
+    std::vector<T> pushes_;
+    std::vector<std::uint64_t> pushIds_;
+};
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_CONTEXT_H

@@ -1,0 +1,583 @@
+/**
+ * @file
+ * Deterministic interference-graph (DIG) scheduler — the paper's core
+ * contribution (Section 3, Figures 2 and 3).
+ *
+ * Tasks are executed in *generations* (the `todo` sets of Figure 2): the
+ * initial tasks form generation 0, tasks they create form generation 1,
+ * and so on. Within a generation, tasks are ordered by deterministic ids
+ * and executed over *rounds*; each round
+ *
+ *   1. takes a window-sized prefix `cur` of the remaining tasks
+ *      (getWindowOfTasks),
+ *   2. runs every task in `cur` up to its failsafe point, marking its
+ *      neighborhood with writeMarksMax (inspect) — this implicitly builds
+ *      the round's interference graph,
+ *   3. commits exactly the tasks that still hold all their marks — the
+ *      unique maximal-by-id independent set — and defers the rest
+ *      (selectAndExec).
+ *
+ * Execution is SPMD, exactly as in Figure 2: the worker threads stay
+ * resident for the whole loop and rendezvous on barriers between phases
+ * (the serial bookkeeping between phases — window calculation, round
+ * assembly, deterministic merge — is done by thread 0). Rounds are the
+ * critical path of deterministic execution (Section 3.4), so they must
+ * not pay a thread wake-up: one round costs four barriers.
+ *
+ * Determinism argument (tested exhaustively in tests/runtime):
+ *   - ids are assigned by a deterministic sort of (parent id, birth rank),
+ *   - the window is a deterministic function of per-round commit counts,
+ *   - writeMarksMax computes a max over a totally ordered set, which is
+ *     independent of arrival order,
+ *   - therefore the selected set, the failure set, and the set of created
+ *     tasks of every round are independent of thread count and timing.
+ *
+ * The three optimizations of Section 3.3 are all implemented and can be
+ * toggled independently (DetOptions): the continuation (suspend/resume
+ * with the flag-stealing protocol), locality-aware spreading of the
+ * iteration order across rounds, and user pre-assigned ids.
+ */
+
+#ifndef DETGALOIS_RUNTIME_EXECUTOR_DET_H
+#define DETGALOIS_RUNTIME_EXECUTOR_DET_H
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "model/cache_model.h"
+#include "runtime/conflict.h"
+#include "runtime/context.h"
+#include "runtime/stats.h"
+#include "runtime/worklist.h" // SpinLock
+#include "support/barrier.h"
+#include "support/parallel_sort.h"
+#include "support/per_thread.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace galois::runtime {
+
+/** Tuning of the deterministic scheduler. The output of a run is a
+ *  deterministic function of these values and the input alone — never of
+ *  the thread count or timing (the portability property). The defaults
+ *  are the parameterless adaptive policy of Section 3.2. */
+struct DetOptions
+{
+    /** Continuation optimization (suspend at failsafe, resume at commit). */
+    bool continuation = true;
+    /** Spread adjacent tasks across rounds (locality optimization). */
+    bool localitySpread = true;
+    /** Commit-ratio target of the adaptive window policy. */
+    double commitTarget = 0.95;
+    /** Window never shrinks below this many tasks. */
+    std::uint64_t minWindow = 16;
+    /**
+     * First window of a generation (defaults to 4*minWindow when 0).
+     * Deliberately small: the adaptive policy doubles its way up in a
+     * handful of rounds when tasks are independent, while a large
+     * initial window is disastrous for dependence-heavy starts (e.g.
+     * Delaunay insertion, where early tasks all conflict on the root
+     * bucket and every inspected task pays a neighborhood proportional
+     * to the whole input).
+     */
+    std::uint64_t initialWindow = 0;
+    /** Number of interleave buckets for the locality spread. */
+    std::uint64_t spreadBuckets = 61;
+    /**
+     * Non-zero: disable the adaptive policy and use this fixed window
+     * size. Exists for the ablation study only — it reintroduces exactly
+     * the hand-tuned round-size parameter the paper's adaptive policy
+     * eliminates (output remains thread-count invariant, but now depends
+     * on a knob whose best value is machine- and input-specific).
+     */
+    std::uint64_t fixedWindow = 0;
+    /**
+     * Called after every round with (window, attempted, committed).
+     * Because the entire schedule is deterministic, the sequence of hook
+     * invocations is itself identical across thread counts — the
+     * portability tests assert this round-by-round.
+     */
+    std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>
+        roundHook;
+};
+
+namespace detail {
+
+/** Full task record of the deterministic scheduler. */
+template <typename T>
+struct DetRecord : DetRecordBase
+{
+    T item{};
+    std::uint64_t parentId = 0; //!< id of creating task (0 for initial)
+    std::uint64_t birthRank = 0; //!< k-th child of its parent / preassigned
+    std::vector<Lockable*> nbhd; //!< locations marked during inspect
+    void* local = nullptr; //!< continuation state saved at the failsafe
+    void (*localDel)(void*) = nullptr;
+
+    void
+    destroyLocal()
+    {
+        if (local) {
+            localDel(local);
+            local = nullptr;
+        }
+    }
+
+    ~DetRecord() { destroyLocal(); }
+};
+
+/** [begin, end) slice of n items for thread tid of nthreads. */
+inline std::pair<std::size_t, std::size_t>
+blockRange(std::size_t n, unsigned tid, unsigned nthreads)
+{
+    const std::size_t per = n / nthreads;
+    const std::size_t extra = n % nthreads;
+    const std::size_t begin = tid * per + std::min<std::size_t>(tid, extra);
+    return {begin, begin + per + (tid < extra ? 1 : 0)};
+}
+
+} // namespace detail
+
+/**
+ * DIG executor for tasks of type T run by operator F.
+ *
+ * Usage: construct, then run(initial). One-shot object.
+ */
+template <typename T, typename F>
+class DetExecutor
+{
+  public:
+    DetExecutor(F& op, unsigned threads, const DetOptions& opt,
+                bool use_cache)
+        : op_(op),
+          threads_(std::max(1u, std::min(
+              threads, support::ThreadPool::get().maxThreads()))),
+          opt_(opt),
+          useCache_(use_cache),
+          barrier_(threads_),
+          outs_(threads_),
+          caches_(use_cache ? support::ThreadPool::get().maxThreads() : 0)
+    {}
+
+    /** Execute all tasks; returns aggregate statistics. */
+    RunReport
+    run(const std::vector<T>& initial)
+    {
+        support::Timer timer;
+        timer.start();
+
+        // Seed generation 0: birth rank is the iteration-order position,
+        // matching "ids based on the iteration order of the C++ iterator".
+        children_.reserve(initial.size());
+        for (std::size_t i = 0; i < initial.size(); ++i)
+            children_.push_back(Child{initial[i], 0, i});
+
+        // One SPMD region per generation: the id-assignment sort runs
+        // between regions (where the parallel sort may use the pool
+        // itself), the rounds run inside with barriers only.
+        while (!children_.empty() &&
+               !failed_.load(std::memory_order_acquire)) {
+            ++report_.generations;
+            try {
+                buildGeneration();
+            } catch (...) {
+                recordError();
+                break;
+            }
+            if (opt_.fixedWindow != 0)
+                window_ = opt_.fixedWindow;
+            else if (window_ == 0)
+                window_ = opt_.initialWindow != 0 ? opt_.initialWindow
+                                                  : 4 * opt_.minWindow;
+            carry_.clear();
+            carryPos_ = 0;
+            queuePos_ = 0;
+            support::ThreadPool::get().run(
+                threads_, [&](unsigned tid) { spmd(tid); });
+        }
+
+        if (failed_.load(std::memory_order_acquire)) {
+            // An operator threw: release every mark our records still
+            // hold so the user's data structures stay usable, then
+            // deliver the first exception.
+            for (detail::DetRecord<T>& r : storage_)
+                for (Lockable* l : r.nbhd)
+                    l->releaseIfOwner(&r);
+            std::rethrow_exception(firstError_);
+        }
+
+        timer.stop();
+        for (std::size_t t = 0; t < stats_.size(); ++t)
+            report_.accumulate(stats_.remote(t));
+        report_.threads = threads_;
+        report_.seconds = timer.seconds();
+        return report_;
+    }
+
+  private:
+    /** A dynamically created task, before it has an id. */
+    struct Child
+    {
+        T item;
+        std::uint64_t parentId;
+        std::uint64_t birthRank; //!< k (creation index) or preassigned id
+    };
+
+    /** Per-thread output of a selectAndExec phase. */
+    struct PhaseOut
+    {
+        std::vector<detail::DetRecord<T>*> failed;
+        std::vector<Child> children;
+        std::uint64_t committed = 0;
+    };
+
+    // ------------------------------------------------------------------
+    // SPMD driver (Figure 2)
+    // ------------------------------------------------------------------
+
+    void
+    spmd(unsigned tid)
+    {
+        UserContext<T> ctx;
+        ctx.bindStats(&stats_.local());
+        if (useCache_)
+            ctx.bindCache(&caches_[tid]);
+
+        for (;;) {
+            if (tid == 0)
+                assembleRound(); // calculateWindow + getWindowOfTasks
+            barrier_.wait();
+            if (!roundActive_)
+                return;
+            inspectSlice(tid, ctx);
+            barrier_.wait();
+            selectSlice(tid, ctx);
+            barrier_.wait();
+            if (tid == 0)
+                mergeRound();
+            barrier_.wait();
+        }
+    }
+
+    /** Record the first operator exception; later ones are dropped. */
+    void
+    recordError() noexcept
+    {
+        errLock_.lock();
+        if (!failed_.load(std::memory_order_relaxed)) {
+            firstError_ = std::current_exception();
+            failed_.store(true, std::memory_order_release);
+        }
+        errLock_.unlock();
+    }
+
+    // ------------------------------------------------------------------
+    // Thread-0 bookkeeping between barriers
+    // ------------------------------------------------------------------
+
+    /**
+     * Order this generation's children deterministically (the sort of
+     * Figure 2 line 5; parallel — the paper flags this sort's cost),
+     * build records, apply the locality spread, and assign ids by final
+     * position.
+     */
+    void
+    buildGeneration()
+    {
+        support::parallelSort(
+            children_,
+            [](const Child& a, const Child& b) {
+                if (a.parentId != b.parentId)
+                    return a.parentId < b.parentId;
+                return a.birthRank < b.birthRank;
+            },
+            threads_);
+
+        const std::size_t n = children_.size();
+        storage_.clear();
+        queue_.clear();
+        queue_.reserve(n);
+
+        // Locality spread (Section 3.3): deal sorted positions round-robin
+        // into spreadBuckets buckets so that tasks adjacent in iteration
+        // order land about n/buckets apart in id order — i.e. in different
+        // windows whenever the window is smaller than that.
+        const std::uint64_t buckets =
+            opt_.localitySpread ? std::max<std::uint64_t>(1, opt_.spreadBuckets)
+                                : 1;
+        std::uint64_t next_id = 1;
+        for (std::uint64_t b = 0; b < buckets; ++b) {
+            for (std::size_t i = b; i < n; i += buckets) {
+                storage_.emplace_back();
+                detail::DetRecord<T>& r = storage_.back();
+                r.item = std::move(children_[i].item);
+                r.parentId = children_[i].parentId;
+                r.birthRank = children_[i].birthRank;
+                r.id = next_id++;
+                queue_.push_back(&r);
+            }
+        }
+        children_.clear();
+    }
+
+    /** getWindowOfTasks: take the id-smallest window prefix into cur_. */
+    void
+    assembleRound()
+    {
+        const std::uint64_t remaining =
+            (carry_.size() - carryPos_) + (queue_.size() - queuePos_);
+        roundActive_ =
+            remaining > 0 && !failed_.load(std::memory_order_acquire);
+        if (!roundActive_)
+            return;
+
+        const std::uint64_t eff_window =
+            std::min<std::uint64_t>(window_, remaining);
+        cur_.clear();
+        // Deferred tasks (carry) have smaller ids than untried ones, so
+        // they come first.
+        while (cur_.size() < eff_window && carryPos_ < carry_.size())
+            cur_.push_back(carry_[carryPos_++]);
+        while (cur_.size() < eff_window && queuePos_ < queue_.size())
+            cur_.push_back(queue_[queuePos_++]);
+
+        for (PhaseOut& o : outs_) {
+            o.failed.clear();
+            o.children.clear();
+            o.committed = 0;
+        }
+    }
+
+    /** Deterministic merge + adaptive window update (thread 0). */
+    void
+    mergeRound()
+    {
+        if (failed_.load(std::memory_order_acquire))
+            return; // partial round: discard; assembleRound ends the loop
+        // Thread t owned a contiguous, id-ordered slice of cur, so
+        // concatenating per-thread failure lists in thread order
+        // preserves id order.
+        std::vector<detail::DetRecord<T>*> new_carry;
+        std::uint64_t committed = 0;
+        for (PhaseOut& o : outs_) {
+            new_carry.insert(new_carry.end(), o.failed.begin(),
+                             o.failed.end());
+            for (Child& c : o.children)
+                children_.push_back(std::move(c));
+            committed += o.committed;
+        }
+        new_carry.insert(new_carry.end(), carry_.begin() + carryPos_,
+                         carry_.end());
+        carry_ = std::move(new_carry);
+        carryPos_ = 0;
+
+        ++report_.rounds;
+        if (opt_.roundHook)
+            opt_.roundHook(window_, cur_.size(), committed);
+        updateWindow(cur_.size(), committed);
+    }
+
+    /** Adaptive window policy (calculateWindow of Figure 2). */
+    void
+    updateWindow(std::uint64_t attempted, std::uint64_t committed)
+    {
+        if (opt_.fixedWindow != 0) {
+            window_ = opt_.fixedWindow;
+            return;
+        }
+        const double ratio = attempted == 0
+                                 ? 1.0
+                                 : static_cast<double>(committed) /
+                                       static_cast<double>(attempted);
+        if (ratio >= opt_.commitTarget) {
+            // Cap to keep repeated doubling from overflowing on long runs
+            // with consistently high commit ratios.
+            if (window_ < (std::uint64_t(1) << 40))
+                window_ *= 2;
+        } else {
+            window_ = std::max<std::uint64_t>(
+                opt_.minWindow,
+                static_cast<std::uint64_t>(static_cast<double>(window_) *
+                                           ratio / opt_.commitTarget));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Parallel phases
+    // ------------------------------------------------------------------
+
+    /** Inspect phase: run every task in the slice to its failsafe point. */
+    void
+    inspectSlice(unsigned tid, UserContext<T>& ctx)
+    {
+        auto [begin, end] = detail::blockRange(cur_.size(), tid, threads_);
+        for (std::size_t i = begin; i < end; ++i) {
+            detail::DetRecord<T>* r = cur_[i];
+            ctx.beginTask(UserContext<T>::Mode::DetInspect, r, &r->nbhd,
+                          &r->local, &r->localDel);
+            try {
+                op_(r->item, ctx);
+                // Operator returned without reaching a write: its whole
+                // body is prefix; nothing more to do.
+            } catch (const FailsafeSignal&) {
+                // Normal: the task stopped at its failsafe point.
+            } catch (...) {
+                recordError();
+                return; // abandon the slice; peers exit after the merge
+            }
+        }
+    }
+
+    /**
+     * Select-and-execute phase: commit the unique independent set, defer
+     * the rest, clear marks, collect created tasks.
+     */
+    void
+    selectSlice(unsigned tid, UserContext<T>& ctx)
+    {
+        // If any inspect slice failed, some records were never
+        // inspected; committing them would run write phases without
+        // their neighborhoods. The error is visible here because
+        // recordError() happened before the post-inspect barrier.
+        if (failed_.load(std::memory_order_acquire))
+            return;
+        auto [begin, end] = detail::blockRange(cur_.size(), tid, threads_);
+        PhaseOut& out = outs_[tid];
+        for (std::size_t i = begin; i < end; ++i) {
+            detail::DetRecord<T>* r = cur_[i];
+            bool ok;
+            if (opt_.continuation) {
+                // Flag protocol: any task that stole one of our marks
+                // already flagged us, so one load decides selection and
+                // a selected task resumes from its saved state.
+                ok = !r->notSelected.load(std::memory_order_acquire);
+                if (ok) {
+                    ctx.beginTask(UserContext<T>::Mode::DetCommit, r,
+                                  &r->nbhd, &r->local, &r->localDel);
+                    try {
+                        op_(r->item, ctx);
+                    } catch (...) {
+                        recordError();
+                        return;
+                    }
+                }
+            } else {
+                // Baseline: re-execute from the beginning; acquires
+                // verify that every mark still carries our id.
+                ctx.beginTask(UserContext<T>::Mode::DetCheck, r, &r->nbhd,
+                              &r->local, &r->localDel);
+                try {
+                    op_(r->item, ctx);
+                    ok = true;
+                } catch (const ConflictSignal&) {
+                    ok = false;
+                } catch (...) {
+                    recordError();
+                    return;
+                }
+            }
+
+            if (ok) {
+                harvestChildren(ctx, r, out);
+                ++out.committed;
+                ++ctx.stats().committed;
+            } else {
+                out.failed.push_back(r);
+                ++ctx.stats().aborted;
+            }
+
+            // Clear our marks. Conditional release keeps this safe and
+            // deterministic: a mark we lost belongs to its winner and
+            // must survive until the winner's own check.
+            for (Lockable* l : r->nbhd)
+                l->releaseIfOwner(r);
+
+            if (ok) {
+                r->destroyLocal();
+            } else {
+                // Reset for the retry in a later round.
+                r->nbhd.clear();
+                r->notSelected.store(false, std::memory_order_relaxed);
+                r->destroyLocal();
+            }
+        }
+    }
+
+    /** Move tasks pushed by a committed task into the next generation. */
+    void
+    harvestChildren(UserContext<T>& ctx, detail::DetRecord<T>* r,
+                    PhaseOut& out)
+    {
+        std::vector<T>& pushes = ctx.pendingPushes();
+        std::vector<std::uint64_t>& ids = ctx.pendingPushIds();
+        if (!ids.empty()) {
+            // Pre-assigned ids (Section 3.3, third optimization): the
+            // generation sort orders by (id, 0) i.e. the user's ids.
+            assert(ids.size() == pushes.size() &&
+                   "mixed push()/push(id) within one task");
+            for (std::size_t j = 0; j < pushes.size(); ++j)
+                out.children.push_back(Child{pushes[j], ids[j], 0});
+        } else {
+            for (std::size_t j = 0; j < pushes.size(); ++j)
+                out.children.push_back(Child{pushes[j], r->id, j});
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // State
+    // ------------------------------------------------------------------
+
+    F& op_;
+    unsigned threads_;
+    DetOptions opt_;
+    bool useCache_;
+
+    std::deque<detail::DetRecord<T>> storage_;
+    std::vector<detail::DetRecord<T>*> queue_; //!< generation tasks, id order
+    std::vector<Child> children_; //!< next generation (unordered)
+    std::uint64_t window_ = 0;
+
+    // Round state shared between threads; written by thread 0 between
+    // barriers, read by everyone after.
+    support::Barrier barrier_;
+    std::vector<detail::DetRecord<T>*> cur_;
+    std::vector<detail::DetRecord<T>*> carry_; //!< failed, id-sorted
+    std::size_t carryPos_ = 0;
+    std::size_t queuePos_ = 0;
+    std::vector<PhaseOut> outs_;
+    bool roundActive_ = false;
+
+    std::atomic<bool> failed_{false};
+    std::exception_ptr firstError_;
+    SpinLock errLock_;
+
+    support::PerThread<ThreadStats> stats_;
+    std::vector<model::CacheModel> caches_;
+    RunReport report_;
+};
+
+/**
+ * Run all tasks under deterministic DIG scheduling.
+ *
+ * The output state is a function of (initial, op, opt) only — never of
+ * the thread count: this single entry point provides the paper's
+ * portability and parameter-freedom.
+ */
+template <typename T, typename F>
+RunReport
+executeDet(const std::vector<T>& initial, F&& op, unsigned threads,
+           const DetOptions& opt = DetOptions(), bool use_cache = false)
+{
+    DetExecutor<T, std::remove_reference_t<F>> exec(op, threads, opt,
+                                                    use_cache);
+    return exec.run(initial);
+}
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_EXECUTOR_DET_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Non-deterministic speculative executor (Fig. 1b of the paper).
+ *
+ * Threads pull tasks from a chunked work-stealing worklist and execute
+ * them optimistically. Because tasks are cautious, conflict handling is
+ * the dining-philosophers protocol of Section 2.1: a task acquires the
+ * marks of its neighborhood with compare-and-set as it reads; losing any
+ * mark aborts the task (releasing everything it held) and re-enqueues it.
+ * Once a task crosses its failsafe point it owns its whole neighborhood
+ * and updates global data in place — no undo log is ever needed.
+ *
+ * This is the `g-n` variant of the evaluation.
+ */
+
+#ifndef DETGALOIS_RUNTIME_EXECUTOR_NONDET_H
+#define DETGALOIS_RUNTIME_EXECUTOR_NONDET_H
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "model/cache_model.h"
+#include "runtime/conflict.h"
+#include "runtime/context.h"
+#include "runtime/stats.h"
+#include "runtime/worklist.h"
+#include "support/per_thread.h"
+#include "support/termination.h"
+#include "support/thread_pool.h"
+#include "support/prng.h"
+#include "support/timer.h"
+
+namespace galois::runtime {
+
+/**
+ * Run all tasks speculatively on the given number of threads.
+ *
+ * @tparam Fifo     worklist policy: chunked FIFO (breadth-ish; right for
+ *                  relaxation fixpoints) or chunked LIFO (depth-ish;
+ *                  best temporal locality for cavity workloads).
+ * @param initial   seed tasks (distributed in blocks across threads).
+ * @param op        operator void(T&, UserContext<T>&); must be cautious.
+ * @param threads   number of worker threads.
+ * @param use_cache feed the software cache model (locality experiments).
+ */
+template <bool Fifo, typename T, typename F>
+RunReport
+executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
+              bool use_cache = false)
+{
+    struct NdOwner : MarkOwner
+    {};
+
+    support::Timer timer;
+    timer.start();
+
+    ChunkedWorklist<T, Fifo> worklist;
+    support::TerminationDetector term;
+    term.reset(initial.size());
+    // Set when an operator throws a non-conflict exception: the failing
+    // task will never retire, so peers must not wait for quiescence.
+    std::atomic<bool> failed{false};
+
+    support::PerThread<ThreadStats> stats;
+    support::PerThread<NdOwner> owners;
+    std::vector<model::CacheModel> caches(
+        use_cache ? support::ThreadPool::get().maxThreads() : 0);
+
+    std::atomic<std::size_t> seed_cursor{0};
+    const std::size_t seed_block = 256;
+
+    support::ThreadPool::get().run(threads, [&](unsigned tid) {
+        // Seed phase: threads carve disjoint blocks off the initial range
+        // so that initial locality (adjacent tasks) stays within a thread.
+        for (;;) {
+            const std::size_t begin =
+                seed_cursor.fetch_add(seed_block, std::memory_order_relaxed);
+            if (begin >= initial.size())
+                break;
+            const std::size_t end =
+                std::min(begin + seed_block, initial.size());
+            for (std::size_t i = begin; i < end; ++i)
+                worklist.push(initial[i]);
+        }
+
+        ThreadStats& my_stats = stats.local();
+        UserContext<T> ctx;
+        ctx.bindStats(&my_stats);
+        if (use_cache)
+            ctx.bindCache(&caches[tid]);
+
+        NdOwner* owner = &owners.local();
+        std::vector<Lockable*> acquired;
+        acquired.reserve(64);
+
+        // Randomized exponential backoff for conflicts. Without it,
+        // workers with large overlapping neighborhoods (e.g. early
+        // Delaunay insertions that all touch the root bucket) evict each
+        // other's marks indefinitely on oversubscribed hosts. The
+        // randomness only affects scheduling — this executor is
+        // non-deterministic by design.
+        support::Prng backoff_rng(0xabcd1234u + tid);
+        unsigned consecutive_aborts = 0;
+
+        for (;;) {
+            if (failed.load(std::memory_order_acquire))
+                break;
+            std::optional<T> task = worklist.pop();
+            if (!task) {
+                if (term.quiescent())
+                    break;
+                std::this_thread::yield();
+                continue;
+            }
+            acquired.clear();
+            ctx.beginTask(UserContext<T>::Mode::NonDet, owner, &acquired);
+            try {
+                op(*task, ctx);
+                // Commit: publish new tasks, then release the
+                // neighborhood, then retire this task (the retire must be
+                // last so the pending count can never hit zero while
+                // children are unannounced).
+                for (const T& child : ctx.pendingPushes()) {
+                    term.add();
+                    worklist.push(child);
+                }
+                for (Lockable* l : acquired)
+                    l->releaseIfOwner(owner);
+                ++my_stats.committed;
+                consecutive_aborts = 0;
+                term.retire();
+            } catch (const ConflictSignal&) {
+                // Abort: nothing was written (cautious task), so rollback
+                // is just releasing the marks and re-enqueueing.
+                for (Lockable* l : acquired)
+                    l->releaseIfOwner(owner);
+                ++my_stats.aborted;
+                worklist.push(*task);
+                // Break symmetry with the conflicting task.
+                ++consecutive_aborts;
+                const std::uint64_t spins = backoff_rng.nextBounded(
+                    std::uint64_t(1)
+                    << std::min(consecutive_aborts, 12u));
+                for (std::uint64_t i = 0; i <= spins; ++i)
+                    std::this_thread::yield();
+            } catch (...) {
+                // Operator failure: release marks, wake the team, and
+                // let the thread pool deliver the exception.
+                for (Lockable* l : acquired)
+                    l->releaseIfOwner(owner);
+                failed.store(true, std::memory_order_release);
+                throw;
+            }
+        }
+    });
+
+    timer.stop();
+    RunReport report;
+    for (std::size_t t = 0; t < stats.size(); ++t)
+        report.accumulate(stats.remote(t));
+    report.threads = threads;
+    report.seconds = timer.seconds();
+    return report;
+}
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_EXECUTOR_NONDET_H

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Serial reference executor.
+ *
+ * Executes tasks one at a time in FIFO order. Used as (i) the semantics
+ * oracle for the parallel executors in tests, and (ii) the single-thread
+ * baseline for speedup figures when no better hand-optimized sequential
+ * implementation exists.
+ */
+
+#ifndef DETGALOIS_RUNTIME_EXECUTOR_SERIAL_H
+#define DETGALOIS_RUNTIME_EXECUTOR_SERIAL_H
+
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "model/cache_model.h"
+#include "runtime/context.h"
+#include "runtime/stats.h"
+#include "support/timer.h"
+
+namespace galois::runtime {
+
+/**
+ * Run all tasks serially.
+ *
+ * @param initial   seed tasks, executed in order; pushed tasks follow FIFO.
+ * @param op        operator void(T&, UserContext<T>&).
+ * @param use_cache feed the software cache model (locality experiments).
+ */
+template <typename T, typename F>
+RunReport
+executeSerial(const std::vector<T>& initial, F&& op, bool use_cache = false)
+{
+    support::Timer timer;
+    timer.start();
+
+    ThreadStats stats;
+    model::CacheModel cache;
+    UserContext<T> ctx;
+    ctx.bindStats(&stats);
+    if (use_cache)
+        ctx.bindCache(&cache);
+
+    std::deque<T> work(initial.begin(), initial.end());
+    std::vector<Lockable*> nbhd; // unused in serial mode, required by API
+    while (!work.empty()) {
+        T item = work.front();
+        work.pop_front();
+        ctx.beginTask(UserContext<T>::Mode::Serial, nullptr, &nbhd);
+        op(item, ctx);
+        for (const T& t : ctx.pendingPushes())
+            work.push_back(t);
+        ++stats.committed;
+    }
+
+    timer.stop();
+    RunReport report;
+    report.accumulate(stats);
+    report.threads = 1;
+    report.seconds = timer.seconds();
+    return report;
+}
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_EXECUTOR_SERIAL_H

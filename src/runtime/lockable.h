@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Abstract-location marks (Section 2 of the paper).
+ *
+ * The Galois model synchronizes on *abstract* locations — graph nodes,
+ * triangles, mesh elements — rather than concrete memory words. Each
+ * abstract location embeds a Lockable, whose single mark word plays the
+ * role of Mark(l) in Figures 1b and 3 of the paper:
+ *
+ *  - Non-deterministic scheduling (Fig. 1b): the mark holds the owner of
+ *    the location for the duration of one task execution, acquired with a
+ *    compare-and-set of 0 -> id and released back to 0 on commit or abort.
+ *
+ *  - Deterministic DIG scheduling (Fig. 3): during the inspect phase the
+ *    mark accumulates the *maximum* task id that touched the location
+ *    (writeMarksMax); the select phase commits exactly the tasks whose
+ *    marks all still carry their own id. Because max over a totally
+ *    ordered id set is order-insensitive, the final marks — and hence the
+ *    selected independent set — are deterministic.
+ *
+ * We store a pointer to an owner descriptor instead of a raw integer id so
+ * that the deterministic executor can navigate from a mark to the losing
+ * task's record (needed by the continuation optimization's flag protocol,
+ * Section 3.3).
+ */
+
+#ifndef DETGALOIS_RUNTIME_LOCKABLE_H
+#define DETGALOIS_RUNTIME_LOCKABLE_H
+
+#include <atomic>
+#include <cstdint>
+
+namespace galois::runtime {
+
+/**
+ * Base class for owner descriptors stored in mark words.
+ *
+ * The deterministic executor's task records and the non-deterministic
+ * executor's per-execution contexts both derive from this.
+ */
+struct MarkOwner
+{
+    /**
+     * Totally ordered id (0 is reserved for "unowned" and is never given
+     * to a task). Only meaningful for deterministic scheduling.
+     */
+    std::uint64_t id = 0;
+};
+
+/**
+ * Per-abstract-location synchronization word.
+ *
+ * Embed one Lockable in every abstract location (graph node, triangle,
+ * ...) that tasks may conflict on.
+ */
+class Lockable
+{
+  public:
+    Lockable() = default;
+
+    // Abstract locations live inside containers that may copy/move them
+    // around *outside* of parallel regions; the mark itself is execution
+    // state and is never meaningful across such operations, so copies
+    // start unowned.
+    Lockable(const Lockable&) noexcept {}
+    Lockable& operator=(const Lockable&) noexcept { return *this; }
+
+    /** Current owner (nullptr when free). */
+    MarkOwner*
+    owner(std::memory_order order = std::memory_order_acquire) const
+    {
+        return mark_.load(order);
+    }
+
+    /**
+     * Try to acquire for exclusive (non-deterministic) ownership.
+     *
+     * @return true if the mark was free and is now owned by o, or was
+     *         already owned by o.
+     */
+    bool
+    tryAcquire(MarkOwner* o)
+    {
+        MarkOwner* expected = nullptr;
+        if (mark_.compare_exchange_strong(expected, o,
+                                          std::memory_order_acq_rel)) {
+            return true;
+        }
+        return expected == o;
+    }
+
+    /**
+     * writeMarkMax (Fig. 3): install o if its id exceeds the current
+     * owner's id.
+     *
+     * @param[out] displaced set to the owner whose mark was overwritten
+     *             (nullptr if the location was free or o lost).
+     * @return true if o holds the mark after the call.
+     */
+    bool
+    markMax(MarkOwner* o, MarkOwner*& displaced)
+    {
+        displaced = nullptr;
+        MarkOwner* cur = mark_.load(std::memory_order_acquire);
+        for (;;) {
+            if (cur == o)
+                return true;
+            if (cur != nullptr && cur->id >= o->id)
+                return false; // a larger id already owns the location
+            if (mark_.compare_exchange_weak(cur, o,
+                                            std::memory_order_acq_rel)) {
+                displaced = cur;
+                return true;
+            }
+            // cur reloaded by compare_exchange_weak; retry.
+        }
+    }
+
+    /**
+     * Release the mark if (and only if) it is held by o.
+     *
+     * Deterministic rounds clear marks this way so that a task that lost a
+     * location cannot clobber the winner's mark before the winner's
+     * select-phase check (see DESIGN.md).
+     */
+    void
+    releaseIfOwner(MarkOwner* o)
+    {
+        MarkOwner* expected = o;
+        mark_.compare_exchange_strong(expected, nullptr,
+                                      std::memory_order_acq_rel);
+    }
+
+    /** Unconditional reset to unowned (single-threaded contexts only). */
+    void forceRelease() { mark_.store(nullptr, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<MarkOwner*> mark_{nullptr};
+};
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_LOCKABLE_H

@@ -1,0 +1,51 @@
+#include "runtime/report_io.h"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace galois::runtime {
+
+void
+printReport(std::ostream& os, const RunReport& report,
+            const std::string& label)
+{
+    if (!label.empty())
+        os << label << ":\n";
+    os << "  threads        : " << report.threads << "\n"
+       << "  loop time      : " << std::fixed << std::setprecision(6)
+       << report.seconds << " s\n"
+       << "  committed      : " << report.committed << "\n"
+       << "  aborted        : " << report.aborted << " (ratio "
+       << std::setprecision(4) << report.abortRatio() << ")\n"
+       << "  pushed         : " << report.pushed << "\n"
+       << "  atomic ops     : " << report.atomicOps << "\n"
+       << "  rounds         : " << report.rounds << "\n"
+       << "  generations    : " << report.generations << "\n";
+    if (report.cacheAccesses != 0) {
+        os << "  cache accesses : " << report.cacheAccesses << "\n"
+           << "  cache misses   : " << report.cacheMisses << "\n";
+    }
+}
+
+std::string
+reportCsvHeader()
+{
+    return "label,threads,seconds,committed,aborted,pushed,atomic_ops,"
+           "rounds,generations,cache_accesses,cache_misses";
+}
+
+std::string
+reportCsvRow(const RunReport& report, const std::string& label)
+{
+    std::ostringstream os;
+    os << label << ',' << report.threads << ',' << std::setprecision(9)
+       << report.seconds << ',' << report.committed << ','
+       << report.aborted << ',' << report.pushed << ','
+       << report.atomicOps << ',' << report.rounds << ','
+       << report.generations << ',' << report.cacheAccesses << ','
+       << report.cacheMisses;
+    return os.str();
+}
+
+} // namespace galois::runtime

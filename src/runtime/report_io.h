@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Human- and machine-readable rendering of RunReports.
+ *
+ * Library users (and our own benchmark harness) want run statistics in
+ * two forms: an aligned key/value block for eyeballs and a CSV line for
+ * pipelines. Kept out of stats.h so the core runtime stays iostream-free.
+ */
+
+#ifndef DETGALOIS_RUNTIME_REPORT_IO_H
+#define DETGALOIS_RUNTIME_REPORT_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "runtime/stats.h"
+
+namespace galois::runtime {
+
+/** Pretty-print a report as an aligned key/value block. */
+void printReport(std::ostream& os, const RunReport& report,
+                 const std::string& label = "");
+
+/** CSV header matching reportCsvRow(). */
+std::string reportCsvHeader();
+
+/** One CSV row: label,threads,seconds,committed,aborted,... */
+std::string reportCsvRow(const RunReport& report,
+                         const std::string& label);
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_REPORT_IO_H

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Execution statistics collected by every executor.
+ *
+ * These counters regenerate the application-characteristics figures of the
+ * paper: committed/aborted task counts and round counts (Fig. 4), atomic
+ * update counts (Fig. 5), and — via the cache model — the locality proxy
+ * (Fig. 11).
+ */
+
+#ifndef DETGALOIS_RUNTIME_STATS_H
+#define DETGALOIS_RUNTIME_STATS_H
+
+#include <cstdint>
+
+namespace galois::runtime {
+
+/** Per-thread counters; aggregated into a RunReport after a for_each. */
+struct ThreadStats
+{
+    std::uint64_t committed = 0;   //!< tasks executed to completion
+    std::uint64_t aborted = 0;     //!< conflicts (nd) / failed selections (det)
+    std::uint64_t atomicOps = 0;   //!< CAS-class operations on marks & app data
+    std::uint64_t pushed = 0;      //!< dynamically created tasks
+    std::uint64_t cacheAccesses = 0; //!< cache-model accesses (if enabled)
+    std::uint64_t cacheMisses = 0;   //!< cache-model misses (if enabled)
+
+    ThreadStats&
+    operator+=(const ThreadStats& o)
+    {
+        committed += o.committed;
+        aborted += o.aborted;
+        atomicOps += o.atomicOps;
+        pushed += o.pushed;
+        cacheAccesses += o.cacheAccesses;
+        cacheMisses += o.cacheMisses;
+        return *this;
+    }
+};
+
+/** Summary of one for_each execution, returned to the caller. */
+struct RunReport
+{
+    std::uint64_t committed = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t atomicOps = 0;
+    std::uint64_t pushed = 0;
+    std::uint64_t cacheAccesses = 0;
+    std::uint64_t cacheMisses = 0;
+    std::uint64_t rounds = 0;      //!< deterministic rounds (det executor)
+    std::uint64_t generations = 0; //!< outer todo-generations (det executor)
+    double seconds = 0.0;          //!< wall-clock time of the loop
+    unsigned threads = 1;          //!< threads used
+
+    /** Fraction of attempted tasks that aborted. */
+    double
+    abortRatio() const
+    {
+        const double attempts =
+            static_cast<double>(committed) + static_cast<double>(aborted);
+        return attempts == 0 ? 0.0 : static_cast<double>(aborted) / attempts;
+    }
+
+    /** Committed tasks per microsecond. */
+    double
+    tasksPerUs() const
+    {
+        return seconds == 0 ? 0.0
+                            : static_cast<double>(committed) / (seconds * 1e6);
+    }
+
+    /** Atomic updates per microsecond. */
+    double
+    atomicsPerUs() const
+    {
+        return seconds == 0 ? 0.0
+                            : static_cast<double>(atomicOps) / (seconds * 1e6);
+    }
+
+    void
+    accumulate(const ThreadStats& t)
+    {
+        committed += t.committed;
+        aborted += t.aborted;
+        atomicOps += t.atomicOps;
+        pushed += t.pushed;
+        cacheAccesses += t.cacheAccesses;
+        cacheMisses += t.cacheMisses;
+    }
+};
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_STATS_H

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Chunked per-thread worklist with stealing.
+ *
+ * The non-deterministic executor (Fig. 1b) pulls tasks from this
+ * structure. Tasks are grouped into fixed-size chunks; each thread pushes
+ * and pops chunks locally (LIFO, for locality — the paper attributes much
+ * of the non-deterministic variants' advantage to exactly this) and steals
+ * whole chunks (FIFO) from other threads when it runs dry. Only the
+ * per-thread chunk deques are shared; the open chunk a thread is filling
+ * or draining is private, so the common case takes no lock at all.
+ */
+
+#ifndef DETGALOIS_RUNTIME_WORKLIST_H
+#define DETGALOIS_RUNTIME_WORKLIST_H
+
+#include <array>
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "support/cacheline.h"
+#include "support/per_thread.h"
+#include "support/thread_pool.h"
+
+namespace galois::runtime {
+
+/** Test-and-test-and-set spinlock for short critical sections. */
+class SpinLock
+{
+  public:
+    void
+    lock()
+    {
+        for (;;) {
+            if (!flag_.exchange(true, std::memory_order_acquire))
+                return;
+            while (flag_.load(std::memory_order_relaxed)) {
+                // spin
+            }
+        }
+    }
+
+    bool
+    tryLock()
+    {
+        return !flag_.load(std::memory_order_relaxed) &&
+               !flag_.exchange(true, std::memory_order_acquire);
+    }
+
+    void unlock() { flag_.store(false, std::memory_order_release); }
+
+  private:
+    std::atomic<bool> flag_{false};
+};
+
+/**
+ * Work-stealing multiset of tasks of type T.
+ *
+ * Unordered semantics: pop() may return any pushed-and-not-yet-popped
+ * task — this is the freedom the Galois model grants the scheduler — but
+ * the pop *policy* matters enormously for work efficiency:
+ *
+ *  - Fifo = false (chunked LIFO): depth-first-ish; best cache locality,
+ *    right for cavity-style workloads (dmr, dt);
+ *  - Fifo = true (chunked FIFO, the Galois default): breadth-first-ish;
+ *    essential for fixpoint/relaxation workloads like bfs, where LIFO
+ *    order explores long wrong paths and multiplies label corrections.
+ */
+template <typename T, bool Fifo = true, unsigned ChunkSize = 64>
+class ChunkedWorklist
+{
+  public:
+    ChunkedWorklist() = default;
+
+    /** Push a task on the calling thread's local worklist. */
+    void
+    push(const T& item)
+    {
+        Local& me = locals_.local();
+        if (!me.write)
+            me.write = std::make_unique<Chunk>();
+        if (me.write->count == ChunkSize) {
+            me.lock.lock();
+            me.shared.push_back(std::move(me.write));
+            me.lock.unlock();
+            me.write = std::make_unique<Chunk>();
+        }
+        me.write->items[me.write->count++] = item;
+    }
+
+    /** Pop a task: local chunks first, then steal. */
+    std::optional<T>
+    pop()
+    {
+        Local& me = locals_.local();
+        if constexpr (Fifo) {
+            // Drain the read chunk front-to-back.
+            if (me.read && me.readPos < me.read->count)
+                return me.read->items[me.readPos++];
+            // Refill from the oldest shared chunk.
+            me.lock.lock();
+            if (!me.shared.empty()) {
+                me.read = std::move(me.shared.front());
+                me.shared.pop_front();
+                me.lock.unlock();
+                me.readPos = 0;
+                return me.read->items[me.readPos++];
+            }
+            me.lock.unlock();
+            // Fall back to the chunk being written (oldest first).
+            if (me.write && me.write->count > 0) {
+                me.read = std::move(me.write);
+                me.readPos = 0;
+                return me.read->items[me.readPos++];
+            }
+        } else {
+            if (me.write && me.write->count > 0)
+                return me.write->items[--me.write->count];
+            me.lock.lock();
+            if (!me.shared.empty()) {
+                me.write = std::move(me.shared.back());
+                me.shared.pop_back();
+                me.lock.unlock();
+                return me.write->items[--me.write->count];
+            }
+            me.lock.unlock();
+        }
+        return steal();
+    }
+
+  private:
+    struct Chunk
+    {
+        std::array<T, ChunkSize> items;
+        unsigned count = 0;
+    };
+
+    struct Local
+    {
+        SpinLock lock;
+        std::unique_ptr<Chunk> write;
+        std::unique_ptr<Chunk> read;
+        unsigned readPos = 0;
+        std::deque<std::unique_ptr<Chunk>> shared;
+    };
+
+    std::optional<T>
+    steal()
+    {
+        Local& me = locals_.local();
+        const std::size_t n = locals_.size();
+        const std::size_t self = support::ThreadPool::threadId();
+        for (std::size_t i = 1; i < n; ++i) {
+            Local& victim = locals_.remote((self + i) % n);
+            if (!victim.lock.tryLock())
+                continue;
+            if (!victim.shared.empty()) {
+                // Steal the oldest chunk: least likely to be hot in the
+                // victim's cache.
+                std::unique_ptr<Chunk> stolen =
+                    std::move(victim.shared.front());
+                victim.shared.pop_front();
+                victim.lock.unlock();
+                if constexpr (Fifo) {
+                    me.read = std::move(stolen);
+                    me.readPos = 0;
+                    return me.read->items[me.readPos++];
+                } else {
+                    me.write = std::move(stolen);
+                    return me.write->items[--me.write->count];
+                }
+            }
+            victim.lock.unlock();
+        }
+        return std::nullopt;
+    }
+
+    support::PerThread<Local> locals_;
+};
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_WORKLIST_H

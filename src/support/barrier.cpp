@@ -1,0 +1,28 @@
+#include "support/barrier.h"
+
+#include <thread>
+
+namespace galois::support {
+
+void
+Barrier::wait()
+{
+    const std::uint32_t my_sense = sense_.load(std::memory_order_acquire);
+    if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Last arrival: reset the count and flip the sense to release
+        // everyone spinning on it.
+        remaining_.store(participants_, std::memory_order_relaxed);
+        sense_.store(my_sense + 1, std::memory_order_release);
+        return;
+    }
+    // Spin briefly, then yield: on oversubscribed machines pure spinning
+    // wastes whole scheduler quanta of the threads we are waiting for.
+    int spins = 0;
+    while (sense_.load(std::memory_order_acquire) == my_sense) {
+        if (++spins > 64) {
+            std::this_thread::yield();
+        }
+    }
+}
+
+} // namespace galois::support

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Sense-reversing centralized barrier.
+ *
+ * The deterministic DIG scheduler is bulk-synchronous: every round contains
+ * three barriers (window selection, inspect, select-and-execute). The
+ * barrier therefore sits directly on the critical path of deterministic
+ * execution and is implemented as a spin-then-yield sense-reversing
+ * barrier: cheap when threads arrive together (the common case for
+ * balanced rounds) and friendly to oversubscribed runs (it yields after a
+ * bounded spin).
+ */
+
+#ifndef DETGALOIS_SUPPORT_BARRIER_H
+#define DETGALOIS_SUPPORT_BARRIER_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/cacheline.h"
+
+namespace galois::support {
+
+/**
+ * Reusable barrier for a fixed number of participants.
+ *
+ * reinit() may only be called while no thread is inside wait().
+ */
+class Barrier
+{
+  public:
+    explicit Barrier(unsigned participants = 1) { reinit(participants); }
+
+    Barrier(const Barrier&) = delete;
+    Barrier& operator=(const Barrier&) = delete;
+
+    /** Reset the barrier for a (possibly different) participant count. */
+    void
+    reinit(unsigned participants)
+    {
+        participants_ = participants;
+        remaining_.store(participants, std::memory_order_relaxed);
+        sense_.store(0, std::memory_order_relaxed);
+    }
+
+    /** Number of participating threads. */
+    unsigned participants() const { return participants_; }
+
+    /**
+     * Block until all participants arrive.
+     *
+     * Each thread keeps a thread-local sense; we avoid that by reading the
+     * global sense before decrementing, which is safe for a centralized
+     * sense-reversing barrier.
+     */
+    void wait();
+
+  private:
+    unsigned participants_{1};
+    alignas(cacheLineSize) std::atomic<unsigned> remaining_{1};
+    alignas(cacheLineSize) std::atomic<std::uint32_t> sense_{0};
+};
+
+} // namespace galois::support
+
+#endif // DETGALOIS_SUPPORT_BARRIER_H

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Cache-line size constants and padding helpers.
+ *
+ * Per-thread runtime state (worklists, counters, barrier flags) is padded
+ * to cache-line granularity to avoid false sharing, which matters a great
+ * deal for the fine-grain tasks this runtime targets.
+ */
+
+#ifndef DETGALOIS_SUPPORT_CACHELINE_H
+#define DETGALOIS_SUPPORT_CACHELINE_H
+
+#include <cstddef>
+#include <new>
+#include <utility>
+
+namespace galois::support {
+
+/** Assumed cache-line size in bytes. */
+inline constexpr std::size_t cacheLineSize = 64;
+
+/**
+ * A value of type T padded out to a multiple of the cache-line size.
+ *
+ * Used as the element type of per-thread arrays so that writes by one
+ * thread never invalidate another thread's line.
+ */
+template <typename T>
+struct alignas(cacheLineSize) CachePadded
+{
+    T value;
+
+    CachePadded() : value() {}
+
+    template <typename... Args>
+    explicit CachePadded(Args&&... args) : value(std::forward<Args>(args)...)
+    {}
+
+    T& get() { return value; }
+    const T& get() const { return value; }
+};
+
+} // namespace galois::support
+
+#endif // DETGALOIS_SUPPORT_CACHELINE_H

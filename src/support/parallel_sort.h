@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Deterministic parallel merge sort.
+ *
+ * The DIG scheduler sorts every generation's created tasks to assign
+ * deterministic ids (Figure 2 line 5); the paper notes that "the cost of
+ * sorting enqueued tasks can be large relative to the application time".
+ * This sort parallelizes that step without changing its result: the
+ * input is split into per-thread runs, each sorted with std::sort, then
+ * merged pairwise over log2(threads) barrier-separated rounds. Equal
+ * elements keep a deterministic order because every run boundary and
+ * every merge is a pure function of (input, comparator, thread count) —
+ * and the executor's ids are unique anyway.
+ */
+
+#ifndef DETGALOIS_SUPPORT_PARALLEL_SORT_H
+#define DETGALOIS_SUPPORT_PARALLEL_SORT_H
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "support/thread_pool.h"
+
+namespace galois::support {
+
+/**
+ * Sort v with comp using up to `threads` workers.
+ *
+ * Falls back to std::sort for small inputs, where parallel overhead
+ * dominates. Not stable (the executor sorts unique keys); see
+ * parallelStableSort below when stability matters.
+ */
+template <typename T, typename Compare>
+void
+parallelSort(std::vector<T>& v, Compare comp, unsigned threads)
+{
+    constexpr std::size_t kSerialCutoff = 1 << 14;
+    if (threads <= 1 || v.size() < kSerialCutoff) {
+        std::sort(v.begin(), v.end(), comp);
+        return;
+    }
+
+    // Round down to a power of two so merges pair up evenly.
+    unsigned workers = 1;
+    while (workers * 2 <= threads)
+        workers *= 2;
+
+    const std::size_t n = v.size();
+    std::vector<std::size_t> bounds(workers + 1);
+    for (unsigned w = 0; w <= workers; ++w)
+        bounds[w] = n * w / workers;
+
+    // Phase 1: sort each run.
+    ThreadPool::get().run(workers, [&](unsigned tid) {
+        std::sort(v.begin() + static_cast<long>(bounds[tid]),
+                  v.begin() + static_cast<long>(bounds[tid + 1]), comp);
+    });
+
+    // Phase 2: pairwise merges; each level halves the number of runs.
+    std::vector<T> scratch(n);
+    std::vector<T>* src = &v;
+    std::vector<T>* dst = &scratch;
+    for (unsigned width = 1; width < workers; width *= 2) {
+        const unsigned mergers = workers / (2 * width);
+        ThreadPool::get().run(mergers, [&](unsigned tid) {
+            const std::size_t lo = bounds[2 * width * tid];
+            const std::size_t mid = bounds[2 * width * tid + width];
+            const std::size_t hi = bounds[2 * width * (tid + 1)];
+            std::merge(src->begin() + static_cast<long>(lo),
+                       src->begin() + static_cast<long>(mid),
+                       src->begin() + static_cast<long>(mid),
+                       src->begin() + static_cast<long>(hi),
+                       dst->begin() + static_cast<long>(lo), comp);
+        });
+        std::swap(src, dst);
+    }
+    if (src != &v)
+        std::move(src->begin(), src->end(), v.begin());
+}
+
+/** Stable variant (per-run std::stable_sort; merges are stable). */
+template <typename T, typename Compare>
+void
+parallelStableSort(std::vector<T>& v, Compare comp, unsigned threads)
+{
+    constexpr std::size_t kSerialCutoff = 1 << 14;
+    if (threads <= 1 || v.size() < kSerialCutoff) {
+        std::stable_sort(v.begin(), v.end(), comp);
+        return;
+    }
+    unsigned workers = 1;
+    while (workers * 2 <= threads)
+        workers *= 2;
+    const std::size_t n = v.size();
+    std::vector<std::size_t> bounds(workers + 1);
+    for (unsigned w = 0; w <= workers; ++w)
+        bounds[w] = n * w / workers;
+    ThreadPool::get().run(workers, [&](unsigned tid) {
+        std::stable_sort(v.begin() + static_cast<long>(bounds[tid]),
+                         v.begin() + static_cast<long>(bounds[tid + 1]),
+                         comp);
+    });
+    std::vector<T> scratch(n);
+    std::vector<T>* src = &v;
+    std::vector<T>* dst = &scratch;
+    for (unsigned width = 1; width < workers; width *= 2) {
+        const unsigned mergers = workers / (2 * width);
+        ThreadPool::get().run(mergers, [&](unsigned tid) {
+            const std::size_t lo = bounds[2 * width * tid];
+            const std::size_t mid = bounds[2 * width * tid + width];
+            const std::size_t hi = bounds[2 * width * (tid + 1)];
+            std::merge(src->begin() + static_cast<long>(lo),
+                       src->begin() + static_cast<long>(mid),
+                       src->begin() + static_cast<long>(mid),
+                       src->begin() + static_cast<long>(hi),
+                       dst->begin() + static_cast<long>(lo), comp);
+        });
+        std::swap(src, dst);
+    }
+    if (src != &v)
+        std::move(src->begin(), src->end(), v.begin());
+}
+
+} // namespace galois::support
+
+#endif // DETGALOIS_SUPPORT_PARALLEL_SORT_H

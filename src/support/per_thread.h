@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Cache-padded per-thread storage.
+ *
+ * Executors keep per-thread worklists, counters and scratch state in
+ * PerThread<T> arrays indexed by ThreadPool::threadId(). Entries are
+ * padded so threads never share a cache line.
+ */
+
+#ifndef DETGALOIS_SUPPORT_PER_THREAD_H
+#define DETGALOIS_SUPPORT_PER_THREAD_H
+
+#include <cstddef>
+#include <vector>
+
+#include "support/cacheline.h"
+#include "support/thread_pool.h"
+
+namespace galois::support {
+
+/** Fixed-size array of cache-padded T, one slot per possible thread. */
+template <typename T>
+class PerThread
+{
+  public:
+    PerThread() : slots_(ThreadPool::get().maxThreads()) {}
+
+    explicit PerThread(const T& init)
+        : slots_(ThreadPool::get().maxThreads(), CachePadded<T>(init))
+    {}
+
+    /** Slot of the calling thread. */
+    T& local() { return slots_[ThreadPool::threadId()].get(); }
+    const T& local() const { return slots_[ThreadPool::threadId()].get(); }
+
+    /** Slot of an arbitrary thread (for cross-thread aggregation). */
+    T& remote(std::size_t tid) { return slots_[tid].get(); }
+    const T& remote(std::size_t tid) const { return slots_[tid].get(); }
+
+    std::size_t size() const { return slots_.size(); }
+
+    /** Sum remote(i) over all slots (T must support +=). */
+    T
+    reduceSum() const
+    {
+        T acc{};
+        for (const auto& s : slots_)
+            acc += s.get();
+        return acc;
+    }
+
+  private:
+    std::vector<CachePadded<T>> slots_;
+};
+
+} // namespace galois::support
+
+#endif // DETGALOIS_SUPPORT_PER_THREAD_H

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All inputs in the evaluation (random k-out graphs, uniform points in the
+ * unit square) are produced from these generators with fixed seeds so that
+ * every run of every benchmark sees bit-identical inputs. This is part of
+ * the portability story: determinism claims are only testable if the inputs
+ * themselves are reproducible across machines and standard libraries
+ * (std::mt19937 distributions are not portable across libstdc++ versions,
+ * so we implement the distributions ourselves).
+ */
+
+#ifndef DETGALOIS_SUPPORT_PRNG_H
+#define DETGALOIS_SUPPORT_PRNG_H
+
+#include <cstdint>
+
+namespace galois::support {
+
+/** SplitMix64: used to seed and expand seed material. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+/**
+ * Xoshiro256** — fast, high-quality, portable PRNG.
+ *
+ * Deterministic across platforms given the same seed; used for all input
+ * generation and randomized test sweeps.
+ */
+class Prng
+{
+  public:
+    explicit Prng(std::uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        SplitMix64 sm(seed);
+        for (auto& s : state_)
+            s = sm.next();
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound) using Lemire's method (bound > 0). */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        // 128-bit multiply-shift; slight modulo bias is irrelevant for
+        // input generation but the result is fully deterministic.
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace galois::support
+
+#endif // DETGALOIS_SUPPORT_PRNG_H

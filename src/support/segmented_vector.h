@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Concurrency-safe append-only segmented vector.
+ *
+ * The mesh applications (Delaunay triangulation and refinement) create
+ * triangles and Steiner points from inside concurrently executing tasks.
+ * A std::vector cannot be used: growth moves elements, invalidating the
+ * pointers and indices other threads hold. This container allocates
+ * fixed-size segments addressed through a fixed table of atomic segment
+ * pointers, so
+ *
+ *  - an element, once created, never moves;
+ *  - emplaceBack() is wait-free except when a new segment must be
+ *    installed (lock-free CAS race; losers discard);
+ *  - operator[] on an index < size() is safe concurrently with appends.
+ */
+
+#ifndef DETGALOIS_SUPPORT_SEGMENTED_VECTOR_H
+#define DETGALOIS_SUPPORT_SEGMENTED_VECTOR_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace galois::support {
+
+/**
+ * Append-only segmented vector.
+ *
+ * @tparam T            element type.
+ * @tparam SegmentBits  log2 of the segment size (default 4096 elements).
+ * @tparam MaxSegments  capacity = MaxSegments << SegmentBits elements.
+ */
+template <typename T, unsigned SegmentBits = 12,
+          std::size_t MaxSegments = 1 << 15>
+class SegmentedVector
+{
+  public:
+    static constexpr std::size_t kSegmentSize = std::size_t(1)
+                                                << SegmentBits;
+    static constexpr std::size_t kIndexMask = kSegmentSize - 1;
+
+    SegmentedVector() : table_(new Slot[MaxSegments]) {}
+
+    ~SegmentedVector() { destroyAll(); }
+
+    SegmentedVector(const SegmentedVector&) = delete;
+    SegmentedVector& operator=(const SegmentedVector&) = delete;
+
+    /** Number of constructed elements. */
+    std::size_t
+    size() const
+    {
+        return size_.load(std::memory_order_acquire);
+    }
+
+    /**
+     * Construct a new element; returns its stable index.
+     *
+     * Safe to call from many threads at once. The element is fully
+     * constructed before the index is published through size().
+     */
+    template <typename... Args>
+    std::size_t
+    emplaceBack(Args&&... args)
+    {
+        const std::size_t idx =
+            cursor_.fetch_add(1, std::memory_order_relaxed);
+        assert(idx < MaxSegments * kSegmentSize &&
+               "SegmentedVector capacity exceeded");
+        T* slot = ensureSlot(idx);
+        ::new (slot) T(std::forward<Args>(args)...);
+        // Publish: size() is a high-water mark. Multiple concurrent
+        // appenders publish in cursor order; an element is only
+        // guaranteed constructed for indices below size(), so advance
+        // size_ only once all predecessors finished. Yield while
+        // waiting: a predecessor may be preempted mid-construction, and
+        // spinning it out of its timeslice (especially on oversubscribed
+        // hosts) turns a nanosecond handoff into a scheduling quantum.
+        std::size_t expected = idx;
+        int spins = 0;
+        while (!size_.compare_exchange_weak(expected, idx + 1,
+                                            std::memory_order_acq_rel)) {
+            expected = idx;
+            if (++spins > 16) {
+                std::this_thread::yield();
+                spins = 0;
+            }
+        }
+        return idx;
+    }
+
+    T&
+    operator[](std::size_t idx)
+    {
+        return *slotFor(idx);
+    }
+
+    const T&
+    operator[](std::size_t idx) const
+    {
+        return *slotFor(idx);
+    }
+
+  private:
+    struct Slot
+    {
+        std::atomic<T*> seg{nullptr};
+    };
+
+    T*
+    ensureSlot(std::size_t idx)
+    {
+        const std::size_t s = idx >> SegmentBits;
+        T* seg = table_[s].seg.load(std::memory_order_acquire);
+        if (!seg) {
+            T* fresh = static_cast<T*>(
+                ::operator new(sizeof(T) * kSegmentSize,
+                               std::align_val_t(alignof(T))));
+            T* expected = nullptr;
+            if (table_[s].seg.compare_exchange_strong(
+                    expected, fresh, std::memory_order_acq_rel)) {
+                seg = fresh;
+            } else {
+                ::operator delete(fresh, std::align_val_t(alignof(T)));
+                seg = expected;
+            }
+        }
+        return seg + (idx & kIndexMask);
+    }
+
+    T*
+    slotFor(std::size_t idx) const
+    {
+        T* seg = table_[idx >> SegmentBits].seg.load(
+            std::memory_order_acquire);
+        return seg + (idx & kIndexMask);
+    }
+
+    void
+    destroyAll()
+    {
+        const std::size_t n = size_.load(std::memory_order_acquire);
+        for (std::size_t i = 0; i < n; ++i)
+            slotFor(i)->~T();
+        for (std::size_t s = 0; s < MaxSegments; ++s) {
+            if (T* seg = table_[s].seg.load(std::memory_order_relaxed))
+                ::operator delete(seg, std::align_val_t(alignof(T)));
+        }
+    }
+
+    std::unique_ptr<Slot[]> table_;
+    std::atomic<std::size_t> cursor_{0};
+    std::atomic<std::size_t> size_{0};
+};
+
+} // namespace galois::support
+
+#endif // DETGALOIS_SUPPORT_SEGMENTED_VECTOR_H

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Termination detection for asynchronous executors.
+ *
+ * The non-deterministic executor runs tasks from distributed worklists with
+ * stealing; a thread that finds its queues empty cannot terminate until it
+ * knows no task is pending anywhere and no executing task will enqueue new
+ * ones. We use pending-task counting: the counter tracks tasks that are
+ * enqueued or executing, so the system is quiescent exactly when it reaches
+ * zero. Aborted tasks are re-enqueued before their in-flight count is
+ * released, so the counter never drops to zero spuriously.
+ */
+
+#ifndef DETGALOIS_SUPPORT_TERMINATION_H
+#define DETGALOIS_SUPPORT_TERMINATION_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/cacheline.h"
+
+namespace galois::support {
+
+/** Pending-work counter with a quiescence test. */
+class TerminationDetector
+{
+  public:
+    /** Reset to a known initial amount of pending work. */
+    void
+    reset(std::uint64_t initial)
+    {
+        pending_.store(initial, std::memory_order_relaxed);
+    }
+
+    /** Announce n new units of pending work (task enqueued). */
+    void
+    add(std::uint64_t n = 1)
+    {
+        pending_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /**
+     * Retire one unit of pending work (task committed).
+     *
+     * Uses release ordering so that a thread observing quiescent() == true
+     * also observes all memory effects of retired tasks.
+     */
+    void
+    retire()
+    {
+        pending_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+
+    /** True when no task is enqueued or executing anywhere. */
+    bool
+    quiescent() const
+    {
+        return pending_.load(std::memory_order_acquire) == 0;
+    }
+
+    /** Current pending count (diagnostics only). */
+    std::uint64_t
+    pending() const
+    {
+        return pending_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    alignas(cacheLineSize) std::atomic<std::uint64_t> pending_{0};
+};
+
+} // namespace galois::support
+
+#endif // DETGALOIS_SUPPORT_TERMINATION_H

@@ -1,0 +1,142 @@
+#include "support/thread_pool.h"
+
+#include <cassert>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace galois::support {
+
+thread_local unsigned ThreadPool::tid_ = 0;
+thread_local unsigned ThreadPool::activeThreads_ = 1;
+
+namespace {
+
+unsigned
+defaultMaxThreads()
+{
+    if (const char* env = std::getenv("DETGALOIS_MAX_THREADS")) {
+        const long v = std::strtol(env, nullptr, 10);
+        if (v >= 1 && v <= 1024)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    // The evaluation sweeps thread counts up to 8 even on small hosts;
+    // allow oversubscription so the schedulers can be exercised anywhere.
+    return hw < 8 ? 8 : hw;
+}
+
+} // namespace
+
+ThreadPool&
+ThreadPool::get()
+{
+    static ThreadPool pool(defaultMaxThreads());
+    return pool;
+}
+
+ThreadPool::ThreadPool(unsigned max_threads) : maxThreads_(max_threads)
+{
+    workers_.reserve(maxThreads_ - 1);
+    for (unsigned t = 1; t < maxThreads_; ++t)
+        workers_.emplace_back([this, t] { workerLoop(t); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        shutdown_ = true;
+    }
+    workReady_.notify_all();
+    for (auto& w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::runJob(unsigned tid)
+{
+    tid_ = tid;
+    activeThreads_ = jobThreads_;
+    try {
+        (*job_)(tid);
+    } catch (...) {
+        std::lock_guard<std::mutex> guard(lock_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    tid_ = 0;
+    activeThreads_ = 1;
+}
+
+void
+ThreadPool::workerLoop(unsigned tid)
+{
+    std::uint64_t seen_epoch = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> guard(lock_);
+            workReady_.wait(guard, [&] {
+                return shutdown_ ||
+                       (jobEpoch_ != seen_epoch && tid < jobThreads_);
+            });
+            if (shutdown_)
+                return;
+            seen_epoch = jobEpoch_;
+        }
+        runJob(tid);
+        {
+            std::lock_guard<std::mutex> guard(lock_);
+            --jobRemaining_;
+        }
+        workDone_.notify_all();
+    }
+}
+
+void
+ThreadPool::run(unsigned active_threads, const std::function<void(unsigned)>& fn)
+{
+    assert(tid_ == 0 && job_ == nullptr && "parallel regions cannot nest");
+    if (active_threads < 1)
+        active_threads = 1;
+    if (active_threads > maxThreads_)
+        active_threads = maxThreads_;
+
+    if (active_threads == 1) {
+        jobThreads_ = 1;
+        job_ = &fn;
+        runJob(0);
+        job_ = nullptr;
+        if (firstError_) {
+            std::exception_ptr e = firstError_;
+            firstError_ = nullptr;
+            std::rethrow_exception(e);
+        }
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        job_ = &fn;
+        jobThreads_ = active_threads;
+        jobRemaining_ = active_threads - 1;
+        ++jobEpoch_;
+    }
+    workReady_.notify_all();
+
+    runJob(0);
+
+    {
+        std::unique_lock<std::mutex> guard(lock_);
+        workDone_.wait(guard, [&] { return jobRemaining_ == 0; });
+        job_ = nullptr;
+        if (firstError_) {
+            std::exception_ptr e = firstError_;
+            firstError_ = nullptr;
+            guard.unlock();
+            std::rethrow_exception(e);
+        }
+    }
+}
+
+} // namespace galois::support

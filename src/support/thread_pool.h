@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Persistent thread pool shared by every executor in the runtime.
+ *
+ * The pool owns maxThreads()-1 worker threads that sleep between parallel
+ * regions; run(n, fn) activates workers 1..n-1 and runs fn(0) on the
+ * calling thread. All executors (serial, non-deterministic, deterministic
+ * DIG, the CoreDet-style runtime and the PBBS baselines) launch their
+ * parallel regions through this pool so that thread identity, affinity and
+ * lifetime are handled in exactly one place.
+ */
+
+#ifndef DETGALOIS_SUPPORT_THREAD_POOL_H
+#define DETGALOIS_SUPPORT_THREAD_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace galois::support {
+
+/**
+ * Singleton pool of persistent worker threads.
+ *
+ * Parallel regions are not reentrant: run() must not be called from inside
+ * a function executing under run(). Executors are flat, so this never
+ * happens in practice; it is asserted in debug builds.
+ */
+class ThreadPool
+{
+  public:
+    /** The process-wide pool. Created on first use. */
+    static ThreadPool& get();
+
+    /** Hard upper bound on usable threads for this process. */
+    unsigned maxThreads() const { return maxThreads_; }
+
+    /**
+     * Run fn(tid) on threads 0..activeThreads-1 and wait for completion.
+     *
+     * fn(0) runs on the calling thread. Exceptions thrown by fn propagate
+     * out of run() (the first one wins; others are dropped).
+     *
+     * @param active_threads number of threads to use (clamped to
+     *                       [1, maxThreads()]).
+     * @param fn             work function, receives the thread id.
+     */
+    void run(unsigned active_threads, const std::function<void(unsigned)>& fn);
+
+    /** Thread id of the calling thread inside run(); 0 outside. */
+    static unsigned threadId() { return tid_; }
+
+    /** Number of threads in the currently active region (1 if none). */
+    static unsigned activeThreads() { return activeThreads_; }
+
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+  private:
+    explicit ThreadPool(unsigned max_threads);
+
+    void workerLoop(unsigned tid);
+
+    /** Invoke the job for tid, capturing the first exception. */
+    void runJob(unsigned tid);
+
+    static thread_local unsigned tid_;
+    static thread_local unsigned activeThreads_;
+
+    unsigned maxThreads_;
+    std::vector<std::thread> workers_;
+
+    std::mutex lock_;
+    std::condition_variable workReady_;
+    std::condition_variable workDone_;
+
+    // Job state, guarded by lock_ for the handshake and read by workers
+    // while running.
+    const std::function<void(unsigned)>* job_{nullptr};
+    unsigned jobThreads_{0};
+    std::uint64_t jobEpoch_{0};
+    unsigned jobRemaining_{0};
+    bool shutdown_{false};
+    std::exception_ptr firstError_;
+};
+
+} // namespace galois::support
+
+#endif // DETGALOIS_SUPPORT_THREAD_POOL_H

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Wall-clock timing helpers used by the statistics layer and benchmarks.
+ */
+
+#ifndef DETGALOIS_SUPPORT_TIMER_H
+#define DETGALOIS_SUPPORT_TIMER_H
+
+#include <chrono>
+#include <cstdint>
+
+namespace galois::support {
+
+/** Simple wall-clock stopwatch. */
+class Timer
+{
+  public:
+    /** Start (or restart) the stopwatch. */
+    void
+    start()
+    {
+        begin_ = Clock::now();
+        running_ = true;
+    }
+
+    /** Stop the stopwatch, accumulating elapsed time. */
+    void
+    stop()
+    {
+        if (running_) {
+            accum_ += Clock::now() - begin_;
+            running_ = false;
+        }
+    }
+
+    /** Reset accumulated time to zero. */
+    void
+    reset()
+    {
+        accum_ = Duration::zero();
+        running_ = false;
+    }
+
+    /** Elapsed time in seconds (accumulated over start/stop intervals). */
+    double
+    seconds() const
+    {
+        Duration d = accum_;
+        if (running_)
+            d += Clock::now() - begin_;
+        return std::chrono::duration<double>(d).count();
+    }
+
+    /** Elapsed time in microseconds. */
+    double microseconds() const { return seconds() * 1e6; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    using Duration = Clock::duration;
+
+    Clock::time_point begin_{};
+    Duration accum_{Duration::zero()};
+    bool running_{false};
+};
+
+/** RAII timer: starts on construction, stops and adds to a sink on exit. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(double& sink_seconds) : sink_(sink_seconds)
+    {
+        timer_.start();
+    }
+
+    ~ScopedTimer() { sink_ += timer_.seconds(); }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    Timer timer_;
+    double& sink_;
+};
+
+} // namespace galois::support
+
+#endif // DETGALOIS_SUPPORT_TIMER_H

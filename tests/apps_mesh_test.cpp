@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Integration tests for the mesh applications (dt, dmr) across all
+ * executors, including the portability property (thread-count-invariant
+ * geometric output under Exec::Det) — the paper's central claim applied
+ * to its two hardest benchmarks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/dmr.h"
+#include "apps/dt.h"
+
+using namespace galois;
+using geom::TriId;
+
+namespace {
+
+Config
+makeCfg(Exec exec, unsigned threads)
+{
+    Config cfg;
+    cfg.exec = exec;
+    cfg.threads = threads;
+    return cfg;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Delaunay triangulation
+// ---------------------------------------------------------------------
+
+TEST(Dt, SerialSmall)
+{
+    apps::dt::Problem prob;
+    apps::dt::makeProblem(apps::dt::randomPoints(50, 1), 2, prob);
+    auto report = apps::dt::triangulate(prob, makeCfg(Exec::Serial, 1));
+    EXPECT_EQ(report.committed, 50u);
+    EXPECT_TRUE(apps::dt::validate(prob));
+}
+
+TEST(Dt, HandlesDuplicatePoints)
+{
+    auto pts = apps::dt::randomPoints(30, 3);
+    pts.push_back(pts[0]);
+    pts.push_back(pts[5]);
+    apps::dt::Problem prob;
+    apps::dt::makeProblem(pts, 4, prob);
+    EXPECT_EQ(prob.insertOrder.size(), 30u); // deduplicated
+    apps::dt::triangulate(prob, makeCfg(Exec::Serial, 1));
+    EXPECT_TRUE(apps::dt::validate(prob));
+}
+
+class DtExecutors
+    : public ::testing::TestWithParam<std::pair<Exec, unsigned>>
+{};
+
+TEST_P(DtExecutors, ProducesDelaunayTriangulation)
+{
+    const auto [exec, threads] = GetParam();
+    apps::dt::Problem prob;
+    apps::dt::makeProblem(apps::dt::randomPoints(800, 7), 8, prob);
+    auto report = apps::dt::triangulate(prob, makeCfg(exec, threads));
+    EXPECT_EQ(report.committed, 800u);
+    EXPECT_TRUE(apps::dt::validate(prob));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DtExecutors,
+    ::testing::Values(std::pair{Exec::Serial, 1u}, std::pair{Exec::NonDet, 2u},
+                      std::pair{Exec::NonDet, 4u}, std::pair{Exec::Det, 1u},
+                      std::pair{Exec::Det, 4u}));
+
+TEST(Dt, UniquenessAcrossAllSchedules)
+{
+    // For points in general position the Delaunay triangulation is
+    // unique, so *every* executor must converge to the same geometry —
+    // a strong cross-check of cavity construction under concurrency.
+    std::uint64_t first = 0;
+    bool have_first = false;
+    for (auto [exec, threads] :
+         {std::pair{Exec::Serial, 1u}, std::pair{Exec::NonDet, 4u},
+          std::pair{Exec::Det, 2u}, std::pair{Exec::Det, 8u}}) {
+        apps::dt::Problem prob;
+        apps::dt::makeProblem(apps::dt::randomPoints(500, 21), 22, prob);
+        apps::dt::triangulate(prob, makeCfg(exec, threads));
+        ASSERT_TRUE(apps::dt::validate(prob));
+        const std::uint64_t h =
+            prob.mesh.geometricHash(apps::dt::kNumSuperVerts);
+        if (!have_first) {
+            first = h;
+            have_first = true;
+        } else {
+            EXPECT_EQ(h, first) << "exec " << static_cast<int>(exec)
+                                << " threads " << threads;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Delaunay mesh refinement
+// ---------------------------------------------------------------------
+
+TEST(Dmr, InputMeshIsValid)
+{
+    apps::dmr::Problem prob;
+    apps::dmr::makeProblem(300, 31, prob);
+    EXPECT_TRUE(prob.mesh.checkConsistency());
+    EXPECT_TRUE(prob.mesh.checkDelaunay());
+    EXPECT_GT(apps::dmr::badTriangles(prob).size(), 0u);
+}
+
+class DmrExecutors
+    : public ::testing::TestWithParam<std::pair<Exec, unsigned>>
+{};
+
+TEST_P(DmrExecutors, RefinesAwayAllBadTriangles)
+{
+    const auto [exec, threads] = GetParam();
+    apps::dmr::Problem prob;
+    apps::dmr::makeProblem(400, 41, prob);
+    prob.maxTriangles = 400000;
+    auto report = apps::dmr::refine(prob, makeCfg(exec, threads));
+    EXPECT_TRUE(apps::dmr::validate(prob))
+        << "bad left: " << apps::dmr::badTriangles(prob).size();
+    EXPECT_GT(report.committed, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DmrExecutors,
+    ::testing::Values(std::pair{Exec::Serial, 1u}, std::pair{Exec::NonDet, 2u},
+                      std::pair{Exec::NonDet, 4u}, std::pair{Exec::Det, 1u},
+                      std::pair{Exec::Det, 4u}));
+
+TEST(Dmr, DetGeometryIsThreadCountInvariant)
+{
+    auto run = [&](unsigned threads, bool continuation) {
+        apps::dmr::Problem prob;
+        apps::dmr::makeProblem(250, 51, prob);
+        prob.maxTriangles = 400000;
+        Config cfg = makeCfg(Exec::Det, threads);
+        cfg.det.continuation = continuation;
+        apps::dmr::refine(prob, cfg);
+        EXPECT_TRUE(apps::dmr::validate(prob));
+        return prob.mesh.geometricHash();
+    };
+    const std::uint64_t h = run(1, true);
+    EXPECT_EQ(run(2, true), h);
+    EXPECT_EQ(run(4, true), h);
+    EXPECT_EQ(run(8, true), h);
+    // The continuation optimization must not change the result either.
+    EXPECT_EQ(run(4, false), h);
+}
+
+TEST(Dmr, NonDetRefinesValidlyWhateverTheOrder)
+{
+    // Unlike dt, refined meshes are genuinely order-dependent: different
+    // serializations give different (all valid) meshes. Verify validity
+    // across repeated nondeterministic runs.
+    for (int i = 0; i < 3; ++i) {
+        apps::dmr::Problem prob;
+        apps::dmr::makeProblem(200, 61, prob);
+        prob.maxTriangles = 400000;
+        apps::dmr::refine(prob, makeCfg(Exec::NonDet, 4));
+        EXPECT_TRUE(apps::dmr::validate(prob));
+    }
+}

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the operator-facing context and the mark protocol —
+ * the mechanisms of Figures 1b and 3 in isolation (executor-free).
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/context.h"
+#include "runtime/lockable.h"
+
+using namespace galois::runtime;
+
+namespace {
+
+struct Fixture
+{
+    ThreadStats stats;
+    UserContext<int> ctx;
+    std::vector<Lockable*> nbhd;
+
+    Fixture() { ctx.bindStats(&stats); }
+
+    void
+    begin(UserContext<int>::Mode mode, MarkOwner* owner,
+          void** slot = nullptr, void (**del)(void*) = nullptr)
+    {
+        ctx.beginTask(mode, owner, &nbhd, slot, del);
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Lockable / mark protocol
+// ---------------------------------------------------------------------
+
+TEST(Lockable, TryAcquireSemantics)
+{
+    Lockable l;
+    MarkOwner a, b;
+    EXPECT_EQ(l.owner(), nullptr);
+    EXPECT_TRUE(l.tryAcquire(&a));
+    EXPECT_TRUE(l.tryAcquire(&a)); // re-entrant for the same owner
+    EXPECT_FALSE(l.tryAcquire(&b));
+    l.releaseIfOwner(&b); // not the owner: no-op
+    EXPECT_EQ(l.owner(), &a);
+    l.releaseIfOwner(&a);
+    EXPECT_EQ(l.owner(), nullptr);
+}
+
+TEST(Lockable, MarkMaxKeepsLargestId)
+{
+    Lockable l;
+    DetRecordBase lo, mid, hi;
+    lo.id = 1;
+    mid.id = 5;
+    hi.id = 9;
+
+    MarkOwner* displaced = nullptr;
+    EXPECT_TRUE(l.markMax(&mid, displaced));
+    EXPECT_EQ(displaced, nullptr);
+
+    // Smaller id loses and does not change the mark.
+    EXPECT_FALSE(l.markMax(&lo, displaced));
+    EXPECT_EQ(l.owner(), &mid);
+
+    // Larger id wins and reports whom it displaced.
+    EXPECT_TRUE(l.markMax(&hi, displaced));
+    EXPECT_EQ(displaced, &mid);
+    EXPECT_EQ(l.owner(), &hi);
+
+    // Re-marking by the current owner is a no-op success.
+    EXPECT_TRUE(l.markMax(&hi, displaced));
+    EXPECT_EQ(displaced, nullptr);
+}
+
+TEST(Lockable, CopyingResetsOwnership)
+{
+    Lockable l;
+    MarkOwner a;
+    ASSERT_TRUE(l.tryAcquire(&a));
+    Lockable copy(l);
+    EXPECT_EQ(copy.owner(), nullptr); // marks are execution state
+}
+
+// ---------------------------------------------------------------------
+// Context modes
+// ---------------------------------------------------------------------
+
+TEST(Context, SerialModeNeverThrowsOrMarks)
+{
+    Fixture f;
+    Lockable l;
+    f.begin(UserContext<int>::Mode::Serial, nullptr);
+    EXPECT_NO_THROW(f.ctx.acquire(l));
+    EXPECT_NO_THROW(f.ctx.cautiousPoint());
+    EXPECT_EQ(l.owner(), nullptr);
+}
+
+TEST(Context, NonDetAcquireThrowsOnConflict)
+{
+    Fixture mine, theirs;
+    MarkOwner me, them;
+    Lockable l;
+
+    theirs.begin(UserContext<int>::Mode::NonDet, &them);
+    theirs.ctx.acquire(l);
+    EXPECT_EQ(l.owner(), &them);
+
+    mine.begin(UserContext<int>::Mode::NonDet, &me);
+    EXPECT_THROW(mine.ctx.acquire(l), ConflictSignal);
+    EXPECT_EQ(mine.stats.atomicOps, 1u);
+}
+
+TEST(Context, InspectMarksAllAndFlagsLosers)
+{
+    // Task hi steals a location from task lo; lo must end up flagged,
+    // and a task that loses a markMax must flag itself.
+    DetRecordBase lo, hi;
+    lo.id = 1;
+    hi.id = 2;
+    Lockable l1, l2;
+
+    Fixture flo;
+    flo.begin(UserContext<int>::Mode::DetInspect, &lo);
+    flo.ctx.acquire(l1);
+    flo.ctx.acquire(l2);
+    EXPECT_EQ(flo.nbhd.size(), 2u);
+    EXPECT_FALSE(lo.notSelected.load());
+
+    Fixture fhi;
+    fhi.begin(UserContext<int>::Mode::DetInspect, &hi);
+    fhi.ctx.acquire(l1); // steals from lo -> flags lo
+    EXPECT_TRUE(lo.notSelected.load());
+    EXPECT_FALSE(hi.notSelected.load());
+
+    // Now lo re-inspects l1 (owned by hi): it must flag itself and keep
+    // going (writeMarksMax never fails early).
+    lo.notSelected.store(false);
+    Fixture flo2;
+    flo2.begin(UserContext<int>::Mode::DetInspect, &lo);
+    EXPECT_NO_THROW(flo2.ctx.acquire(l1));
+    EXPECT_TRUE(lo.notSelected.load());
+    EXPECT_EQ(l1.owner(), &hi);
+}
+
+TEST(Context, InspectUnwindsAtCautiousPoint)
+{
+    DetRecordBase r;
+    r.id = 3;
+    Fixture f;
+    f.begin(UserContext<int>::Mode::DetInspect, &r);
+    EXPECT_THROW(f.ctx.cautiousPoint(), FailsafeSignal);
+}
+
+TEST(Context, CheckModeVerifiesMarks)
+{
+    DetRecordBase mine, winner;
+    mine.id = 1;
+    winner.id = 2;
+    Lockable held, stolen;
+    MarkOwner* d = nullptr;
+    held.markMax(&mine, d);
+    stolen.markMax(&winner, d);
+
+    Fixture f;
+    f.begin(UserContext<int>::Mode::DetCheck, &mine);
+    EXPECT_NO_THROW(f.ctx.acquire(held));
+    EXPECT_THROW(f.ctx.acquire(stolen), ConflictSignal);
+}
+
+TEST(Context, PushIgnoredDuringInspect)
+{
+    DetRecordBase r;
+    r.id = 7;
+    Fixture f;
+    f.begin(UserContext<int>::Mode::DetInspect, &r);
+    f.ctx.push(42);
+    EXPECT_TRUE(f.ctx.pendingPushes().empty());
+
+    f.begin(UserContext<int>::Mode::DetCheck, &r);
+    f.ctx.push(42);
+    f.ctx.push(43, /*preassigned_id=*/9);
+    EXPECT_EQ(f.ctx.pendingPushes().size(), 2u);
+    EXPECT_EQ(f.ctx.pendingPushIds().size(), 1u);
+    EXPECT_EQ(f.stats.pushed, 2u);
+}
+
+TEST(Context, SaveStateGoesToRecordOnlyDuringInspect)
+{
+    DetRecordBase r;
+    r.id = 1;
+    void* slot = nullptr;
+    void (*deleter)(void*) = nullptr;
+
+    Fixture f;
+    // Inspect: saved into the record slot.
+    f.begin(UserContext<int>::Mode::DetInspect, &r, &slot, &deleter);
+    f.ctx.saveState<int>(1234);
+    ASSERT_NE(slot, nullptr);
+    EXPECT_EQ(*static_cast<int*>(slot), 1234);
+
+    // Commit: savedState recalls it.
+    f.begin(UserContext<int>::Mode::DetCommit, &r, &slot, &deleter);
+    ASSERT_NE(f.ctx.savedState<int>(), nullptr);
+    EXPECT_EQ(*f.ctx.savedState<int>(), 1234);
+    deleter(slot);
+    slot = nullptr;
+
+    // Check mode: scratch only; savedState stays null.
+    f.begin(UserContext<int>::Mode::DetCheck, &r, &slot, &deleter);
+    int& scratch = f.ctx.saveState<int>(77);
+    EXPECT_EQ(scratch, 77);
+    EXPECT_EQ(slot, nullptr);
+    EXPECT_EQ(f.ctx.savedState<int>(), nullptr);
+}
+
+TEST(Context, CountAtomicAccumulates)
+{
+    Fixture f;
+    f.begin(UserContext<int>::Mode::Serial, nullptr);
+    f.ctx.countAtomic();
+    f.ctx.countAtomic(5);
+    EXPECT_EQ(f.stats.atomicOps, 6u);
+}

@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Unit tests for the geometry substrate: predicates, mesh structure,
+ * cavity construction and retriangulation, segmented storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geom/cavity.h"
+#include "geom/mesh.h"
+#include "geom/off_io.h"
+#include "geom/point.h"
+#include "support/prng.h"
+#include "support/segmented_vector.h"
+#include "support/thread_pool.h"
+
+using namespace galois::geom;
+
+TEST(Predicates, Orient2d)
+{
+    EXPECT_GT(orient2d({0, 0}, {1, 0}, {0, 1}), 0); // CCW
+    EXPECT_LT(orient2d({0, 0}, {0, 1}, {1, 0}), 0); // CW
+    EXPECT_EQ(orient2d({0, 0}, {1, 1}, {2, 2}), 0); // collinear
+}
+
+TEST(Predicates, InCircle)
+{
+    // Unit circle through (1,0), (0,1), (-1,0).
+    const Point a{1, 0}, b{0, 1}, c{-1, 0};
+    EXPECT_GT(inCircle(a, b, c, {0, 0}), 0);    // center: inside
+    EXPECT_LT(inCircle(a, b, c, {2, 0}), 0);    // far away: outside
+    EXPECT_EQ(inCircle(a, b, c, {0, -1}), 0);   // on the circle
+    EXPECT_GT(inCircle(a, b, c, {0.5, 0.5}), 0);
+}
+
+TEST(Predicates, Circumcenter)
+{
+    const Point cc = circumcenter({0, 0}, {2, 0}, {0, 2});
+    EXPECT_DOUBLE_EQ(cc.x, 1.0);
+    EXPECT_DOUBLE_EQ(cc.y, 1.0);
+}
+
+TEST(Predicates, MinAngle)
+{
+    // Equilateral: 60 degrees everywhere.
+    EXPECT_NEAR(minAngleDeg({0, 0}, {1, 0}, {0.5, 0.8660254037844386}),
+                60.0, 1e-9);
+    // Right isoceles: 45.
+    EXPECT_NEAR(minAngleDeg({0, 0}, {1, 0}, {0, 1}), 45.0, 1e-9);
+    // Very flat triangle: tiny angle.
+    EXPECT_LT(minAngleDeg({0, 0}, {1, 0}, {0.5, 0.01}), 3.0);
+}
+
+TEST(SegmentedVector, StableUnderConcurrentAppend)
+{
+    galois::support::SegmentedVector<int> v;
+    constexpr int kPerThread = 5000;
+    galois::support::ThreadPool::get().run(4, [&](unsigned tid) {
+        for (int i = 0; i < kPerThread; ++i)
+            v.emplaceBack(static_cast<int>(tid) * kPerThread + i);
+    });
+    ASSERT_EQ(v.size(), 4u * kPerThread);
+    // Every value present exactly once.
+    std::vector<int> seen(4 * kPerThread, 0);
+    for (std::size_t i = 0; i < v.size(); ++i)
+        ++seen[v[i]];
+    for (int s : seen)
+        EXPECT_EQ(s, 1);
+}
+
+namespace {
+
+/** Two CCW triangles sharing edge (1, 2): (0,1,2) and (2,1,3). */
+void
+makeQuad(Mesh& m)
+{
+    m.addVertex({0, 0}); // 0
+    m.addVertex({1, 0}); // 1
+    m.addVertex({0, 1}); // 2
+    m.addVertex({1, 1}); // 3
+    const TriId t0 = m.createTriangle(0, 1, 2);
+    const TriId t1 = m.createTriangle(2, 1, 3);
+    const int e0 = m.findEdge(t0, 1, 2);
+    const int e1 = m.findEdge(t1, 1, 2);
+    m.setNeighbor(t0, e0, t1);
+    m.setNeighbor(t1, e1, t0);
+}
+
+} // namespace
+
+TEST(Mesh, EdgeConventionsAndConsistency)
+{
+    Mesh m;
+    makeQuad(m);
+    EXPECT_TRUE(m.checkConsistency());
+    EXPECT_EQ(m.numAliveTriangles(), 2u);
+    EXPECT_EQ(m.findEdge(0, 0, 1), 2); // edge opposite vertex index 2
+    EXPECT_TRUE(m.contains(0, {0.2, 0.2}));
+    EXPECT_FALSE(m.contains(0, {0.9, 0.9}));
+    EXPECT_TRUE(m.contains(1, {0.9, 0.9}));
+}
+
+TEST(Mesh, ConsistencyDetectsBrokenLinks)
+{
+    Mesh m;
+    makeQuad(m);
+    // Break symmetry: t0 points at t1 but t1 points nowhere.
+    m.setNeighbor(1, m.findEdge(1, 1, 2), kNoTri);
+    EXPECT_FALSE(m.checkConsistency());
+}
+
+TEST(Mesh, DelaunayCheck)
+{
+    // The quad split along (1,2) is Delaunay for the unit square (both
+    // opposite vertices lie exactly on the circumcircles — not strictly
+    // inside).
+    Mesh m;
+    makeQuad(m);
+    EXPECT_TRUE(m.checkDelaunay());
+}
+
+TEST(Mesh, GeometricHashIsIdOrderInvariant)
+{
+    Mesh a;
+    makeQuad(a);
+    // Same geometry, triangles created in the other order with rotated
+    // vertex lists.
+    Mesh b;
+    b.addVertex({1, 1});
+    b.addVertex({0, 1});
+    b.addVertex({1, 0});
+    b.addVertex({0, 0});
+    const TriId t1 = b.createTriangle(2, 0, 1); // (1,0),(1,1),(0,1)
+    const TriId t0 = b.createTriangle(3, 2, 1); // (0,0),(1,0),(0,1)
+    const int e0 = b.findEdge(t0, 2, 1);
+    const int e1 = b.findEdge(t1, 2, 1);
+    b.setNeighbor(t0, e0, t1);
+    b.setNeighbor(t1, e1, t0);
+    ASSERT_TRUE(b.checkConsistency());
+    EXPECT_EQ(a.geometricHash(), b.geometricHash());
+}
+
+TEST(Cavity, BuildAndRetriangulateInterior)
+{
+    // Square split into two triangles; insert the center point: both
+    // triangles die (center is inside both circumcircles) and a 4-fan
+    // appears.
+    Mesh m;
+    makeQuad(m);
+    const Point center{0.5, 0.5};
+    Cavity cav;
+    int acquired = 0;
+    const bool ok = buildCavity(
+        m, 0, center, cav, [&](TriId) { ++acquired; }, false);
+    ASSERT_TRUE(ok);
+    EXPECT_EQ(cav.dead.size(), 2u);
+    EXPECT_EQ(cav.border.size(), 4u);
+    EXPECT_EQ(acquired, 2);
+
+    const VertId nv = m.addVertex(center);
+    std::vector<TriId> created;
+    retriangulate(m, cav, nv, created);
+    EXPECT_EQ(created.size(), 4u);
+    EXPECT_TRUE(m.checkConsistency());
+    EXPECT_TRUE(m.checkDelaunay());
+    EXPECT_EQ(m.numAliveTriangles(), 4u);
+}
+
+TEST(Cavity, EscapeDetection)
+{
+    // A single skinny triangle whose circumcenter lies outside it, past
+    // the boundary: expansion must report the escape edge.
+    Mesh m;
+    m.addVertex({0, 0});
+    m.addVertex({1, 0});
+    m.addVertex({0.5, 0.05});
+    const TriId t = m.createTriangle(0, 1, 2);
+    const Point cc = m.circumcenterOf(t);
+    EXPECT_LT(cc.y, 0.0); // circumcenter below the base edge
+
+    Cavity cav;
+    const bool ok = buildCavity(m, t, cc, cav, [](TriId) {}, true);
+    EXPECT_FALSE(ok);
+    EXPECT_TRUE(cav.escaped);
+    EXPECT_EQ(cav.escapeTri, t);
+    // The escape edge is the base (0 -> 1), i.e. the edge opposite
+    // vertex 2.
+    const auto [a, b] = m.edgeVerts(t, cav.escapeEdge);
+    EXPECT_TRUE((a == 0 && b == 1) || (a == 1 && b == 0));
+}
+
+TEST(Cavity, BoundarySplitLeavesOpenEdges)
+{
+    // Splitting the base edge of the skinny triangle: the midpoint lies
+    // on the boundary; the fan must leave the two half-segments open.
+    Mesh m;
+    m.addVertex({0, 0});
+    m.addVertex({1, 0});
+    m.addVertex({0.5, 0.05});
+    const TriId t = m.createTriangle(0, 1, 2);
+    const Point mid = midpoint({0, 0}, {1, 0});
+
+    Cavity cav;
+    ASSERT_TRUE(buildCavity(m, t, mid, cav, [](TriId) {}, true));
+    const VertId nv = m.addVertex(mid);
+    std::vector<TriId> created;
+    retriangulate(m, cav, nv, created);
+    EXPECT_EQ(created.size(), 2u);
+    EXPECT_TRUE(m.checkConsistency());
+    // Each new triangle has exactly two boundary edges (a half-segment
+    // and one original side).
+    for (TriId c : created) {
+        int boundary = 0;
+        for (int i = 0; i < 3; ++i)
+            if (m.tri(c).nbr[i] == kNoTri)
+                ++boundary;
+        EXPECT_EQ(boundary, 2);
+    }
+}
+
+TEST(Submesh, ExtractionDropsMarkedVertices)
+{
+    // Quad plus a triangle hanging off vertex 0; drop vertices < 1.
+    Mesh m;
+    makeQuad(m);
+    ASSERT_TRUE(m.checkConsistency());
+    Mesh sub;
+    extractAliveSubmesh(m, 1, sub);
+    // Only triangle (2,1,3) avoids vertex 0.
+    EXPECT_EQ(sub.numAliveTriangles(), 1u);
+    EXPECT_TRUE(sub.checkConsistency());
+}
+
+TEST(OffIo, RoundTrip)
+{
+    Mesh m;
+    makeQuad(m);
+    std::stringstream ss;
+    writeOff(ss, m);
+
+    Mesh back;
+    ASSERT_TRUE(readOff(ss, back));
+    EXPECT_EQ(back.numAliveTriangles(), 2u);
+    EXPECT_TRUE(back.checkConsistency());
+    EXPECT_EQ(back.geometricHash(), m.geometricHash());
+}
+
+TEST(OffIo, RejectsMalformedInput)
+{
+    {
+        std::stringstream ss("NOT_OFF 1 2 3");
+        Mesh m;
+        EXPECT_FALSE(readOff(ss, m));
+    }
+    {
+        std::stringstream ss("OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n4 0 1 2");
+        Mesh m;
+        EXPECT_FALSE(readOff(ss, m)); // non-triangular face
+    }
+    {
+        std::stringstream ss("OFF\n2 1 0\n0 0 0\n1 0 0\n3 0 1 5");
+        Mesh m;
+        EXPECT_FALSE(readOff(ss, m)); // vertex index out of range
+    }
+}
+
+TEST(OffIo, FixesOrientationOnRead)
+{
+    // A clockwise face must come back CCW.
+    std::stringstream ss("OFF\n3 1 0\n0 0 0\n1 0 0\n0 1 0\n3 0 2 1");
+    Mesh m;
+    ASSERT_TRUE(readOff(ss, m));
+    EXPECT_TRUE(m.checkConsistency()); // consistency includes CCW
+}
+
+TEST(Cavity, RandomIncrementalInsertionFuzz)
+{
+    // Serial Bowyer-Watson through the cavity API directly, validating
+    // structure + Delaunay property as the mesh grows. Exercises
+    // retriangulate's linking on hundreds of random cavities.
+    galois::support::Prng rng(0xfeed);
+    Mesh m;
+    m.addVertex({-1e6, -1e6});
+    m.addVertex({1e6, -1e6});
+    m.addVertex({0, 1e6});
+    TriId where = m.createTriangle(0, 1, 2);
+
+    for (int i = 0; i < 400; ++i) {
+        const Point p{rng.nextDouble(), rng.nextDouble()};
+        // Locate by scanning live triangles (fine at this scale).
+        TriId container = kNoTri;
+        for (TriId t : m.aliveTriangles()) {
+            if (m.contains(t, p)) {
+                container = t;
+                break;
+            }
+        }
+        ASSERT_NE(container, kNoTri) << "insertion " << i;
+        Cavity cav;
+        ASSERT_TRUE(buildCavity(m, container, p, cav, [](TriId) {},
+                                false));
+        const VertId nv = m.addVertex(p);
+        std::vector<TriId> created;
+        retriangulate(m, cav, nv, created);
+        ASSERT_GE(created.size(), 3u);
+        if (i % 50 == 0 || i == 399) {
+            ASSERT_TRUE(m.checkConsistency()) << "insertion " << i;
+            ASSERT_TRUE(m.checkDelaunay(3)) << "insertion " << i;
+        }
+    }
+    EXPECT_EQ(m.numAliveTriangles(), 2u * (400 + 3) - 5);
+    (void)where;
+}
+
+TEST(Mesh, CircumcenterIsEquidistantFromVertices)
+{
+    galois::support::Prng rng(0xcafe);
+    for (int i = 0; i < 200; ++i) {
+        Point a{rng.nextDouble(), rng.nextDouble()};
+        Point b{rng.nextDouble(), rng.nextDouble()};
+        Point c{rng.nextDouble(), rng.nextDouble()};
+        if (orient2d(a, b, c) == 0)
+            continue; // skip degenerate triples
+        const Point cc = circumcenter(a, b, c);
+        const double ra = dist2(cc, a);
+        EXPECT_NEAR(dist2(cc, b), ra, 1e-6 * (1 + ra));
+        EXPECT_NEAR(dist2(cc, c), ra, 1e-6 * (1 + ra));
+    }
+}
+
+TEST(Mesh, AnglesOfRandomTrianglesSumTo180)
+{
+    galois::support::Prng rng(0xbead);
+    for (int i = 0; i < 200; ++i) {
+        Point a{rng.nextDouble(), rng.nextDouble()};
+        Point b{rng.nextDouble(), rng.nextDouble()};
+        Point c{rng.nextDouble(), rng.nextDouble()};
+        if (std::abs(orient2d(a, b, c)) < 1e-6)
+            continue;
+        // minAngleDeg computes two corners and derives the third: it
+        // must always land in (0, 60].
+        const double m = minAngleDeg(a, b, c);
+        EXPECT_GT(m, 0.0);
+        EXPECT_LE(m, 60.0 + 1e-9);
+    }
+}

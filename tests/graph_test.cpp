@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the CSR graph and the deterministic input generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <set>
+
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+
+using namespace galois::graph;
+
+TEST(CsrGraph, BuildsAdjacency)
+{
+    // 0 -> 1, 0 -> 2, 1 -> 2, 2 -> 0
+    std::vector<Edge> edges{{0, 1, 10}, {0, 2, 20}, {1, 2, 30}, {2, 0, 40}};
+    CsrGraph<int> g(3, edges);
+    EXPECT_EQ(g.numNodes(), 3u);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 1u);
+    EXPECT_EQ(g.degree(2), 1u);
+    EXPECT_EQ(g.dst(g.edgeBegin(0)), 1u);
+    EXPECT_EQ(g.dst(g.edgeBegin(0) + 1), 2u);
+    EXPECT_EQ(g.edgeData(g.edgeBegin(2)), 40);
+    auto nbrs = g.neighbors(0);
+    EXPECT_EQ(nbrs.size(), 2u);
+}
+
+TEST(CsrGraph, NodeDataAndLocks)
+{
+    std::vector<Edge> edges{{0, 1, 0}};
+    CsrGraph<long> g(2, edges);
+    g.data(0) = 7;
+    g.data(1) = 8;
+    EXPECT_EQ(g.data(0), 7);
+    EXPECT_EQ(g.data(1), 8);
+    // Locks start unowned.
+    EXPECT_EQ(g.lock(0).owner(), nullptr);
+    EXPECT_EQ(g.lock(1).owner(), nullptr);
+}
+
+TEST(CsrGraph, ReverseEdgeTwins)
+{
+    std::vector<Edge> edges{{0, 1, 5}, {1, 0, 0}, {1, 2, 7}, {2, 1, 0}};
+    CsrGraph<int> g(3, edges, /*find_reverse=*/true);
+    for (Node u = 0; u < g.numNodes(); ++u) {
+        for (std::uint64_t e = g.edgeBegin(u); e < g.edgeEnd(u); ++e) {
+            const std::uint64_t r = g.reverseEdge(e);
+            EXPECT_EQ(g.dst(r), u);
+            EXPECT_EQ(g.reverseEdge(r), e);
+        }
+    }
+}
+
+TEST(Generators, KOutDegreesAndDeterminism)
+{
+    const auto e1 = randomKOut(100, 5, 42, /*symmetric=*/false);
+    const auto e2 = randomKOut(100, 5, 42, /*symmetric=*/false);
+    ASSERT_EQ(e1.size(), 500u);
+    for (std::size_t i = 0; i < e1.size(); ++i) {
+        EXPECT_EQ(e1[i].src, e2[i].src);
+        EXPECT_EQ(e1[i].dst, e2[i].dst);
+    }
+    // No self loops; per-node neighbor sets are distinct.
+    for (std::size_t i = 0; i < e1.size(); i += 5) {
+        std::set<Node> nbrs;
+        for (std::size_t j = i; j < i + 5; ++j) {
+            EXPECT_NE(e1[j].src, e1[j].dst);
+            nbrs.insert(e1[j].dst);
+        }
+        EXPECT_EQ(nbrs.size(), 5u);
+    }
+    // Different seed differs.
+    const auto e3 = randomKOut(100, 5, 43, false);
+    bool any_diff = false;
+    for (std::size_t i = 0; i < e1.size(); ++i)
+        any_diff |= e1[i].dst != e3[i].dst;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Generators, SymmetricContainsBothDirections)
+{
+    const auto edges = randomKOut(50, 3, 7, /*symmetric=*/true);
+    EXPECT_EQ(edges.size(), 300u);
+    std::multiset<std::pair<Node, Node>> all;
+    for (const Edge& e : edges)
+        all.insert({e.src, e.dst});
+    for (const Edge& e : edges)
+        EXPECT_TRUE(all.count({e.dst, e.src}) > 0);
+}
+
+TEST(Generators, FlowNetworkCapacities)
+{
+    const auto edges = randomFlowNetwork(64, 4, 100, 99);
+    // Random k-out part + the dedicated source/sink fan arcs.
+    EXPECT_GT(edges.size(), 64u * 4 * 2);
+    const std::size_t base = 64u * 4 * 2;
+    for (std::size_t i = 0; i < edges.size(); i += 2) {
+        EXPECT_GE(edges[i].data, 1);
+        EXPECT_LE(edges[i].data, i < base ? 100 : 400);
+        EXPECT_EQ(edges[i + 1].data, 0);
+        EXPECT_EQ(edges[i].src, edges[i + 1].dst);
+        EXPECT_EQ(edges[i].dst, edges[i + 1].src);
+    }
+    // The fan arcs attach to the source (0) and the sink (63).
+    bool fan_src = false, fan_sink = false;
+    for (std::size_t i = base; i < edges.size(); i += 2) {
+        fan_src |= edges[i].src == 0;
+        fan_sink |= edges[i].dst == 63;
+    }
+    EXPECT_TRUE(fan_src);
+    EXPECT_TRUE(fan_sink);
+    // CSR with reverse twins must build successfully.
+    CsrGraph<int> g(64, edges, /*find_reverse=*/true);
+    EXPECT_EQ(g.numEdges(), edges.size());
+}
+
+TEST(GraphIo, EdgeListRoundTrip)
+{
+    std::stringstream ss("# comment\n0 1 5\n1 2\n2 0 7\n");
+    Node n = 0;
+    auto edges = readEdgeList(ss, n);
+    ASSERT_TRUE(edges.has_value());
+    EXPECT_EQ(n, 3u);
+    ASSERT_EQ(edges->size(), 3u);
+    EXPECT_EQ((*edges)[0].data, 5);
+    EXPECT_EQ((*edges)[1].data, 0);
+    EXPECT_EQ((*edges)[2].src, 2u);
+}
+
+TEST(GraphIo, EdgeListRejectsGarbage)
+{
+    std::stringstream ss("0 x\n");
+    Node n = 0;
+    EXPECT_FALSE(readEdgeList(ss, n).has_value());
+}
+
+TEST(GraphIo, DimacsMaxFlowRoundTrip)
+{
+    std::stringstream ss(
+        "c tiny instance\n"
+        "p max 4 5\n"
+        "n 1 s\n"
+        "n 4 t\n"
+        "a 1 2 3\n"
+        "a 1 3 5\n"
+        "a 2 4 3\n"
+        "a 3 4 5\n"
+        "a 2 3 1\n");
+    auto parsed = readDimacsMaxFlow(ss);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->numNodes, 4u);
+    EXPECT_EQ(parsed->source, 0u);
+    EXPECT_EQ(parsed->sink, 3u);
+    EXPECT_EQ(parsed->edges.size(), 10u); // arcs + residual twins
+
+    CsrGraph<int> g(parsed->numNodes, parsed->edges,
+                    /*find_reverse=*/true);
+    std::stringstream out;
+    writeDimacsMaxFlow(out, g, parsed->source, parsed->sink);
+    auto again = readDimacsMaxFlow(out);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->numNodes, parsed->numNodes);
+    EXPECT_EQ(again->edges.size(), parsed->edges.size());
+}
+
+TEST(GraphIo, DimacsRejectsMalformed)
+{
+    {
+        std::stringstream ss("p min 4 5\n");
+        EXPECT_FALSE(readDimacsMaxFlow(ss).has_value());
+    }
+    {
+        std::stringstream ss("p max 2 1\nn 1 s\nn 2 t\na 1 9 5\n");
+        EXPECT_FALSE(readDimacsMaxFlow(ss).has_value()); // bad node id
+    }
+    {
+        std::stringstream ss("p max 2 0\nn 1 s\n");
+        EXPECT_FALSE(readDimacsMaxFlow(ss).has_value()); // no sink
+    }
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the maximal-matching extension app (Lonestar-style Galois
+ * operator + PBBS-style deterministic reservations).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/mm.h"
+#include "pbbs/det_mm.h"
+
+using namespace galois;
+
+namespace {
+
+Config
+makeCfg(Exec exec, unsigned threads)
+{
+    Config cfg;
+    cfg.exec = exec;
+    cfg.threads = threads;
+    return cfg;
+}
+
+} // namespace
+
+TEST(Mm, SerialGreedyIsValid)
+{
+    auto prob = apps::mm::makeProblem(2000, 4, 301);
+    apps::mm::serialMatch(prob);
+    EXPECT_TRUE(apps::mm::isMaximalMatching(prob));
+    EXPECT_GT(apps::mm::matchedEdges(prob).size(), 0u);
+}
+
+TEST(Mm, AllExecutorsProduceValidMatchings)
+{
+    auto prob = apps::mm::makeProblem(2000, 4, 302);
+    for (auto [exec, threads] :
+         {std::pair{Exec::Serial, 1u}, std::pair{Exec::NonDet, 4u},
+          std::pair{Exec::Det, 1u}, std::pair{Exec::Det, 4u}}) {
+        apps::mm::galoisMatch(prob, makeCfg(exec, threads));
+        EXPECT_TRUE(apps::mm::isMaximalMatching(prob))
+            << "exec " << static_cast<int>(exec) << " threads "
+            << threads;
+    }
+}
+
+TEST(Mm, DetOutputIsThreadCountInvariant)
+{
+    auto prob = apps::mm::makeProblem(3000, 5, 303);
+    apps::mm::galoisMatch(prob, makeCfg(Exec::Det, 1));
+    const auto ref = apps::mm::matchedEdges(prob);
+    for (unsigned t : {2u, 4u, 8u}) {
+        apps::mm::galoisMatch(prob, makeCfg(Exec::Det, t));
+        EXPECT_EQ(apps::mm::matchedEdges(prob), ref)
+            << t << " threads";
+    }
+}
+
+TEST(Mm, PbbsEqualsSequentialGreedy)
+{
+    auto prob = apps::mm::makeProblem(3000, 5, 304);
+    apps::mm::serialMatch(prob);
+    const auto greedy = apps::mm::matchedEdges(prob);
+    for (unsigned t : {1u, 4u}) {
+        for (std::size_t round : {64ul, 4096ul}) {
+            auto stats = pbbs::detMatch(prob, t, round);
+            EXPECT_TRUE(apps::mm::isMaximalMatching(prob));
+            EXPECT_EQ(apps::mm::matchedEdges(prob), greedy)
+                << t << " threads, round " << round;
+            EXPECT_GT(stats.committed, 0u);
+        }
+    }
+}
+
+TEST(Mm, SelfLoopsNeverMatch)
+{
+    apps::mm::Problem prob;
+    prob.numNodes = 3;
+    prob.edges = {{0, 0}, {0, 1}, {1, 2}};
+    prob.reset();
+    apps::mm::serialMatch(prob);
+    EXPECT_TRUE(apps::mm::isMaximalMatching(prob));
+    EXPECT_EQ(prob.inMatching[0], 0);
+    EXPECT_EQ(prob.inMatching[1], 1); // (0,1) matches first
+    EXPECT_EQ(prob.inMatching[2], 0); // 1 already matched
+
+    apps::mm::galoisMatch(prob, makeCfg(Exec::Det, 2));
+    EXPECT_TRUE(apps::mm::isMaximalMatching(prob));
+    EXPECT_EQ(prob.inMatching[0], 0);
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Tests for the PARSEC-style kernels: numerical correctness, parallel /
+ * serial agreement, and behavior under the deterministic scheduler.
+ */
+
+#include <gtest/gtest.h>
+
+#include "coredet/coredet.h"
+#include "parsec/blackscholes.h"
+#include "parsec/bodytrack_like.h"
+#include "parsec/freqmine_like.h"
+
+using namespace galois;
+using coredet::DmpScheduler;
+using coredet::RawScheduler;
+
+TEST(Blackscholes, KnownValues)
+{
+    // Canonical textbook case: S=100, K=100, r=5%, sigma=20%, T=1.
+    parsec::Option call{100, 100, 0.05, 0.2, 1.0, false};
+    parsec::Option put{100, 100, 0.05, 0.2, 1.0, true};
+    EXPECT_NEAR(parsec::priceOption(call), 10.4506, 5e-3);
+    EXPECT_NEAR(parsec::priceOption(put), 5.5735, 5e-3);
+    // Put-call parity: C - P = S - K e^{-rT}.
+    EXPECT_NEAR(parsec::priceOption(call) - parsec::priceOption(put),
+                100 - 100 * std::exp(-0.05), 1e-9);
+}
+
+TEST(Blackscholes, ParallelMatchesSerial)
+{
+    const auto portfolio = parsec::randomPortfolio(5000, 101);
+    std::vector<double> serial_prices, parallel_prices;
+    RawScheduler one(1), four(4);
+    const double serial = priceAll(one, portfolio, 1, serial_prices);
+    const double parallel = priceAll(four, portfolio, 1, parallel_prices);
+    EXPECT_EQ(serial_prices, parallel_prices); // bitwise: disjoint writes
+    EXPECT_DOUBLE_EQ(serial, parallel);
+}
+
+TEST(Blackscholes, DeterministicUnderDmp)
+{
+    const auto portfolio = parsec::randomPortfolio(2000, 102);
+    std::vector<double> p1, p2;
+    DmpScheduler a(4, 1000), b(4, 1000);
+    priceAll(a, portfolio, 1, p1);
+    priceAll(b, portfolio, 1, p2);
+    EXPECT_EQ(p1, p2);
+    // Few syncs relative to work: the coarse-grain profile of Fig. 5.
+    EXPECT_LT(a.stats().syncOps, portfolio.size() / 100);
+}
+
+TEST(BodytrackLike, TracksTheTrajectory)
+{
+    const auto prob = parsec::makeTrackingProblem(40, 111);
+    RawScheduler sched(4);
+    const auto res = trackBody(sched, prob, 512, 112);
+    ASSERT_EQ(res.estimates.size(), 40u);
+    // The filter should stay close to the observations.
+    EXPECT_LT(res.meanError, 0.2);
+}
+
+TEST(BodytrackLike, ParallelMatchesSerial)
+{
+    const auto prob = parsec::makeTrackingProblem(20, 113);
+    RawScheduler one(1), four(4);
+    const auto a = trackBody(one, prob, 256, 114);
+    const auto b = trackBody(four, prob, 256, 114);
+    // Per-particle noise streams make the computation schedule-
+    // independent: results are bitwise equal.
+    ASSERT_EQ(a.estimates.size(), b.estimates.size());
+    for (std::size_t f = 0; f < a.estimates.size(); ++f)
+        for (int d = 0; d < parsec::TrackingProblem::kDims; ++d)
+            EXPECT_DOUBLE_EQ(a.estimates[f][d], b.estimates[f][d]);
+}
+
+TEST(FreqmineLike, CountsAreExact)
+{
+    // Tiny handmade database.
+    parsec::ItemsetDb db;
+    db.numItems = 4;
+    db.transactions = {{0, 1}, {0, 1, 2}, {0, 2}, {1, 2}, {0, 1, 3}};
+    RawScheduler sched(2);
+    const auto res = mineFrequent(sched, db, 3);
+    EXPECT_EQ(res.itemSupport[0], 4u);
+    EXPECT_EQ(res.itemSupport[1], 4u);
+    EXPECT_EQ(res.itemSupport[2], 3u);
+    EXPECT_EQ(res.itemSupport[3], 1u);
+    EXPECT_EQ(res.frequentItems, 3u); // items 0, 1, 2
+    // Pair (0,1) appears 3 times — the only frequent pair.
+    EXPECT_EQ(res.frequentPairs, 1u);
+    EXPECT_EQ(res.pairSupport.at((0ULL << 32) | 1), 3u);
+}
+
+TEST(FreqmineLike, ParallelMatchesSerial)
+{
+    const auto db = parsec::makeItemsetDb(3000, 200, 8, 121);
+    RawScheduler one(1), four(4);
+    const auto a = mineFrequent(one, db, 30);
+    const auto b = mineFrequent(four, db, 30);
+    EXPECT_EQ(a.itemSupport, b.itemSupport);
+    EXPECT_EQ(a.frequentItems, b.frequentItems);
+    EXPECT_EQ(a.frequentPairs, b.frequentPairs);
+    EXPECT_EQ(a.pairSupport, b.pairSupport);
+}
+
+TEST(FreqmineLike, WorksUnderDmp)
+{
+    const auto db = parsec::makeItemsetDb(1000, 100, 6, 122);
+    RawScheduler raw(2);
+    DmpScheduler dmp(2, 5000);
+    const auto a = mineFrequent(raw, db, 20);
+    const auto b = mineFrequent(dmp, db, 20);
+    EXPECT_EQ(a.itemSupport, b.itemSupport);
+    EXPECT_EQ(a.frequentPairs, b.frequentPairs);
+}

@@ -1,0 +1,311 @@
+/**
+ * @file
+ * Tests for the handwritten deterministic PBBS-style baselines: output
+ * validity, agreement with the reference algorithms, and determinism by
+ * construction (identical output for every thread count and round size).
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/bfs.h"
+#include "apps/mis.h"
+#include "graph/generators.h"
+#include "pbbs/det_bfs.h"
+#include "pbbs/det_mesh.h"
+#include "pbbs/det_mis.h"
+#include "pbbs/det_sf.h"
+#include "pbbs/reservations.h"
+
+using namespace galois;
+using galois::Lockable;
+
+TEST(DetBfs, MatchesSerialDistances)
+{
+    auto edges = graph::randomKOut(2000, 5, 71, true);
+    apps::bfs::Graph g(2000, edges);
+    const auto expect = apps::bfs::serialBfs(g, 0);
+    for (unsigned threads : {1u, 2u, 4u}) {
+        auto res = pbbs::detBfs(g, 0, threads);
+        EXPECT_EQ(res.dist, expect) << threads << " threads";
+    }
+}
+
+TEST(DetBfs, ParentTreeIsThreadCountInvariant)
+{
+    auto edges = graph::randomKOut(2000, 5, 72, true);
+    apps::bfs::Graph g(2000, edges);
+    const auto ref = pbbs::detBfs(g, 0, 1);
+    for (unsigned threads : {2u, 3u, 8u}) {
+        auto res = pbbs::detBfs(g, 0, threads);
+        EXPECT_EQ(res.parent, ref.parent) << threads << " threads";
+        EXPECT_EQ(res.stats.rounds, ref.stats.rounds);
+    }
+}
+
+TEST(DetBfs, ParentsAreValidTreeEdges)
+{
+    auto edges = graph::randomKOut(500, 4, 73, true);
+    apps::bfs::Graph g(500, edges);
+    auto res = pbbs::detBfs(g, 0, 4);
+    constexpr std::uint32_t kInf = ~std::uint32_t(0);
+    for (graph::Node v = 0; v < 500; ++v) {
+        if (res.dist[v] == kInf || v == 0)
+            continue;
+        const graph::Node p = res.parent[v];
+        EXPECT_EQ(res.dist[v], res.dist[p] + 1);
+        // p must actually be a neighbor of v (symmetric graph).
+        bool adjacent = false;
+        for (graph::Node u : g.neighbors(v))
+            adjacent |= (u == p);
+        EXPECT_TRUE(adjacent);
+    }
+}
+
+TEST(DetMis, EqualsSequentialGreedy)
+{
+    auto edges = graph::randomKOut(3000, 5, 74, true);
+    apps::mis::Graph g(3000, edges);
+    const auto greedy = apps::mis::serialMis(g);
+    for (unsigned threads : {1u, 4u}) {
+        auto res = pbbs::detMis(g, threads);
+        ASSERT_EQ(res.status.size(), greedy.size());
+        for (std::size_t v = 0; v < greedy.size(); ++v) {
+            EXPECT_EQ(static_cast<int>(res.status[v]),
+                      static_cast<int>(greedy[v]))
+                << "node " << v << ", " << threads << " threads";
+        }
+    }
+}
+
+TEST(DetMis, RoundCountIsThreadCountInvariant)
+{
+    auto edges = graph::randomKOut(1000, 6, 75, true);
+    apps::mis::Graph g(1000, edges);
+    const auto r1 = pbbs::detMis(g, 1);
+    const auto r4 = pbbs::detMis(g, 4);
+    EXPECT_EQ(r1.stats.rounds, r4.stats.rounds);
+    EXPECT_GT(r1.stats.rounds, 1u); // genuinely multi-round
+}
+
+TEST(DetDt, ProducesSameTriangulationAsGalois)
+{
+    // The Delaunay triangulation is unique: PBBS-style reservations and
+    // the Galois executors must agree geometrically.
+    apps::dt::Problem a;
+    apps::dt::makeProblem(apps::dt::randomPoints(600, 81), 82, a);
+    Config serial;
+    serial.exec = Exec::Serial;
+    apps::dt::triangulate(a, serial);
+    ASSERT_TRUE(apps::dt::validate(a));
+    const auto expect = a.mesh.geometricHash(apps::dt::kNumSuperVerts);
+
+    for (unsigned threads : {1u, 4u}) {
+        apps::dt::Problem b;
+        apps::dt::makeProblem(apps::dt::randomPoints(600, 81), 82, b);
+        auto stats = pbbs::detTriangulate(b, threads, 256);
+        EXPECT_EQ(stats.committed, 600u);
+        EXPECT_TRUE(apps::dt::validate(b));
+        EXPECT_EQ(b.mesh.geometricHash(apps::dt::kNumSuperVerts), expect)
+            << threads << " threads";
+    }
+}
+
+TEST(DetDt, RoundSizeIsAPerformanceParameterOnly)
+{
+    // Different round sizes change the round structure; the triangulation
+    // stays the unique Delaunay one.
+    for (std::size_t round_size : {64ul, 1024ul}) {
+        apps::dt::Problem p;
+        apps::dt::makeProblem(apps::dt::randomPoints(300, 83), 84, p);
+        auto stats = pbbs::detTriangulate(p, 4, round_size);
+        EXPECT_TRUE(apps::dt::validate(p)) << round_size;
+        EXPECT_GT(stats.rounds, 1u);
+    }
+}
+
+TEST(DetDmr, RefinesAndIsThreadCountInvariant)
+{
+    auto run = [&](unsigned threads) {
+        apps::dmr::Problem prob;
+        apps::dmr::makeProblem(250, 85, prob);
+        auto stats = pbbs::detRefine(prob, threads, 512);
+        EXPECT_TRUE(prob.mesh.checkConsistency());
+        EXPECT_TRUE(prob.mesh.checkDelaunay());
+        EXPECT_TRUE(apps::dmr::badTriangles(prob).empty());
+        EXPECT_GT(stats.committed, 0u);
+        return prob.mesh.geometricHash();
+    };
+    const auto h = run(1);
+    EXPECT_EQ(run(2), h);
+    EXPECT_EQ(run(4), h);
+}
+
+TEST(DetSf, EqualsSequentialGreedyForest)
+{
+    pbbs::SfProblem prob;
+    prob.numNodes = 3000;
+    for (const auto& e : graph::randomKOut(3000, 3, 501, false))
+        prob.edges.emplace_back(e.src, e.dst);
+
+    const auto serial = pbbs::serialSpanningForest(prob);
+    ASSERT_TRUE(pbbs::validateForest(prob, serial));
+
+    for (unsigned threads : {1u, 4u}) {
+        for (std::size_t round : {128ul, 4096ul}) {
+            const auto det =
+                pbbs::detSpanningForest(prob, threads, round);
+            EXPECT_TRUE(pbbs::validateForest(prob, det));
+            EXPECT_EQ(det.inForest, serial.inForest)
+                << threads << " threads, round " << round;
+        }
+    }
+}
+
+TEST(DetSf, ForestSizeMatchesComponentStructure)
+{
+    // Two disjoint cliques of 4: forest must have exactly 6 edges
+    // (3 per component).
+    pbbs::SfProblem prob;
+    prob.numNodes = 8;
+    for (std::uint32_t base : {0u, 4u})
+        for (std::uint32_t i = 0; i < 4; ++i)
+            for (std::uint32_t j = i + 1; j < 4; ++j)
+                prob.edges.emplace_back(base + i, base + j);
+    const auto det = pbbs::detSpanningForest(prob, 2, 64);
+    EXPECT_TRUE(pbbs::validateForest(prob, det));
+    std::size_t count = 0;
+    for (auto f : det.inForest)
+        count += f;
+    EXPECT_EQ(count, 6u);
+}
+
+TEST(DetSf, SelfLoopsAndParallelEdges)
+{
+    pbbs::SfProblem prob;
+    prob.numNodes = 3;
+    prob.edges = {{0, 0}, {0, 1}, {0, 1}, {1, 2}, {2, 0}};
+    const auto det = pbbs::detSpanningForest(prob, 2, 16);
+    EXPECT_TRUE(pbbs::validateForest(prob, det));
+    EXPECT_EQ(det.inForest[0], 0); // self loop never joins
+    EXPECT_EQ(det.inForest[1], 1); // first (0,1) wins
+    EXPECT_EQ(det.inForest[2], 0); // duplicate dropped
+}
+
+// ---------------------------------------------------------------------
+// Deterministic-reservations engine (unit level)
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Synthetic step: items are counter indices; each reserves the two
+ *  cells it will increment with a non-commutative update. */
+struct CounterStep
+{
+    std::vector<std::int64_t>& cells;
+    std::vector<Lockable>& locks;
+    std::uint32_t spawn_below = 0;
+
+    bool
+    reserve(std::uint32_t& item, pbbs::Reservation& res)
+    {
+        res.reserve(locks[item % cells.size()]);
+        res.reserve(locks[(item * 7 + 3) % cells.size()]);
+        return true;
+    }
+
+    void
+    commit(std::uint32_t& item, pbbs::Reservation&,
+           std::vector<std::uint32_t>& out_new)
+    {
+        const std::size_t a = item % cells.size();
+        const std::size_t b = (item * 7 + 3) % cells.size();
+        cells[a] = cells[a] * 3 + item;
+        cells[b] = cells[b] * 5 + 1;
+        if (item < spawn_below)
+            out_new.push_back(item + 100000);
+    }
+};
+
+std::uint64_t
+runCounterStep(unsigned threads, std::size_t round, std::uint32_t items,
+               std::uint32_t spawn, pbbs::PbbsStats* stats = nullptr)
+{
+    std::vector<std::int64_t> cells(16, 1);
+    std::vector<Lockable> locks(16);
+    CounterStep step{cells, locks, spawn};
+    std::vector<std::uint32_t> work(items);
+    for (std::uint32_t i = 0; i < items; ++i)
+        work[i] = i;
+    auto s = pbbs::speculativeFor(std::move(work), step, threads, round);
+    if (stats)
+        *stats = s;
+    std::uint64_t h = 1469598103934665603ULL;
+    for (std::int64_t v : cells) {
+        h ^= static_cast<std::uint64_t>(v);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+TEST(Reservations, OutputInvariantAcrossThreadCounts)
+{
+    pbbs::PbbsStats s1;
+    const auto h = runCounterStep(1, 64, 2000, 300, &s1);
+    EXPECT_EQ(s1.committed, 2300u); // items + spawned
+    for (unsigned t : {2u, 4u, 8u}) {
+        pbbs::PbbsStats st;
+        EXPECT_EQ(runCounterStep(t, 64, 2000, 300, &st), h)
+            << t << " threads";
+        EXPECT_EQ(st.committed, 2300u);
+        EXPECT_EQ(st.rounds, s1.rounds) << t << " threads";
+    }
+}
+
+TEST(Reservations, RoundSizeChangesScheduleDeterministically)
+{
+    // Each round size is individually deterministic; different round
+    // sizes are different (valid) schedules.
+    for (std::size_t round : {16ul, 64ul, 1024ul}) {
+        const auto a = runCounterStep(1, round, 1000, 0);
+        const auto b = runCounterStep(4, round, 1000, 0);
+        EXPECT_EQ(a, b) << "round " << round;
+    }
+}
+
+TEST(Reservations, HighestPriorityItemAlwaysCommits)
+{
+    // All items fight over one cell: exactly one commit per item total,
+    // and the abort count is bounded by rounds * (prefix - 1).
+    std::vector<std::int64_t> cells(1, 0);
+    std::vector<Lockable> locks(1);
+    struct OneCell
+    {
+        std::vector<std::int64_t>& cells;
+        std::vector<Lockable>& locks;
+        bool
+        reserve(std::uint32_t&, pbbs::Reservation& res)
+        {
+            res.reserve(locks[0]);
+            return true;
+        }
+        void
+        commit(std::uint32_t& item, pbbs::Reservation&,
+               std::vector<std::uint32_t>&)
+        {
+            cells[0] = cells[0] * 3 + item;
+        }
+    } step{cells, locks};
+    std::vector<std::uint32_t> work(50);
+    for (std::uint32_t i = 0; i < 50; ++i)
+        work[i] = i;
+    const auto stats = pbbs::speculativeFor(std::move(work), step, 4, 32);
+    EXPECT_EQ(stats.committed, 50u);
+    EXPECT_EQ(stats.rounds, 50u); // one commit per round (total conflict)
+    // Priority order = index order: the fold equals the sequential one.
+    std::int64_t expect = 0;
+    for (std::int64_t i = 0; i < 50; ++i)
+        expect = expect * 3 + i;
+    EXPECT_EQ(cells[0], expect);
+}

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_coredet_quantum.dir/abl_coredet_quantum.cpp.o"
+  "CMakeFiles/abl_coredet_quantum.dir/abl_coredet_quantum.cpp.o.d"
+  "abl_coredet_quantum"
+  "abl_coredet_quantum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_coredet_quantum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_coredet_quantum.
+# This may be replaced when dependencies are built.

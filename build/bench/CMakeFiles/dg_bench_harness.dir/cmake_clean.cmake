@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_bench_harness.dir/apps_common.cpp.o"
+  "CMakeFiles/dg_bench_harness.dir/apps_common.cpp.o.d"
+  "CMakeFiles/dg_bench_harness.dir/harness.cpp.o"
+  "CMakeFiles/dg_bench_harness.dir/harness.cpp.o.d"
+  "libdg_bench_harness.a"
+  "libdg_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_task_rates.dir/fig04_task_rates.cpp.o"
+  "CMakeFiles/fig04_task_rates.dir/fig04_task_rates.cpp.o.d"
+  "fig04_task_rates"
+  "fig04_task_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_task_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_atomic_rates.dir/fig05_atomic_rates.cpp.o"
+  "CMakeFiles/fig05_atomic_rates.dir/fig05_atomic_rates.cpp.o.d"
+  "fig05_atomic_rates"
+  "fig05_atomic_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_atomic_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

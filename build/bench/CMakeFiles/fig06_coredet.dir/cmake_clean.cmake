@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_coredet.dir/fig06_coredet.cpp.o"
+  "CMakeFiles/fig06_coredet.dir/fig06_coredet.cpp.o.d"
+  "fig06_coredet"
+  "fig06_coredet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_coredet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

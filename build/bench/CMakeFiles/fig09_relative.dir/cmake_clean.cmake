@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_relative.dir/fig09_relative.cpp.o"
+  "CMakeFiles/fig09_relative.dir/fig09_relative.cpp.o.d"
+  "fig09_relative"
+  "fig09_relative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_relative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_continuation.dir/fig10_continuation.cpp.o"
+  "CMakeFiles/fig10_continuation.dir/fig10_continuation.cpp.o.d"
+  "fig10_continuation"
+  "fig10_continuation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_continuation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

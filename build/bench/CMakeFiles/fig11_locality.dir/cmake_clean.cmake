@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_locality.dir/fig11_locality.cpp.o"
+  "CMakeFiles/fig11_locality.dir/fig11_locality.cpp.o.d"
+  "fig11_locality"
+  "fig11_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

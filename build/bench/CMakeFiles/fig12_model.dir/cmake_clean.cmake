@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_model.dir/fig12_model.cpp.o"
+  "CMakeFiles/fig12_model.dir/fig12_model.cpp.o.d"
+  "fig12_model"
+  "fig12_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

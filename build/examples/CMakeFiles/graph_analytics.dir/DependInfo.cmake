@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/graph_analytics.cpp" "examples/CMakeFiles/graph_analytics.dir/graph_analytics.cpp.o" "gcc" "examples/CMakeFiles/graph_analytics.dir/graph_analytics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dg_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbbs/CMakeFiles/dg_pbbs.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dg_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/dg_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maxflow.dir/maxflow.cpp.o"
+  "CMakeFiles/maxflow.dir/maxflow.cpp.o.d"
+  "maxflow"
+  "maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bfs.cpp" "src/apps/CMakeFiles/dg_apps.dir/bfs.cpp.o" "gcc" "src/apps/CMakeFiles/dg_apps.dir/bfs.cpp.o.d"
+  "/root/repo/src/apps/cc.cpp" "src/apps/CMakeFiles/dg_apps.dir/cc.cpp.o" "gcc" "src/apps/CMakeFiles/dg_apps.dir/cc.cpp.o.d"
+  "/root/repo/src/apps/dmr.cpp" "src/apps/CMakeFiles/dg_apps.dir/dmr.cpp.o" "gcc" "src/apps/CMakeFiles/dg_apps.dir/dmr.cpp.o.d"
+  "/root/repo/src/apps/dt.cpp" "src/apps/CMakeFiles/dg_apps.dir/dt.cpp.o" "gcc" "src/apps/CMakeFiles/dg_apps.dir/dt.cpp.o.d"
+  "/root/repo/src/apps/mis.cpp" "src/apps/CMakeFiles/dg_apps.dir/mis.cpp.o" "gcc" "src/apps/CMakeFiles/dg_apps.dir/mis.cpp.o.d"
+  "/root/repo/src/apps/mm.cpp" "src/apps/CMakeFiles/dg_apps.dir/mm.cpp.o" "gcc" "src/apps/CMakeFiles/dg_apps.dir/mm.cpp.o.d"
+  "/root/repo/src/apps/pfp.cpp" "src/apps/CMakeFiles/dg_apps.dir/pfp.cpp.o" "gcc" "src/apps/CMakeFiles/dg_apps.dir/pfp.cpp.o.d"
+  "/root/repo/src/apps/sssp.cpp" "src/apps/CMakeFiles/dg_apps.dir/sssp.cpp.o" "gcc" "src/apps/CMakeFiles/dg_apps.dir/sssp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dg_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/geom/CMakeFiles/dg_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/dg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

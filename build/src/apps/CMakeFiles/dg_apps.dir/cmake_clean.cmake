@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_apps.dir/bfs.cpp.o"
+  "CMakeFiles/dg_apps.dir/bfs.cpp.o.d"
+  "CMakeFiles/dg_apps.dir/cc.cpp.o"
+  "CMakeFiles/dg_apps.dir/cc.cpp.o.d"
+  "CMakeFiles/dg_apps.dir/dmr.cpp.o"
+  "CMakeFiles/dg_apps.dir/dmr.cpp.o.d"
+  "CMakeFiles/dg_apps.dir/dt.cpp.o"
+  "CMakeFiles/dg_apps.dir/dt.cpp.o.d"
+  "CMakeFiles/dg_apps.dir/mis.cpp.o"
+  "CMakeFiles/dg_apps.dir/mis.cpp.o.d"
+  "CMakeFiles/dg_apps.dir/mm.cpp.o"
+  "CMakeFiles/dg_apps.dir/mm.cpp.o.d"
+  "CMakeFiles/dg_apps.dir/pfp.cpp.o"
+  "CMakeFiles/dg_apps.dir/pfp.cpp.o.d"
+  "CMakeFiles/dg_apps.dir/sssp.cpp.o"
+  "CMakeFiles/dg_apps.dir/sssp.cpp.o.d"
+  "libdg_apps.a"
+  "libdg_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/geom/cavity.cpp" "src/geom/CMakeFiles/dg_geom.dir/cavity.cpp.o" "gcc" "src/geom/CMakeFiles/dg_geom.dir/cavity.cpp.o.d"
+  "/root/repo/src/geom/mesh.cpp" "src/geom/CMakeFiles/dg_geom.dir/mesh.cpp.o" "gcc" "src/geom/CMakeFiles/dg_geom.dir/mesh.cpp.o.d"
+  "/root/repo/src/geom/off_io.cpp" "src/geom/CMakeFiles/dg_geom.dir/off_io.cpp.o" "gcc" "src/geom/CMakeFiles/dg_geom.dir/off_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/dg_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/dg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

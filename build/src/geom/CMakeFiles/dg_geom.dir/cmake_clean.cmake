@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_geom.dir/cavity.cpp.o"
+  "CMakeFiles/dg_geom.dir/cavity.cpp.o.d"
+  "CMakeFiles/dg_geom.dir/mesh.cpp.o"
+  "CMakeFiles/dg_geom.dir/mesh.cpp.o.d"
+  "CMakeFiles/dg_geom.dir/off_io.cpp.o"
+  "CMakeFiles/dg_geom.dir/off_io.cpp.o.d"
+  "libdg_geom.a"
+  "libdg_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_graph.dir/generators.cpp.o"
+  "CMakeFiles/dg_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/dg_graph.dir/io.cpp.o"
+  "CMakeFiles/dg_graph.dir/io.cpp.o.d"
+  "libdg_graph.a"
+  "libdg_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/cache_registry.cpp" "src/model/CMakeFiles/dg_model.dir/cache_registry.cpp.o" "gcc" "src/model/CMakeFiles/dg_model.dir/cache_registry.cpp.o.d"
+  "/root/repo/src/model/linreg.cpp" "src/model/CMakeFiles/dg_model.dir/linreg.cpp.o" "gcc" "src/model/CMakeFiles/dg_model.dir/linreg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

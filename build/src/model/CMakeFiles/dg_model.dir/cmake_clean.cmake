@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_model.dir/cache_registry.cpp.o"
+  "CMakeFiles/dg_model.dir/cache_registry.cpp.o.d"
+  "CMakeFiles/dg_model.dir/linreg.cpp.o"
+  "CMakeFiles/dg_model.dir/linreg.cpp.o.d"
+  "libdg_model.a"
+  "libdg_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

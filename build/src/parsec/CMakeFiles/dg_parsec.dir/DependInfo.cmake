@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parsec/blackscholes.cpp" "src/parsec/CMakeFiles/dg_parsec.dir/blackscholes.cpp.o" "gcc" "src/parsec/CMakeFiles/dg_parsec.dir/blackscholes.cpp.o.d"
+  "/root/repo/src/parsec/bodytrack_like.cpp" "src/parsec/CMakeFiles/dg_parsec.dir/bodytrack_like.cpp.o" "gcc" "src/parsec/CMakeFiles/dg_parsec.dir/bodytrack_like.cpp.o.d"
+  "/root/repo/src/parsec/freqmine_like.cpp" "src/parsec/CMakeFiles/dg_parsec.dir/freqmine_like.cpp.o" "gcc" "src/parsec/CMakeFiles/dg_parsec.dir/freqmine_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/dg_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

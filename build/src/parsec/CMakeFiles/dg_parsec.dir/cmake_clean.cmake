@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_parsec.dir/blackscholes.cpp.o"
+  "CMakeFiles/dg_parsec.dir/blackscholes.cpp.o.d"
+  "CMakeFiles/dg_parsec.dir/bodytrack_like.cpp.o"
+  "CMakeFiles/dg_parsec.dir/bodytrack_like.cpp.o.d"
+  "CMakeFiles/dg_parsec.dir/freqmine_like.cpp.o"
+  "CMakeFiles/dg_parsec.dir/freqmine_like.cpp.o.d"
+  "libdg_parsec.a"
+  "libdg_parsec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_parsec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

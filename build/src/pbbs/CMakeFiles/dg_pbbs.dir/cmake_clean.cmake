@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_pbbs.dir/det_sf.cpp.o"
+  "CMakeFiles/dg_pbbs.dir/det_sf.cpp.o.d"
+  "libdg_pbbs.a"
+  "libdg_pbbs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_pbbs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_runtime.dir/report_io.cpp.o"
+  "CMakeFiles/dg_runtime.dir/report_io.cpp.o.d"
+  "libdg_runtime.a"
+  "libdg_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

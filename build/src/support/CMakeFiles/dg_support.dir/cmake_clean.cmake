@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dg_support.dir/barrier.cpp.o"
+  "CMakeFiles/dg_support.dir/barrier.cpp.o.d"
+  "CMakeFiles/dg_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/dg_support.dir/thread_pool.cpp.o.d"
+  "libdg_support.a"
+  "libdg_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dg_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

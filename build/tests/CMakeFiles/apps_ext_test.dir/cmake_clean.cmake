@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_ext_test.dir/apps_ext_test.cpp.o"
+  "CMakeFiles/apps_ext_test.dir/apps_ext_test.cpp.o.d"
+  "apps_ext_test"
+  "apps_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_graph_test.dir/apps_graph_test.cpp.o"
+  "CMakeFiles/apps_graph_test.dir/apps_graph_test.cpp.o.d"
+  "apps_graph_test"
+  "apps_graph_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps_mesh_test.dir/apps_mesh_test.cpp.o"
+  "CMakeFiles/apps_mesh_test.dir/apps_mesh_test.cpp.o.d"
+  "apps_mesh_test"
+  "apps_mesh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps_mesh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

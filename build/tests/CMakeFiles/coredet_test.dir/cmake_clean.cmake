@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coredet_test.dir/coredet_test.cpp.o"
+  "CMakeFiles/coredet_test.dir/coredet_test.cpp.o.d"
+  "coredet_test"
+  "coredet_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coredet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

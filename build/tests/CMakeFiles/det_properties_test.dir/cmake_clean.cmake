@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/det_properties_test.dir/det_properties_test.cpp.o"
+  "CMakeFiles/det_properties_test.dir/det_properties_test.cpp.o.d"
+  "det_properties_test"
+  "det_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/det_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

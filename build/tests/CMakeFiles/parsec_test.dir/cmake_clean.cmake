@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parsec_test.dir/parsec_test.cpp.o"
+  "CMakeFiles/parsec_test.dir/parsec_test.cpp.o.d"
+  "parsec_test"
+  "parsec_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parsec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbbs_test.dir/pbbs_test.cpp.o"
+  "CMakeFiles/pbbs_test.dir/pbbs_test.cpp.o.d"
+  "pbbs_test"
+  "pbbs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbbs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

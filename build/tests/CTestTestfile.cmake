@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(runtime_test "/root/repo/build/tests/runtime_test")
+set_tests_properties(runtime_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(graph_test "/root/repo/build/tests/graph_test")
+set_tests_properties(graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(apps_graph_test "/root/repo/build/tests/apps_graph_test")
+set_tests_properties(apps_graph_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(geom_test "/root/repo/build/tests/geom_test")
+set_tests_properties(geom_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(apps_mesh_test "/root/repo/build/tests/apps_mesh_test")
+set_tests_properties(apps_mesh_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pbbs_test "/root/repo/build/tests/pbbs_test")
+set_tests_properties(pbbs_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(coredet_test "/root/repo/build/tests/coredet_test")
+set_tests_properties(coredet_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(parsec_test "/root/repo/build/tests/parsec_test")
+set_tests_properties(parsec_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mm_test "/root/repo/build/tests/mm_test")
+set_tests_properties(mm_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(loops_test "/root/repo/build/tests/loops_test")
+set_tests_properties(loops_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(det_properties_test "/root/repo/build/tests/det_properties_test")
+set_tests_properties(det_properties_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;20;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(apps_ext_test "/root/repo/build/tests/apps_ext_test")
+set_tests_properties(apps_ext_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;21;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(context_test "/root/repo/build/tests/context_test")
+set_tests_properties(context_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;22;dg_add_test;/root/repo/tests/CMakeLists.txt;0;")

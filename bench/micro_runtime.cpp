@@ -17,6 +17,7 @@
 #include "galois/galois.h"
 #include "runtime/worklist.h"
 #include "support/barrier.h"
+#include "support/failpoint.h"
 
 using namespace galois;
 
@@ -60,6 +61,35 @@ BM_WorklistPushPop(benchmark::State& state)
     }
 }
 BENCHMARK(BM_WorklistPushPop);
+
+void
+BM_FailpointDisarmed(benchmark::State& state)
+{
+    // The cost every FAILPOINT() site pays when no plan is armed — the
+    // common case on every hot path (task inspect, commit, abort). Must
+    // stay a single relaxed load + branch; the acceptance bar for the
+    // fault-injection harness is <2% on the executor benchmarks below.
+    failpoints::clearAll();
+    std::uint64_t k = 0;
+    for (auto _ : state)
+        FAILPOINT("bench.disarmed", k++);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointDisarmed);
+
+void
+BM_FailpointArmedMiss(benchmark::State& state)
+{
+    // Worst case while a plan is armed somewhere: every site takes the
+    // registry lookup, here for a site whose plan never matches.
+    failpoints::set("bench.other", support::FailPlan::throwAt(0));
+    std::uint64_t k = 1;
+    for (auto _ : state)
+        FAILPOINT("bench.other", k++);
+    failpoints::clearAll();
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FailpointArmedMiss);
 
 void
 BM_BarrierRoundTrip(benchmark::State& state)

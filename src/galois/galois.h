@@ -53,6 +53,12 @@ using Context = runtime::UserContext<T>;
 using runtime::Lockable;
 using runtime::RunReport;
 using DetOptions = runtime::DetOptions;
+/** Thrown by the deterministic executor's progress watchdog. */
+using runtime::LivelockError;
+/** Deterministic fault injection (see support/failpoint.h). */
+using support::FailPlan;
+using support::FailpointError;
+namespace failpoints = support::failpoints;
 
 /** Speculative-executor worklist policy (NonDet only). */
 enum class NdWorklist

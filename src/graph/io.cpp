@@ -5,6 +5,8 @@
 #include <sstream>
 #include <string>
 
+#include "support/failpoint.h"
+
 namespace galois::graph {
 
 std::optional<std::vector<Edge>>
@@ -24,6 +26,9 @@ readEdgeList(std::istream& is, Node& num_nodes)
         ls >> w; // optional weight
         if (u > ~Node(0) || v > ~Node(0))
             return std::nullopt;
+        // Key = index of the edge about to be stored: a badalloc plan
+        // here simulates running out of memory mid-import.
+        FAILPOINT("graph.readEdgeList", edges.size());
         edges.push_back(Edge{static_cast<Node>(u),
                              static_cast<Node>(v), w});
         num_nodes = std::max(num_nodes, static_cast<Node>(u) + 1);
@@ -80,6 +85,7 @@ readDimacsMaxFlow(std::istream& is)
                 v == 0 || u > out.numNodes || v > out.numNodes) {
                 return std::nullopt;
             }
+            FAILPOINT("graph.readDimacs", out.edges.size());
             out.edges.push_back(Edge{static_cast<Node>(u - 1),
                                      static_cast<Node>(v - 1), cap});
             out.edges.push_back(Edge{static_cast<Node>(v - 1),

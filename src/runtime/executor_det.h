@@ -47,6 +47,8 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "model/cache_model.h"
@@ -55,12 +57,32 @@
 #include "runtime/stats.h"
 #include "runtime/worklist.h" // SpinLock
 #include "support/barrier.h"
+#include "support/failpoint.h"
 #include "support/parallel_sort.h"
 #include "support/per_thread.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
 
 namespace galois::runtime {
+
+/**
+ * Thrown by the DetExecutor progress watchdog when the scheduler stops
+ * making progress: a configured number of consecutive rounds committed
+ * zero tasks. With a correct cautious operator this is impossible (the
+ * maximal-id task of a round always holds all its marks), so the
+ * watchdog converts an otherwise-infinite scheduling loop — typically
+ * caused by an operator that acquires locations after its failsafe
+ * point — into a fail-fast diagnostic naming the stuck task ids.
+ * Because rounds are deterministic, the diagnostic is identical on
+ * every thread count.
+ */
+class LivelockError : public std::runtime_error
+{
+  public:
+    explicit LivelockError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
 
 /** Tuning of the deterministic scheduler. The output of a run is a
  *  deterministic function of these values and the input alone — never of
@@ -97,6 +119,15 @@ struct DetOptions
      */
     std::uint64_t fixedWindow = 0;
     /**
+     * Progress watchdog: fail the run with a LivelockError after this
+     * many *consecutive* rounds that committed zero tasks (0 disables).
+     * A correct cautious operator commits at least one task per round
+     * (the maximal-id task always keeps its marks), so any value large
+     * enough to ride out flukes — there are none; zero-commit rounds
+     * repeat identically — detects only genuine livelock.
+     */
+    std::uint64_t watchdogRounds = 64;
+    /**
      * Called after every round with (window, attempted, committed).
      * Because the entire schedule is deterministic, the sequence of hook
      * invocations is itself identical across thread counts — the
@@ -104,6 +135,30 @@ struct DetOptions
      */
     std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>
         roundHook;
+
+    /**
+     * Validate and sanitize: rejects knobs that break the scheduler
+     * outright (commitTarget outside (0, 1] — the window policy divides
+     * by it) with std::invalid_argument, and clamps degenerate but
+     * recoverable ones (minWindow == 0 and spreadBuckets == 0 become 1;
+     * a zero minWindow would otherwise freeze the adaptive window at
+     * zero and spin forever on a non-empty queue). Every executeDet run
+     * goes through this, so a bad DetOptions fails fast and identically
+     * on every thread count instead of hanging or dividing by zero.
+     */
+    DetOptions
+    validated() const
+    {
+        if (!(commitTarget > 0.0) || commitTarget > 1.0) {
+            throw std::invalid_argument(
+                "DetOptions::commitTarget must be in (0, 1], got " +
+                std::to_string(commitTarget));
+        }
+        DetOptions v = *this;
+        v.minWindow = std::max<std::uint64_t>(1, minWindow);
+        v.spreadBuckets = std::max<std::uint64_t>(1, spreadBuckets);
+        return v;
+    }
 };
 
 namespace detail {
@@ -118,6 +173,15 @@ struct DetRecord : DetRecordBase
     std::vector<Lockable*> nbhd; //!< locations marked during inspect
     void* local = nullptr; //!< continuation state saved at the failsafe
     void (*localDel)(void*) = nullptr;
+    /**
+     * The task raised a non-signal exception (operator bug, allocation
+     * failure, injected fault) this round. Written and read only by the
+     * thread owning the record's slice — inspect and select use the same
+     * blockRange partition — so a plain bool suffices. Such a task must
+     * not execute again: its error is already recorded and, in baseline
+     * (DetCheck) select mode, a re-execution could otherwise commit it.
+     */
+    bool injectFailed = false;
 
     void
     destroyLocal()
@@ -157,7 +221,7 @@ class DetExecutor
         : op_(op),
           threads_(std::max(1u, std::min(
               threads, support::ThreadPool::get().maxThreads()))),
-          opt_(opt),
+          opt_(opt.validated()),
           useCache_(use_cache),
           barrier_(threads_),
           outs_(threads_),
@@ -186,7 +250,7 @@ class DetExecutor
             try {
                 buildGeneration();
             } catch (...) {
-                recordError();
+                recordError(kBookkeepingErrorId);
                 break;
             }
             if (opt_.fixedWindow != 0)
@@ -202,9 +266,13 @@ class DetExecutor
         }
 
         if (failed_.load(std::memory_order_acquire)) {
-            // An operator threw: release every mark our records still
-            // hold so the user's data structures stay usable, then
-            // deliver the first exception.
+            // A task or bookkeeping phase failed. The failing round ran
+            // to completion (so the committed set and the error are
+            // deterministic — see spmd()); release every mark our
+            // records might still hold so the user's data structures
+            // stay usable, then deliver the winning exception: the one
+            // recorded for the smallest task id, which is the same on
+            // every thread count.
             for (detail::DetRecord<T>& r : storage_)
                 for (Lockable* l : r.nbhd)
                     l->releaseIfOwner(&r);
@@ -240,6 +308,16 @@ class DetExecutor
     // SPMD driver (Figure 2)
     // ------------------------------------------------------------------
 
+    /**
+     * SPMD round loop. Fault discipline: no phase may throw (a throwing
+     * participant would strand its peers at the next barrier), and an
+     * error never truncates a round. A failing task is excluded and its
+     * exception recorded, but every other task of the round still
+     * inspects/commits exactly as it would have — so the final state at
+     * the error is the deterministic "all rounds up to and including
+     * the failing one, minus the failing tasks", independent of thread
+     * count. The loop then stops at the next round boundary.
+     */
     void
     spmd(unsigned tid)
     {
@@ -249,28 +327,54 @@ class DetExecutor
             ctx.bindCache(&caches_[tid]);
 
         for (;;) {
-            if (tid == 0)
-                assembleRound(); // calculateWindow + getWindowOfTasks
+            if (tid == 0) {
+                try {
+                    assembleRound(); // calculateWindow + getWindowOfTasks
+                } catch (...) {
+                    recordError(kBookkeepingErrorId);
+                    roundActive_ = false;
+                }
+            }
             barrier_.wait();
             if (!roundActive_)
                 return;
-            inspectSlice(tid, ctx);
+            inspectSlice(tid, ctx); // never throws
             barrier_.wait();
-            selectSlice(tid, ctx);
+            selectSlice(tid, ctx); // never throws
             barrier_.wait();
-            if (tid == 0)
-                mergeRound();
+            if (tid == 0) {
+                try {
+                    mergeRound();
+                } catch (...) {
+                    recordError(kBookkeepingErrorId);
+                }
+            }
             barrier_.wait();
         }
     }
 
-    /** Record the first operator exception; later ones are dropped. */
+    /**
+     * Bookkeeping (single-threaded, deterministic) errors use id 0 —
+     * smaller than any task id, so they deterministically win over task
+     * errors of the same round.
+     */
+    static constexpr std::uint64_t kBookkeepingErrorId = 0;
+
+    /**
+     * Record an exception attributed to the given task id, keeping the
+     * smallest id seen. All errors of a run occur in one deterministic
+     * round (failed_ stops the loop at the next round boundary) and the
+     * smallest-id error is always reached (a slice only skips nothing —
+     * tasks after an error still execute), so the winner — and with it
+     * the exception the caller observes — is thread-count invariant.
+     */
     void
-    recordError() noexcept
+    recordError(std::uint64_t id) noexcept
     {
         errLock_.lock();
-        if (!failed_.load(std::memory_order_relaxed)) {
+        if (!failed_.load(std::memory_order_relaxed) || id < errorId_) {
             firstError_ = std::current_exception();
+            errorId_ = id;
             failed_.store(true, std::memory_order_release);
         }
         errLock_.unlock();
@@ -289,6 +393,7 @@ class DetExecutor
     void
     buildGeneration()
     {
+        FAILPOINT("det.idsort", report_.generations);
         support::parallelSort(
             children_,
             [](const Child& a, const Child& b) {
@@ -353,12 +458,16 @@ class DetExecutor
         }
     }
 
-    /** Deterministic merge + adaptive window update (thread 0). */
+    /**
+     * Deterministic merge + adaptive window update + progress watchdog
+     * (thread 0). Runs even when an error was recorded this round: the
+     * round completed in full (see spmd), so merging keeps the
+     * bookkeeping consistent and the roundHook trace deterministic.
+     */
     void
     mergeRound()
     {
-        if (failed_.load(std::memory_order_acquire))
-            return; // partial round: discard; assembleRound ends the loop
+        FAILPOINT("det.merge", report_.rounds);
         // Thread t owned a contiguous, id-ordered slice of cur, so
         // concatenating per-thread failure lists in thread order
         // preserves id order.
@@ -380,6 +489,40 @@ class DetExecutor
         if (opt_.roundHook)
             opt_.roundHook(window_, cur_.size(), committed);
         updateWindow(cur_.size(), committed);
+
+        // Progress watchdog: a correct cautious operator commits the
+        // maximal-id task of every round, so repeated zero-commit rounds
+        // can only mean livelock (typically a non-cautious operator
+        // whose select-phase re-execution conflicts forever). Fail fast
+        // with a diagnostic instead of spinning; everything in the
+        // message is a deterministic function of the schedule.
+        if (committed != 0) {
+            zeroCommitRounds_ = 0;
+        } else if (opt_.watchdogRounds != 0 &&
+                   ++zeroCommitRounds_ >= opt_.watchdogRounds &&
+                   !failed_.load(std::memory_order_acquire)) {
+            std::string ids;
+            const std::size_t show = std::min<std::size_t>(8, cur_.size());
+            for (std::size_t i = 0; i < show; ++i) {
+                if (i != 0)
+                    ids += ", ";
+                ids += std::to_string(cur_[i]->id);
+            }
+            if (cur_.size() > show)
+                ids += ", ...";
+            throw LivelockError(
+                "DetExecutor progress watchdog: " +
+                std::to_string(zeroCommitRounds_) +
+                " consecutive rounds committed 0 tasks (generation " +
+                std::to_string(report_.generations) + ", round " +
+                std::to_string(report_.rounds) + ", window " +
+                std::to_string(window_) + ", " +
+                std::to_string(carry_.size() +
+                               (queue_.size() - queuePos_)) +
+                " tasks pending); stuck task ids: [" + ids +
+                "]; the operator is likely not cautious (acquires after "
+                "its failsafe point)");
+        }
     }
 
     /** Adaptive window policy (calculateWindow of Figure 2). */
@@ -411,24 +554,35 @@ class DetExecutor
     // Parallel phases
     // ------------------------------------------------------------------
 
-    /** Inspect phase: run every task in the slice to its failsafe point. */
+    /**
+     * Inspect phase: run every task in the slice to its failsafe point.
+     *
+     * A task that raises a real exception (operator bug, bad_alloc, an
+     * injected fault) is excluded from this round's selection and its
+     * error recorded — but the rest of the slice still inspects. The
+     * marks the failing task wrote before throwing stand (they are a
+     * deterministic prefix of its neighborhood), so the round's
+     * interference graph — and hence everything downstream — remains a
+     * pure function of the schedule.
+     */
     void
     inspectSlice(unsigned tid, UserContext<T>& ctx)
     {
         auto [begin, end] = detail::blockRange(cur_.size(), tid, threads_);
         for (std::size_t i = begin; i < end; ++i) {
             detail::DetRecord<T>* r = cur_[i];
-            ctx.beginTask(UserContext<T>::Mode::DetInspect, r, &r->nbhd,
-                          &r->local, &r->localDel);
             try {
+                FAILPOINT("det.inspect", r->id);
+                ctx.beginTask(UserContext<T>::Mode::DetInspect, r,
+                              &r->nbhd, &r->local, &r->localDel);
                 op_(r->item, ctx);
                 // Operator returned without reaching a write: its whole
                 // body is prefix; nothing more to do.
             } catch (const FailsafeSignal&) {
                 // Normal: the task stopped at its failsafe point.
             } catch (...) {
-                recordError();
-                return; // abandon the slice; peers exit after the merge
+                recordError(r->id);
+                r->injectFailed = true;
             }
         }
     }
@@ -440,53 +594,57 @@ class DetExecutor
     void
     selectSlice(unsigned tid, UserContext<T>& ctx)
     {
-        // If any inspect slice failed, some records were never
-        // inspected; committing them would run write phases without
-        // their neighborhoods. The error is visible here because
-        // recordError() happened before the post-inspect barrier.
-        if (failed_.load(std::memory_order_acquire))
-            return;
         auto [begin, end] = detail::blockRange(cur_.size(), tid, threads_);
         PhaseOut& out = outs_[tid];
         for (std::size_t i = begin; i < end; ++i) {
             detail::DetRecord<T>* r = cur_[i];
             bool ok;
-            if (opt_.continuation) {
-                // Flag protocol: any task that stole one of our marks
-                // already flagged us, so one load decides selection and
-                // a selected task resumes from its saved state.
-                ok = !r->notSelected.load(std::memory_order_acquire);
-                if (ok) {
-                    ctx.beginTask(UserContext<T>::Mode::DetCommit, r,
+            try {
+                if (r->injectFailed) {
+                    // Errored during inspect: already recorded, never
+                    // commits (and in baseline mode must not even
+                    // re-execute — it could pass the mark check).
+                    ok = false;
+                } else if (opt_.continuation) {
+                    // Flag protocol: any task that stole one of our
+                    // marks already flagged us, so one load decides
+                    // selection and a selected task resumes from its
+                    // saved state.
+                    ok = !r->notSelected.load(std::memory_order_acquire);
+                    if (ok) {
+                        FAILPOINT("det.commit", r->id);
+                        ctx.beginTask(UserContext<T>::Mode::DetCommit, r,
+                                      &r->nbhd, &r->local, &r->localDel);
+                        op_(r->item, ctx);
+                    }
+                } else {
+                    // Baseline: re-execute from the beginning; acquires
+                    // verify that every mark still carries our id.
+                    FAILPOINT("det.commit", r->id);
+                    ctx.beginTask(UserContext<T>::Mode::DetCheck, r,
                                   &r->nbhd, &r->local, &r->localDel);
                     try {
                         op_(r->item, ctx);
-                    } catch (...) {
-                        recordError();
-                        return;
+                        ok = true;
+                    } catch (const ConflictSignal&) {
+                        ok = false;
                     }
                 }
-            } else {
-                // Baseline: re-execute from the beginning; acquires
-                // verify that every mark still carries our id.
-                ctx.beginTask(UserContext<T>::Mode::DetCheck, r, &r->nbhd,
-                              &r->local, &r->localDel);
-                try {
-                    op_(r->item, ctx);
-                    ok = true;
-                } catch (const ConflictSignal&) {
-                    ok = false;
-                } catch (...) {
-                    recordError();
-                    return;
+                if (ok) {
+                    harvestChildren(ctx, r, out);
+                    ++out.committed;
+                    ++ctx.stats().committed;
                 }
+            } catch (...) {
+                // Real failure in the commit path (operator bug,
+                // allocation failure, injected fault). Record it against
+                // this task id and finish the slice: peers' commits must
+                // not depend on where this thread's slice boundary fell.
+                recordError(r->id);
+                r->injectFailed = true;
+                ok = false;
             }
-
-            if (ok) {
-                harvestChildren(ctx, r, out);
-                ++out.committed;
-                ++ctx.stats().committed;
-            } else {
+            if (!ok) {
                 out.failed.push_back(r);
                 ++ctx.stats().aborted;
             }
@@ -500,7 +658,9 @@ class DetExecutor
             if (ok) {
                 r->destroyLocal();
             } else {
-                // Reset for the retry in a later round.
+                // Reset for the retry in a later round (with a recorded
+                // error there is no later round; the record just parks
+                // in carry_ until the loop stops).
                 r->nbhd.clear();
                 r->notSelected.store(false, std::memory_order_relaxed);
                 r->destroyLocal();
@@ -554,6 +714,8 @@ class DetExecutor
 
     std::atomic<bool> failed_{false};
     std::exception_ptr firstError_;
+    std::uint64_t errorId_ = ~std::uint64_t(0); //!< id owning firstError_
+    std::uint64_t zeroCommitRounds_ = 0; //!< consecutive, for the watchdog
     SpinLock errLock_;
 
     support::PerThread<ThreadStats> stats_;

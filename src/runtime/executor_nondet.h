@@ -10,6 +10,22 @@
  * Once a task crosses its failsafe point it owns its whole neighborhood
  * and updates global data in place — no undo log is ever needed.
  *
+ * Fault discipline (mirrors the deterministic executor): a task that
+ * raises a non-conflict exception is *captured, released and drained* —
+ * its marks are released, its error is recorded, and its pending-work
+ * unit is retired so termination detection still converges. The other
+ * threads finish the remaining work; the first captured error is
+ * rethrown after the loop. A fault therefore behaves exactly like
+ * deterministically removing the failing task from the task set — for
+ * commutative workloads the final state is even identical across thread
+ * counts (tests/resilience_test.cpp) — and no exception can ever strand
+ * peers waiting on quiescence.
+ *
+ * Livelock mitigation: tasks carry their abort count with them through
+ * the worklist, and a task that keeps losing its neighborhood backs off
+ * exponentially (randomized, per *task* rather than per thread). The
+ * yields spent backing off are surfaced in ThreadStats::backoffYields.
+ *
  * This is the `g-n` variant of the evaluation.
  */
 
@@ -17,7 +33,9 @@
 #define DETGALOIS_RUNTIME_EXECUTOR_NONDET_H
 
 #include <atomic>
+#include <exception>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "model/cache_model.h"
@@ -25,6 +43,7 @@
 #include "runtime/context.h"
 #include "runtime/stats.h"
 #include "runtime/worklist.h"
+#include "support/failpoint.h"
 #include "support/per_thread.h"
 #include "support/termination.h"
 #include "support/thread_pool.h"
@@ -52,15 +71,29 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
     struct NdOwner : MarkOwner
     {};
 
+    /** Worklist entry: the task plus its abort count (for backoff). */
+    struct Entry
+    {
+        T item{};
+        unsigned aborts = 0;
+    };
+
     support::Timer timer;
     timer.start();
 
-    ChunkedWorklist<T, Fifo> worklist;
+    ChunkedWorklist<Entry, Fifo> worklist;
     support::TerminationDetector term;
     term.reset(initial.size());
-    // Set when an operator throws a non-conflict exception: the failing
-    // task will never retire, so peers must not wait for quiescence.
-    std::atomic<bool> failed{false};
+
+    // First captured task error; rethrown after the loop drains.
+    SpinLock err_lock;
+    std::exception_ptr first_error;
+    auto capture_first = [&]() noexcept {
+        err_lock.lock();
+        if (!first_error)
+            first_error = std::current_exception();
+        err_lock.unlock();
+    };
 
     support::PerThread<ThreadStats> stats;
     support::PerThread<NdOwner> owners;
@@ -73,6 +106,8 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
     support::ThreadPool::get().run(threads, [&](unsigned tid) {
         // Seed phase: threads carve disjoint blocks off the initial range
         // so that initial locality (adjacent tasks) stays within a thread.
+        // A failed push (allocation failure) drains the task's pending
+        // unit — losing the task, but never hanging quiescence.
         for (;;) {
             const std::size_t begin =
                 seed_cursor.fetch_add(seed_block, std::memory_order_relaxed);
@@ -80,8 +115,14 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
                 break;
             const std::size_t end =
                 std::min(begin + seed_block, initial.size());
-            for (std::size_t i = begin; i < end; ++i)
-                worklist.push(initial[i]);
+            for (std::size_t i = begin; i < end; ++i) {
+                try {
+                    worklist.push(Entry{initial[i], 0});
+                } catch (...) {
+                    capture_first();
+                    term.retire();
+                }
+            }
         }
 
         ThreadStats& my_stats = stats.local();
@@ -98,62 +139,88 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
         // workers with large overlapping neighborhoods (e.g. early
         // Delaunay insertions that all touch the root bucket) evict each
         // other's marks indefinitely on oversubscribed hosts. The
-        // randomness only affects scheduling — this executor is
-        // non-deterministic by design.
+        // exponent travels with the task (Entry::aborts), so one
+        // pathological task backs off hard without slowing its thread's
+        // other work more than once. The randomness only affects
+        // scheduling — this executor is non-deterministic by design.
         support::Prng backoff_rng(0xabcd1234u + tid);
-        unsigned consecutive_aborts = 0;
 
         for (;;) {
-            if (failed.load(std::memory_order_acquire))
-                break;
-            std::optional<T> task = worklist.pop();
-            if (!task) {
+            std::optional<Entry> e = worklist.pop();
+            if (!e) {
                 if (term.quiescent())
                     break;
                 std::this_thread::yield();
                 continue;
             }
+            const std::uint64_t fp_key = support::failpoints::keyOf(e->item);
             acquired.clear();
             ctx.beginTask(UserContext<T>::Mode::NonDet, owner, &acquired);
+            bool conflicted = false;
             try {
-                op(*task, ctx);
-                // Commit: publish new tasks, then release the
-                // neighborhood, then retire this task (the retire must be
-                // last so the pending count can never hit zero while
-                // children are unannounced).
-                for (const T& child : ctx.pendingPushes()) {
-                    term.add();
-                    worklist.push(child);
+                try {
+                    FAILPOINT("nondet.task", fp_key);
+                    op(e->item, ctx);
+                    FAILPOINT("nondet.commit", fp_key);
+                } catch (const ConflictSignal&) {
+                    conflicted = true;
+                    FAILPOINT("nondet.abort", e->aborts);
                 }
-                for (Lockable* l : acquired)
-                    l->releaseIfOwner(owner);
-                ++my_stats.committed;
-                consecutive_aborts = 0;
-                term.retire();
-            } catch (const ConflictSignal&) {
-                // Abort: nothing was written (cautious task), so rollback
-                // is just releasing the marks and re-enqueueing.
-                for (Lockable* l : acquired)
-                    l->releaseIfOwner(owner);
-                ++my_stats.aborted;
-                worklist.push(*task);
-                // Break symmetry with the conflicting task.
-                ++consecutive_aborts;
-                const std::uint64_t spins = backoff_rng.nextBounded(
-                    std::uint64_t(1)
-                    << std::min(consecutive_aborts, 12u));
-                for (std::uint64_t i = 0; i <= spins; ++i)
-                    std::this_thread::yield();
+                if (!conflicted) {
+                    // Commit: publish new tasks, then release the
+                    // neighborhood, then retire this task (the retire
+                    // must be last so the pending count can never hit
+                    // zero while children are unannounced).
+                    for (const T& child : ctx.pendingPushes()) {
+                        term.add();
+                        try {
+                            worklist.push(Entry{child, 0});
+                        } catch (...) {
+                            capture_first();
+                            term.retire(); // child lost; drain its unit
+                        }
+                    }
+                    for (Lockable* l : acquired)
+                        l->releaseIfOwner(owner);
+                    ++my_stats.committed;
+                    term.retire();
+                } else {
+                    // Abort: nothing was written (cautious task), so
+                    // rollback is just releasing the marks and
+                    // re-enqueueing with a bumped abort count.
+                    for (Lockable* l : acquired)
+                        l->releaseIfOwner(owner);
+                    ++my_stats.aborted;
+                    const unsigned aborts = e->aborts + 1;
+                    try {
+                        worklist.push(Entry{e->item, aborts});
+                    } catch (...) {
+                        capture_first();
+                        term.retire(); // task lost; drain its unit
+                    }
+                    // Break symmetry with the conflicting task.
+                    const std::uint64_t spins = backoff_rng.nextBounded(
+                        std::uint64_t(1) << std::min(aborts, 12u));
+                    my_stats.backoffYields += spins;
+                    for (std::uint64_t i = 0; i < spins; ++i)
+                        std::this_thread::yield();
+                }
             } catch (...) {
-                // Operator failure: release marks, wake the team, and
-                // let the thread pool deliver the exception.
+                // Task failure (operator bug, allocation failure,
+                // injected fault): capture the error, release every
+                // mark, and drain the task so peers can still reach
+                // quiescence. The loop keeps running — the fault
+                // behaves like removing this one task.
                 for (Lockable* l : acquired)
                     l->releaseIfOwner(owner);
-                failed.store(true, std::memory_order_release);
-                throw;
+                capture_first();
+                term.retire();
             }
         }
     });
+
+    if (first_error)
+        std::rethrow_exception(first_error);
 
     timer.stop();
     RunReport report;

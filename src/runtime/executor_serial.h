@@ -18,6 +18,7 @@
 #include "model/cache_model.h"
 #include "runtime/context.h"
 #include "runtime/stats.h"
+#include "support/failpoint.h"
 #include "support/timer.h"
 
 namespace galois::runtime {
@@ -48,6 +49,10 @@ executeSerial(const std::vector<T>& initial, F&& op, bool use_cache = false)
     while (!work.empty()) {
         T item = work.front();
         work.pop_front();
+        // Same site key scheme as the parallel executors, so one fault
+        // plan can be replayed under any scheduler. Serial execution has
+        // no marks or peers: an exception simply propagates.
+        FAILPOINT("serial.task", support::failpoints::keyOf(item));
         ctx.beginTask(UserContext<T>::Mode::Serial, nullptr, &nbhd);
         op(item, ctx);
         for (const T& t : ctx.pendingPushes())

@@ -26,13 +26,15 @@ printReport(std::ostream& os, const RunReport& report,
         os << "  cache accesses : " << report.cacheAccesses << "\n"
            << "  cache misses   : " << report.cacheMisses << "\n";
     }
+    if (report.backoffYields != 0)
+        os << "  backoff yields : " << report.backoffYields << "\n";
 }
 
 std::string
 reportCsvHeader()
 {
     return "label,threads,seconds,committed,aborted,pushed,atomic_ops,"
-           "rounds,generations,cache_accesses,cache_misses";
+           "rounds,generations,cache_accesses,cache_misses,backoff_yields";
 }
 
 std::string
@@ -44,7 +46,7 @@ reportCsvRow(const RunReport& report, const std::string& label)
        << report.aborted << ',' << report.pushed << ','
        << report.atomicOps << ',' << report.rounds << ','
        << report.generations << ',' << report.cacheAccesses << ','
-       << report.cacheMisses;
+       << report.cacheMisses << ',' << report.backoffYields;
     return os.str();
 }
 

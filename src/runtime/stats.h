@@ -24,6 +24,7 @@ struct ThreadStats
     std::uint64_t pushed = 0;      //!< dynamically created tasks
     std::uint64_t cacheAccesses = 0; //!< cache-model accesses (if enabled)
     std::uint64_t cacheMisses = 0;   //!< cache-model misses (if enabled)
+    std::uint64_t backoffYields = 0; //!< yields spent in abort backoff (nd)
 
     ThreadStats&
     operator+=(const ThreadStats& o)
@@ -34,6 +35,7 @@ struct ThreadStats
         pushed += o.pushed;
         cacheAccesses += o.cacheAccesses;
         cacheMisses += o.cacheMisses;
+        backoffYields += o.backoffYields;
         return *this;
     }
 };
@@ -47,6 +49,7 @@ struct RunReport
     std::uint64_t pushed = 0;
     std::uint64_t cacheAccesses = 0;
     std::uint64_t cacheMisses = 0;
+    std::uint64_t backoffYields = 0; //!< abort-storm backoff yields (nd)
     std::uint64_t rounds = 0;      //!< deterministic rounds (det executor)
     std::uint64_t generations = 0; //!< outer todo-generations (det executor)
     double seconds = 0.0;          //!< wall-clock time of the loop
@@ -86,6 +89,7 @@ struct RunReport
         pushed += t.pushed;
         cacheAccesses += t.cacheAccesses;
         cacheMisses += t.cacheMisses;
+        backoffYields += t.backoffYields;
     }
 };
 

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "support/cacheline.h"
+#include "support/failpoint.h"
 
 namespace galois::support {
 
@@ -38,6 +39,9 @@ class Barrier
     void
     reinit(unsigned participants)
     {
+        // Construction-time site only: wait() is on the critical path and
+        // must never throw (a throwing waiter would strand its peers).
+        FAILPOINT("barrier.reinit", participants);
         participants_ = participants;
         remaining_.store(participants, std::memory_order_relaxed);
         sense_.store(0, std::memory_order_relaxed);

@@ -1,0 +1,255 @@
+#include "support/failpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <new>
+#include <shared_mutex>
+#include <unordered_map>
+#include <utility>
+
+namespace galois::support::failpoints {
+
+namespace {
+
+struct Entry
+{
+    FailPlan plan;
+    std::atomic<std::uint64_t> triggered{0};
+};
+
+struct Registry
+{
+    std::shared_mutex lock;
+    // Entries are stable in memory (node-based map): evaluate() bumps the
+    // trigger counter through a reference obtained under the shared lock.
+    std::unordered_map<std::string, Entry> plans;
+};
+
+Registry&
+registry()
+{
+    static Registry r;
+    return r;
+}
+
+std::once_flag g_envOnce;
+
+/** Callers must hold the registry's unique lock. */
+void
+publishActiveCountLocked(Registry& r)
+{
+    detail::g_active.store(static_cast<int>(r.plans.size()),
+                           std::memory_order_release);
+}
+
+void
+setImpl(const std::string& site, const FailPlan& plan)
+{
+    Registry& r = registry();
+    std::unique_lock<std::shared_mutex> guard(r.lock);
+    Entry& e = r.plans[site];
+    e.plan = plan;
+    e.triggered.store(0, std::memory_order_relaxed);
+    publishActiveCountLocked(r);
+}
+
+/** Parse one "site=action@match" clause; returns false on malformed. */
+bool
+parseClause(const std::string& clause, std::string& site, FailPlan& plan)
+{
+    const std::size_t eq = clause.find('=');
+    const std::size_t at = clause.find('@');
+    if (eq == std::string::npos || at == std::string::npos || at < eq ||
+        eq == 0) {
+        return false;
+    }
+    site = clause.substr(0, eq);
+    const std::string action = clause.substr(eq + 1, at - eq - 1);
+    const std::string match = clause.substr(at + 1);
+
+    if (action == "throw")
+        plan.action = FailPlan::Action::Throw;
+    else if (action == "badalloc")
+        plan.action = FailPlan::Action::BadAlloc;
+    else
+        return false;
+
+    auto number = [](const std::string& s, std::uint64_t& out) {
+        if (s.empty())
+            return false;
+        char* end = nullptr;
+        out = std::strtoull(s.c_str(), &end, 10);
+        return end == s.c_str() + s.size();
+    };
+
+    if (match == "always") {
+        plan.match = FailPlan::Match::Always;
+        return true;
+    }
+    if (match.rfind("eq:", 0) == 0) {
+        plan.match = FailPlan::Match::Eq;
+        return number(match.substr(3), plan.a);
+    }
+    if (match.rfind("ge:", 0) == 0) {
+        plan.match = FailPlan::Match::Ge;
+        return number(match.substr(3), plan.a);
+    }
+    if (match.rfind("mod:", 0) == 0) {
+        plan.match = FailPlan::Match::Mod;
+        const std::string rest = match.substr(4);
+        const std::size_t colon = rest.find(':');
+        if (colon == std::string::npos)
+            return false;
+        return number(rest.substr(0, colon), plan.a) &&
+               number(rest.substr(colon + 1), plan.b) && plan.a != 0;
+    }
+    return false;
+}
+
+/**
+ * Validate the whole spec before arming anything: a malformed clause
+ * must not leave a half-armed configuration behind.
+ */
+bool
+parseSpecImpl(const std::string& spec)
+{
+    std::vector<std::pair<std::string, FailPlan>> parsed;
+    std::size_t pos = 0;
+    while (pos <= spec.size()) {
+        std::size_t semi = spec.find(';', pos);
+        if (semi == std::string::npos)
+            semi = spec.size();
+        const std::string clause = spec.substr(pos, semi - pos);
+        pos = semi + 1;
+        if (clause.empty())
+            continue;
+        std::string site;
+        FailPlan plan;
+        if (!parseClause(clause, site, plan))
+            return false;
+        parsed.emplace_back(std::move(site), plan);
+    }
+    for (auto& [site, plan] : parsed)
+        setImpl(site, plan);
+    return true;
+}
+
+/**
+ * Read DETGALOIS_FAILPOINTS exactly once, before the first evaluation or
+ * the first programmatic change — so programmatic set()/clear() always
+ * override environment plans, never the other way around.
+ */
+void
+ensureEnvLoaded()
+{
+    std::call_once(g_envOnce, [] {
+        if (const char* env = std::getenv("DETGALOIS_FAILPOINTS")) {
+            if (!parseSpecImpl(env)) {
+                // A silently ignored typo would read as "my fault never
+                // fired"; say so instead (arming nothing).
+                std::fprintf(
+                    stderr,
+                    "detgalois: malformed DETGALOIS_FAILPOINTS spec "
+                    "\"%s\" ignored (want site=action@match;...)\n",
+                    env);
+            }
+        }
+        // Make "no plans" sticky so the fast path stops calling us.
+        Registry& r = registry();
+        std::unique_lock<std::shared_mutex> guard(r.lock);
+        publishActiveCountLocked(r);
+    });
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<int> g_active{-1};
+
+bool
+initFromEnv()
+{
+    ensureEnvLoaded();
+    return g_active.load(std::memory_order_relaxed) > 0;
+}
+
+void
+evaluate(const char* site, std::uint64_t key)
+{
+    FailPlan::Action action;
+    {
+        Registry& r = registry();
+        std::shared_lock<std::shared_mutex> guard(r.lock);
+        auto it = r.plans.find(site);
+        if (it == r.plans.end() || !it->second.plan.triggers(key))
+            return;
+        it->second.triggered.fetch_add(1, std::memory_order_relaxed);
+        action = it->second.plan.action;
+    }
+    if (action == FailPlan::Action::BadAlloc)
+        throw std::bad_alloc();
+    throw FailpointError(site, key);
+}
+
+} // namespace detail
+
+void
+set(const std::string& site, const FailPlan& plan)
+{
+    ensureEnvLoaded();
+    setImpl(site, plan);
+}
+
+void
+clear(const std::string& site)
+{
+    ensureEnvLoaded();
+    Registry& r = registry();
+    std::unique_lock<std::shared_mutex> guard(r.lock);
+    r.plans.erase(site);
+    publishActiveCountLocked(r);
+}
+
+void
+clearAll()
+{
+    ensureEnvLoaded();
+    Registry& r = registry();
+    std::unique_lock<std::shared_mutex> guard(r.lock);
+    r.plans.clear();
+    publishActiveCountLocked(r);
+}
+
+std::uint64_t
+triggerCount(const std::string& site)
+{
+    Registry& r = registry();
+    std::shared_lock<std::shared_mutex> guard(r.lock);
+    auto it = r.plans.find(site);
+    return it == r.plans.end()
+               ? 0
+               : it->second.triggered.load(std::memory_order_relaxed);
+}
+
+std::vector<std::string>
+armedSites()
+{
+    Registry& r = registry();
+    std::shared_lock<std::shared_mutex> guard(r.lock);
+    std::vector<std::string> out;
+    out.reserve(r.plans.size());
+    for (const auto& [site, entry] : r.plans)
+        out.push_back(site);
+    return out;
+}
+
+bool
+parseSpec(const std::string& spec)
+{
+    ensureEnvLoaded();
+    return parseSpecImpl(spec);
+}
+
+} // namespace galois::support::failpoints

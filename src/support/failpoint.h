@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Deterministic fault-injection failpoints.
+ *
+ * A failpoint is a named site in the runtime (e.g. "det.inspect") that
+ * can be armed with a *trigger plan*: a pure predicate over the site's
+ * 64-bit key (a task id, round number, generation, ...) plus an action
+ * (throw a FailpointError, or throw std::bad_alloc to simulate an
+ * allocation failure). Because the predicate depends only on the key —
+ * never on timing, thread ids or hit order — an armed plan fires at
+ * exactly the same logical points of a deterministic schedule regardless
+ * of thread count. Combined with the DIG executor's deterministic error
+ * selection this yields the headline resilience property: *the same
+ * fault plan produces the same final state and the same error on any
+ * number of threads* (tests/resilience_test.cpp).
+ *
+ * Plans are installed programmatically (failpoints::set) or from the
+ * environment variable DETGALOIS_FAILPOINTS, read once on first use:
+ *
+ *   DETGALOIS_FAILPOINTS="det.inspect=throw@eq:17;graph.io=badalloc@ge:3"
+ *
+ *   spec    := site '=' action '@' match (';' spec)*
+ *   action  := 'throw' | 'badalloc'
+ *   match   := 'always' | 'eq:K' | 'ge:K' | 'mod:M:R'
+ *
+ * Cost model: with DETGALOIS_DISABLE_FAILPOINTS defined the FAILPOINT()
+ * macro expands to nothing. In the default build the macro is a single
+ * relaxed atomic load and a predicted-not-taken branch when no plan is
+ * armed (measured in bench/micro_runtime.cpp); the registry lookup runs
+ * only while at least one plan is armed.
+ */
+
+#ifndef DETGALOIS_SUPPORT_FAILPOINT_H
+#define DETGALOIS_SUPPORT_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#ifndef DETGALOIS_FAILPOINTS_ENABLED
+#ifdef DETGALOIS_DISABLE_FAILPOINTS
+#define DETGALOIS_FAILPOINTS_ENABLED 0
+#else
+#define DETGALOIS_FAILPOINTS_ENABLED 1
+#endif
+#endif
+
+namespace galois::support {
+
+/**
+ * Exception delivered by a triggered 'throw' plan.
+ *
+ * The message is a pure function of (site, key), so a deterministic
+ * schedule reproduces it byte-identically.
+ */
+class FailpointError : public std::runtime_error
+{
+  public:
+    FailpointError(const std::string& site, std::uint64_t key)
+        : std::runtime_error("failpoint '" + site + "' triggered (key=" +
+                             std::to_string(key) + ")"),
+          site_(site), key_(key)
+    {}
+
+    const std::string& site() const { return site_; }
+    std::uint64_t key() const { return key_; }
+
+  private:
+    std::string site_;
+    std::uint64_t key_;
+};
+
+/** Trigger plan of one failpoint: action + key predicate. */
+struct FailPlan
+{
+    enum class Action
+    {
+        Throw,   //!< throw FailpointError
+        BadAlloc //!< throw std::bad_alloc (simulated allocation failure)
+    };
+
+    enum class Match
+    {
+        Always, //!< every evaluation
+        Eq,     //!< key == a
+        Ge,     //!< key >= a
+        Mod     //!< key % a == b
+    };
+
+    Action action = Action::Throw;
+    Match match = Match::Always;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+
+    bool
+    triggers(std::uint64_t key) const
+    {
+        switch (match) {
+          case Match::Always:
+            return true;
+          case Match::Eq:
+            return key == a;
+          case Match::Ge:
+            return key >= a;
+          case Match::Mod:
+            return a != 0 && key % a == b;
+        }
+        return false;
+    }
+
+    /** Throw a FailpointError when key == k. */
+    static FailPlan
+    throwAt(std::uint64_t k)
+    {
+        return FailPlan{Action::Throw, Match::Eq, k, 0};
+    }
+
+    /** Throw std::bad_alloc when key == k. */
+    static FailPlan
+    badAllocAt(std::uint64_t k)
+    {
+        return FailPlan{Action::BadAlloc, Match::Eq, k, 0};
+    }
+};
+
+namespace failpoints {
+
+namespace detail {
+
+/** Number of armed plans; -1 until DETGALOIS_FAILPOINTS has been read. */
+extern std::atomic<int> g_active;
+
+/** Cold path of anyActive(): load env plans once, then re-check. */
+bool initFromEnv();
+
+/** Slow path of FAILPOINT(): look up the site's plan and maybe throw. */
+void evaluate(const char* site, std::uint64_t key);
+
+/** True when at least one plan is armed (fast path of FAILPOINT()). */
+inline bool
+anyActive()
+{
+    const int v = g_active.load(std::memory_order_relaxed);
+    if (v >= 0)
+        return v > 0;
+    return initFromEnv();
+}
+
+} // namespace detail
+
+/** Arm (or replace) the plan of a failpoint site. */
+void set(const std::string& site, const FailPlan& plan);
+
+/** Disarm one site (no-op if not armed). */
+void clear(const std::string& site);
+
+/** Disarm every site and reset trigger counters. */
+void clearAll();
+
+/** Times the given site's plan has fired since it was set. */
+std::uint64_t triggerCount(const std::string& site);
+
+/** Currently armed site names (diagnostics). */
+std::vector<std::string> armedSites();
+
+/**
+ * Parse a DETGALOIS_FAILPOINTS-style spec and arm every plan in it.
+ * @return false (arming nothing) if the spec is malformed.
+ */
+bool parseSpec(const std::string& spec);
+
+/**
+ * Failpoint key of a task value: the value itself when it is integral
+ * (node ids, indices — the common case), 0 otherwise. Key-based trigger
+ * plans thereby hit the same logical task on every schedule.
+ */
+template <typename T>
+std::uint64_t
+keyOf(const T& v)
+{
+    if constexpr (std::is_integral_v<T> || std::is_enum_v<T>)
+        return static_cast<std::uint64_t>(v);
+    else
+        return 0;
+}
+
+/** RAII helper for tests: arms a plan, disarms it on scope exit. */
+class Scoped
+{
+  public:
+    Scoped(const std::string& site, const FailPlan& plan) : site_(site)
+    {
+        set(site_, plan);
+    }
+    ~Scoped() { clear(site_); }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+
+  private:
+    std::string site_;
+};
+
+} // namespace failpoints
+} // namespace galois::support
+
+#if DETGALOIS_FAILPOINTS_ENABLED
+/**
+ * Failpoint site: evaluates the armed plan for `site` (if any) against
+ * `key` and throws per the plan's action. One relaxed load when nothing
+ * is armed; compiles away entirely under DETGALOIS_DISABLE_FAILPOINTS.
+ */
+#define FAILPOINT(site, key)                                                 \
+    do {                                                                     \
+        if (::galois::support::failpoints::detail::anyActive())              \
+            ::galois::support::failpoints::detail::evaluate(                 \
+                (site), static_cast<std::uint64_t>(key));                    \
+    } while (0)
+#else
+#define FAILPOINT(site, key) ((void)0)
+#endif
+
+#endif // DETGALOIS_SUPPORT_FAILPOINT_H

@@ -2,8 +2,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "support/failpoint.h"
 
 namespace galois::support {
 
@@ -38,8 +41,26 @@ ThreadPool::get()
 ThreadPool::ThreadPool(unsigned max_threads) : maxThreads_(max_threads)
 {
     workers_.reserve(maxThreads_ - 1);
-    for (unsigned t = 1; t < maxThreads_; ++t)
-        workers_.emplace_back([this, t] { workerLoop(t); });
+    for (unsigned t = 1; t < maxThreads_; ++t) {
+        try {
+            FAILPOINT("threadpool.spawn", t);
+            workers_.emplace_back([this, t] { workerLoop(t); });
+        } catch (...) {
+            // Worker t could not be started (resource exhaustion, or an
+            // injected fault). Degrade gracefully: run with the workers
+            // that did start — with none, every parallel region becomes
+            // a serial execution on the calling thread. Executors clamp
+            // their thread count to maxThreads(), so nothing else needs
+            // to know.
+            maxThreads_ = t;
+            degraded_ = true;
+            std::fprintf(stderr,
+                         "detgalois: could not start worker thread %u; "
+                         "degrading to %u thread%s\n",
+                         t, maxThreads_, maxThreads_ == 1 ? "" : "s");
+            break;
+        }
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -97,6 +118,7 @@ void
 ThreadPool::run(unsigned active_threads, const std::function<void(unsigned)>& fn)
 {
     assert(tid_ == 0 && job_ == nullptr && "parallel regions cannot nest");
+    FAILPOINT("threadpool.run", active_threads);
     if (active_threads < 1)
         active_threads = 1;
     if (active_threads > maxThreads_)

@@ -39,6 +39,15 @@ class ThreadPool
     unsigned maxThreads() const { return maxThreads_; }
 
     /**
+     * True when worker creation failed at startup and the pool fell back
+     * to fewer threads than requested (possibly one, i.e. fully serial
+     * execution). Executors clamp to maxThreads(), so a degraded pool
+     * changes performance, never semantics — and under deterministic
+     * scheduling not even the output.
+     */
+    bool degraded() const { return degraded_; }
+
+    /**
      * Run fn(tid) on threads 0..activeThreads-1 and wait for completion.
      *
      * fn(0) runs on the calling thread. Exceptions thrown by fn propagate
@@ -73,6 +82,7 @@ class ThreadPool
     static thread_local unsigned activeThreads_;
 
     unsigned maxThreads_;
+    bool degraded_{false};
     std::vector<std::thread> workers_;
 
     std::mutex lock_;

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "galois/galois.h"
+#include "graph/csr_graph.h"
+#include "graph/generators.h"
 #include "runtime/worklist.h"
 #include "support/barrier.h"
 #include "support/failpoint.h"
@@ -101,6 +103,52 @@ BM_BarrierRoundTrip(benchmark::State& state)
         barrier.wait();
 }
 BENCHMARK(BM_BarrierRoundTrip);
+
+void
+BM_CheckedDataAccess(benchmark::State& state)
+{
+    // The graph accessor path the determinism sanitizer instruments
+    // (DETSAN_ACCESS in CsrGraph::data). Compare a DETGALOIS_DETSAN=OFF
+    // build against an ON one to price the shadow-access check; in the
+    // OFF build the macro expands to nothing, so this must match a plain
+    // vector access — the sanitizer's zero-overhead-when-off bar.
+    const graph::Node n = 1024;
+    graph::CsrGraph<std::uint32_t> g(
+        n, graph::randomKOut(n, 4, /*seed=*/42, /*symmetric=*/false));
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        for (graph::Node v = 0; v < n; ++v)
+            sum += g.data(v);
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CheckedDataAccess);
+
+#if defined(DETGALOIS_DETSAN)
+void
+BM_CheckedDataAccessInTask(benchmark::State& state)
+{
+    // Same accessor, but inside a task scope holding a 16-location
+    // neighborhood — the full check: TLS load, gate load, and the linear
+    // scan of the declared set. Only meaningful in instrumented builds.
+    const graph::Node n = 16;
+    graph::CsrGraph<std::uint32_t> g(
+        n, graph::randomKOut(n, 4, /*seed=*/42, /*symmetric=*/false));
+    galois::analysis::beginTask(1, "bench");
+    for (graph::Node v = 0; v < n; ++v)
+        galois::analysis::seedAcquire(&g.lock(v));
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        for (graph::Node v = 0; v < n; ++v)
+            sum += g.data(v);
+    }
+    galois::analysis::endTask();
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CheckedDataAccessInTask);
+#endif
 
 /** Per-task executor overhead: N trivial independent tasks. */
 void

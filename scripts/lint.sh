@@ -1,0 +1,27 @@
+#!/bin/sh
+# Run clang-tidy (config: .clang-tidy at the repo root) over the first-party
+# sources, using the compile database of an existing build directory.
+#
+# Usage: scripts/lint.sh [clang-tidy-binary] [build-dir]
+# Defaults: clang-tidy, build/. Exits non-zero on any warning, so it can
+# gate CI. If clang-tidy is not installed, reports and exits 0 — the tool
+# is optional in the minimal toolchain image; the CMake `lint` target is
+# only generated when it is present.
+set -eu
+
+TIDY=${1:-clang-tidy}
+BUILD_DIR=${2:-build}
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+    echo "lint.sh: $TIDY not installed; skipping (install clang-tidy to lint)"
+    exit 0
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+    echo "lint.sh: $BUILD_DIR/compile_commands.json missing;" \
+         "configure with CMAKE_EXPORT_COMPILE_COMMANDS=ON first" >&2
+    exit 1
+fi
+
+# shellcheck disable=SC2046 # word-splitting of the file list is intended
+exec "$TIDY" -p "$BUILD_DIR" --warnings-as-errors='*' --quiet \
+    $(find src -name '*.cpp' -o -name '*.h' | sort)

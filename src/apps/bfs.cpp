@@ -1,5 +1,7 @@
 #include "apps/bfs.h"
 
+#include "analysis/detsan.h"
+
 namespace galois::apps::bfs {
 
 std::vector<std::uint32_t>
@@ -41,6 +43,9 @@ galoisBfs(Graph& g, graph::Node source, const Config& cfg)
             return;
         for (graph::Node m : g.neighbors(n)) {
             if (g.data(m).dist > d + 1) {
+                // Determinism-sanitizer demonstrator: declare the true
+                // write (no-op unless built with DETGALOIS_DETSAN).
+                DETSAN_WRITE(g.lock(m));
                 g.data(m).dist = d + 1;
                 ctx.push(m);
             }

@@ -1,5 +1,7 @@
 #include "apps/mm.h"
 
+#include <numeric>
+
 #include "graph/generators.h"
 
 namespace galois::apps::mm {
@@ -34,9 +36,10 @@ RunReport
 galoisMatch(Problem& prob, const Config& cfg)
 {
     prob.reset();
+    // iota, not a uint32_t counter: a 32-bit induction variable against a
+    // size_t bound never terminates once edges.size() exceeds 2^32.
     std::vector<std::uint32_t> tasks(prob.edges.size());
-    for (std::uint32_t i = 0; i < tasks.size(); ++i)
-        tasks[i] = i;
+    std::iota(tasks.begin(), tasks.end(), 0);
 
     auto op = [&](std::uint32_t& i, Context<std::uint32_t>& ctx) {
         const auto [u, v] = prob.edges[i];

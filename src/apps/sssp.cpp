@@ -2,6 +2,7 @@
 
 #include <queue>
 
+#include "analysis/detsan.h"
 #include "graph/generators.h"
 
 #include "support/prng.h"
@@ -68,6 +69,9 @@ galoisSssp(Graph& g, graph::Node source, const Config& cfg)
             const graph::Node v = g.dst(e);
             const std::int64_t nd = d + g.edgeData(e);
             if (nd < g.data(v).dist) {
+                // Determinism-sanitizer demonstrator: declare the true
+                // write (no-op unless built with DETGALOIS_DETSAN).
+                DETSAN_WRITE(g.lock(v));
                 g.data(v).dist = nd;
                 ctx.push(v);
             }

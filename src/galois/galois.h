@@ -59,6 +59,15 @@ using runtime::LivelockError;
 using support::FailPlan;
 using support::FailpointError;
 namespace failpoints = support::failpoints;
+/** Determinism sanitizer (see analysis/detsan.h): opt-in checking mode
+ *  that verifies the marked-access and cautiousness disciplines the
+ *  schedulers' guarantees rest on. Configure with detsan::configure(),
+ *  assert on detsan::takeReport(). Checks are compiled in only under
+ *  -DDETGALOIS_DETSAN. */
+using analysis::DetSanError;
+using analysis::DetSanOptions;
+using analysis::DetSanReport;
+namespace detsan = analysis;
 
 /** Speculative-executor worklist policy (NonDet only). */
 enum class NdWorklist

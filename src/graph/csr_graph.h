@@ -12,12 +12,14 @@
 #ifndef DETGALOIS_GRAPH_CSR_GRAPH_H
 #define DETGALOIS_GRAPH_CSR_GRAPH_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "analysis/detsan.h"
 #include "runtime/lockable.h"
 
 namespace galois::graph {
@@ -93,15 +95,47 @@ class CsrGraph
     /** Destination of edge e. */
     Node dst(std::uint64_t e) const { return dsts_[e]; }
 
+    // Node and edge payload accessors are the determinism sanitizer's
+    // choke point: every application and PBBS kernel reads and writes
+    // shared state through them, so instrumenting them here covers all
+    // graph workloads without per-app changes. An edge's abstract
+    // location is its *source node's* lock (the location a task must
+    // acquire before touching the edge); the const accessors check a
+    // read, the mutable ones a mark-required access (a non-const call is
+    // not proof of a write, and prefix reads are legal for cautious
+    // tasks — true writes are annotated with DETSAN_WRITE at the sites
+    // that make them, see apps/bfs.cpp). All checks compile to nothing
+    // without DETGALOIS_DETSAN.
+
     /** Mutable edge payload. */
-    std::int64_t& edgeData(std::uint64_t e) { return edgeData_[e]; }
-    std::int64_t edgeData(std::uint64_t e) const { return edgeData_[e]; }
+    std::int64_t&
+    edgeData(std::uint64_t e)
+    {
+        DETSAN_ACCESS(edgeLock(e));
+        return edgeData_[e];
+    }
+    std::int64_t
+    edgeData(std::uint64_t e) const
+    {
+        DETSAN_READ(edgeLock(e));
+        return edgeData_[e];
+    }
 
     /** Index of the twin (dst->src) edge; only valid with find_reverse. */
     std::uint64_t reverseEdge(std::uint64_t e) const { return reverse_[e]; }
 
-    NodeData& data(Node n) { return nodeData_[n]; }
-    const NodeData& data(Node n) const { return nodeData_[n]; }
+    NodeData&
+    data(Node n)
+    {
+        DETSAN_ACCESS(locks_[n]);
+        return nodeData_[n];
+    }
+    const NodeData&
+    data(Node n) const
+    {
+        DETSAN_READ(locks_[n]);
+        return nodeData_[n];
+    }
 
     /** Abstract location of node n. */
     runtime::Lockable& lock(Node n) { return locks_[n]; }
@@ -115,6 +149,20 @@ class CsrGraph
     }
 
   private:
+    /**
+     * Abstract location guarding edge e: its source node's lock. Only
+     * evaluated from the sanitizer macros (a binary search per checked
+     * edge access is fine for a checking mode; plain builds never call
+     * this).
+     */
+    const runtime::Lockable&
+    edgeLock(std::uint64_t e) const
+    {
+        const auto it =
+            std::upper_bound(offsets_.begin(), offsets_.end(), e);
+        return locks_[static_cast<std::size_t>(it - offsets_.begin()) - 1];
+    }
+
     void
     buildReverse()
     {

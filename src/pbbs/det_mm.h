@@ -11,6 +11,8 @@
 #ifndef DETGALOIS_PBBS_DET_MM_H
 #define DETGALOIS_PBBS_DET_MM_H
 
+#include <numeric>
+
 #include "apps/mm.h"
 #include "pbbs/reservations.h"
 
@@ -54,9 +56,10 @@ detMatch(apps::mm::Problem& prob, unsigned threads,
          std::size_t round_size = 4096)
 {
     prob.reset();
+    // iota, not a uint32_t counter (bugprone-too-small-loop-variable):
+    // a 32-bit induction variable never reaches a size() above 2^32.
     std::vector<std::uint32_t> items(prob.edges.size());
-    for (std::uint32_t i = 0; i < items.size(); ++i)
-        items[i] = i;
+    std::iota(items.begin(), items.end(), 0);
     detail::MmStep step(prob);
     return speculativeFor(std::move(items), step, threads, round_size);
 }

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "analysis/detsan.h"
 #include "model/cache_model.h"
 #include "runtime/conflict.h"
 #include "runtime/lockable.h"
@@ -87,6 +88,12 @@ class UserContext
     void
     acquire(Lockable& l)
     {
+#if defined(DETGALOIS_DETSAN)
+        // Cautiousness verifier: an acquire after the task's first write
+        // (or after cautiousPoint()) is recorded — the non-aborting DIG
+        // executor is only sound for cautious operators.
+        analysis::noteAcquire(&l);
+#endif
         if (cache_) {
             ++stats_->cacheAccesses;
             if (cache_->access(&l))
@@ -123,6 +130,9 @@ class UserContext
     void
     cautiousPoint()
     {
+#if defined(DETGALOIS_DETSAN)
+        analysis::noteCautiousPoint();
+#endif
         if (mode_ == Mode::DetInspect)
             throw FailsafeSignal{};
     }
@@ -218,6 +228,17 @@ class UserContext
         pushes_.clear();
         pushIds_.clear();
         clearScratch();
+#if defined(DETGALOIS_DETSAN)
+        analysis::beginTask(owner_ != nullptr ? owner_->id : 0,
+                            detsanPhase(mode));
+        if (mode == Mode::DetCommit && nbhd_ != nullptr) {
+            // Continuation resume: the acquires happened during this
+            // round's inspect execution; the record's neighborhood IS the
+            // declared set, so seed it instead of re-deriving it.
+            for (Lockable* l : *nbhd_)
+                analysis::seedAcquire(l);
+        }
+#endif
     }
 
     ~UserContext() { clearScratch(); }
@@ -233,6 +254,27 @@ class UserContext
     std::vector<std::uint64_t>& pendingPushIds() { return pushIds_; }
 
   private:
+#if defined(DETGALOIS_DETSAN)
+    /** Human-readable executor phase for sanitizer reports. */
+    static constexpr const char*
+    detsanPhase(Mode m)
+    {
+        switch (m) {
+          case Mode::Serial:
+            return "serial";
+          case Mode::NonDet:
+            return "nondet";
+          case Mode::DetInspect:
+            return "inspect";
+          case Mode::DetCheck:
+            return "check";
+          case Mode::DetCommit:
+            return "commit";
+        }
+        return "?";
+    }
+#endif
+
     void
     acquireNonDet(Lockable& l)
     {

@@ -51,6 +51,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/detsan.h"
 #include "model/cache_model.h"
 #include "runtime/conflict.h"
 #include "runtime/context.h"
@@ -234,6 +235,7 @@ class DetExecutor
     {
         support::Timer timer;
         timer.start();
+        report_.traceDigest = kFnv1aOffset;
 
         // Seed generation 0: birth rank is the iteration-order position,
         // matching "ids based on the iteration order of the C++ iterator".
@@ -301,6 +303,7 @@ class DetExecutor
     {
         std::vector<detail::DetRecord<T>*> failed;
         std::vector<Child> children;
+        std::vector<std::uint64_t> committedIds; //!< id order (trace digest)
         std::uint64_t committed = 0;
     };
 
@@ -454,6 +457,7 @@ class DetExecutor
         for (PhaseOut& o : outs_) {
             o.failed.clear();
             o.children.clear();
+            o.committedIds.clear();
             o.committed = 0;
         }
     }
@@ -478,8 +482,15 @@ class DetExecutor
                              o.failed.end());
             for (Child& c : o.children)
                 children_.push_back(std::move(c));
+            // Thread t's slice of cur was contiguous and id-ordered, so
+            // folding per-thread commit lists in thread order folds the
+            // round's selected set in id order — a pure function of the
+            // schedule, never of timing.
+            for (std::uint64_t id : o.committedIds)
+                report_.traceDigest = fnv1aMix(report_.traceDigest, id);
             committed += o.committed;
         }
+        report_.traceDigest = fnv1aMix(report_.traceDigest, committed);
         new_carry.insert(new_carry.end(), carry_.begin() + carryPos_,
                          carry_.end());
         carry_ = std::move(new_carry);
@@ -568,6 +579,11 @@ class DetExecutor
     void
     inspectSlice(unsigned tid, UserContext<T>& ctx)
     {
+#if defined(DETGALOIS_DETSAN)
+        // Thread 0 advanced the round counters before the barrier we just
+        // crossed; label this thread's sanitizer scope with them.
+        analysis::setRound(report_.generations, report_.rounds + 1);
+#endif
         auto [begin, end] = detail::blockRange(cur_.size(), tid, threads_);
         for (std::size_t i = begin; i < end; ++i) {
             detail::DetRecord<T>* r = cur_[i];
@@ -585,6 +601,9 @@ class DetExecutor
                 r->injectFailed = true;
             }
         }
+#if defined(DETGALOIS_DETSAN)
+        analysis::endTask();
+#endif
     }
 
     /**
@@ -632,6 +651,7 @@ class DetExecutor
                 }
                 if (ok) {
                     harvestChildren(ctx, r, out);
+                    out.committedIds.push_back(r->id);
                     ++out.committed;
                     ++ctx.stats().committed;
                 }
@@ -666,6 +686,9 @@ class DetExecutor
                 r->destroyLocal();
             }
         }
+#if defined(DETGALOIS_DETSAN)
+        analysis::endTask();
+#endif
     }
 
     /** Move tasks pushed by a committed task into the next generation. */

@@ -38,6 +38,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "analysis/detsan.h"
 #include "model/cache_model.h"
 #include "runtime/conflict.h"
 #include "runtime/context.h"
@@ -134,6 +135,11 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
         NdOwner* owner = &owners.local();
         std::vector<Lockable*> acquired;
         acquired.reserve(64);
+#if defined(DETGALOIS_DETSAN)
+        // Speculative scheduling has no deterministic rounds; clear any
+        // labels a previous deterministic run left on this pool thread.
+        analysis::setRound(0, 0);
+#endif
 
         // Randomized exponential backoff for conflicts. Without it,
         // workers with large overlapping neighborhoods (e.g. early
@@ -217,6 +223,11 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
                 term.retire();
             }
         }
+#if defined(DETGALOIS_DETSAN)
+        // Leave task scope so post-loop code (validation, aggregation)
+        // is not access-checked against the last task's neighborhood.
+        analysis::endTask();
+#endif
     });
 
     if (first_error)

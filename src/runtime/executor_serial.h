@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/detsan.h"
 #include "model/cache_model.h"
 #include "runtime/context.h"
 #include "runtime/stats.h"
@@ -46,6 +47,9 @@ executeSerial(const std::vector<T>& initial, F&& op, bool use_cache = false)
 
     std::deque<T> work(initial.begin(), initial.end());
     std::vector<Lockable*> nbhd; // unused in serial mode, required by API
+#if defined(DETGALOIS_DETSAN)
+    analysis::setRound(0, 0);
+#endif
     while (!work.empty()) {
         T item = work.front();
         work.pop_front();
@@ -59,6 +63,9 @@ executeSerial(const std::vector<T>& initial, F&& op, bool use_cache = false)
             work.push_back(t);
         ++stats.committed;
     }
+#if defined(DETGALOIS_DETSAN)
+    analysis::endTask();
+#endif
 
     timer.stop();
     RunReport report;

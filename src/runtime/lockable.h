@@ -138,6 +138,16 @@ class Lockable
     std::atomic<MarkOwner*> mark_{nullptr};
 };
 
+// The determinism sanitizer (analysis/detsan.h) keeps its shadow state
+// outside the mark word — checked accessors are free-standing macros, not
+// members — so instrumented (DETGALOIS_DETSAN) and plain builds must stay
+// layout- and ABI-identical. A drift here would let the checking build
+// diverge behaviorally from the build it is supposed to vouch for.
+static_assert(sizeof(Lockable) == sizeof(std::atomic<MarkOwner*>),
+              "Lockable must stay exactly one mark word");
+static_assert(alignof(Lockable) == alignof(std::atomic<MarkOwner*>),
+              "Lockable alignment must not change");
+
 } // namespace galois::runtime
 
 #endif // DETGALOIS_RUNTIME_LOCKABLE_H

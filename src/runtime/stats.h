@@ -15,6 +15,37 @@
 
 namespace galois::runtime {
 
+// ----------------------------------------------------------------------
+// Cross-run trace digests.
+//
+// The deterministic executor folds every round's outcome — the selected
+// (committed) task ids in id order, then the commit count — into one
+// 64-bit FNV-1a digest, exposed as RunReport::traceDigest. Two runs of
+// the same (input, operator, options) must produce the same digest on
+// any thread count, so the paper's portability property collapses to a
+// one-line assertion:
+//
+//   EXPECT_EQ(runOn(1).traceDigest, runOn(8).traceDigest);
+//
+// The other executors leave the digest at 0 (the speculative schedule is
+// non-deterministic by design; the serial executor has no task ids).
+// ----------------------------------------------------------------------
+
+constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ULL;
+constexpr std::uint64_t kFnv1aPrime = 1099511628211ULL;
+
+/** Fold one 64-bit value into an FNV-1a digest, byte by byte. */
+inline std::uint64_t
+fnv1aMix(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= v & 0xffu;
+        h *= kFnv1aPrime;
+        v >>= 8;
+    }
+    return h;
+}
+
 /** Per-thread counters; aggregated into a RunReport after a for_each. */
 struct ThreadStats
 {
@@ -52,6 +83,9 @@ struct RunReport
     std::uint64_t backoffYields = 0; //!< abort-storm backoff yields (nd)
     std::uint64_t rounds = 0;      //!< deterministic rounds (det executor)
     std::uint64_t generations = 0; //!< outer todo-generations (det executor)
+    /** FNV-1a over (committed ids, commit count) of every round; equal
+     *  across thread counts under Exec::Det, 0 for other executors. */
+    std::uint64_t traceDigest = 0;
     double seconds = 0.0;          //!< wall-clock time of the loop
     unsigned threads = 1;          //!< threads used
 

@@ -78,7 +78,7 @@ void
 ThreadPool::runJob(unsigned tid)
 {
     tid_ = tid;
-    activeThreads_ = jobThreads_;
+    activeThreads_ = jobThreads_.load(std::memory_order_relaxed);
     try {
         (*job_)(tid);
     } catch (...) {
@@ -99,7 +99,8 @@ ThreadPool::workerLoop(unsigned tid)
             std::unique_lock<std::mutex> guard(lock_);
             workReady_.wait(guard, [&] {
                 return shutdown_ ||
-                       (jobEpoch_ != seen_epoch && tid < jobThreads_);
+                       (jobEpoch_ != seen_epoch &&
+                        tid < jobThreads_.load(std::memory_order_relaxed));
             });
             if (shutdown_)
                 return;
@@ -125,7 +126,9 @@ ThreadPool::run(unsigned active_threads, const std::function<void(unsigned)>& fn
         active_threads = maxThreads_;
 
     if (active_threads == 1) {
-        jobThreads_ = 1;
+        // Lock-free fast path; jobThreads_ is atomic because idle
+        // workers read it in their wait predicate (see thread_pool.h).
+        jobThreads_.store(1, std::memory_order_relaxed);
         job_ = &fn;
         runJob(0);
         job_ = nullptr;
@@ -140,7 +143,7 @@ ThreadPool::run(unsigned active_threads, const std::function<void(unsigned)>& fn
     {
         std::lock_guard<std::mutex> guard(lock_);
         job_ = &fn;
-        jobThreads_ = active_threads;
+        jobThreads_.store(active_threads, std::memory_order_relaxed);
         jobRemaining_ = active_threads - 1;
         ++jobEpoch_;
     }

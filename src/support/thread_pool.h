@@ -92,7 +92,16 @@ class ThreadPool
     // Job state, guarded by lock_ for the handshake and read by workers
     // while running.
     const std::function<void(unsigned)>* job_{nullptr};
-    unsigned jobThreads_{0};
+    /**
+     * Atomic, unlike the rest of the job state: the single-thread fast
+     * path of run() sets it without taking lock_, while idle workers
+     * read it inside their wait predicate (on spurious wakeups or stale
+     * notifies). The epoch gate keeps those workers out either way, but
+     * the unsynchronized read/write pair is still a data race; relaxed
+     * atomic accesses remove it without putting a mutex on the serial
+     * path. Found by the tests-tsan preset.
+     */
+    std::atomic<unsigned> jobThreads_{0};
     std::uint64_t jobEpoch_{0};
     unsigned jobRemaining_{0};
     bool shutdown_{false};

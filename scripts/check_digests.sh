@@ -1,0 +1,30 @@
+#!/bin/sh
+# Golden trace-digest regression check.
+#
+# Runs the digest_dump binary (every app under Exec::Det on 1/2/4/8
+# threads) and diffs its output against the committed golden file. A
+# mismatch means the deterministic schedule changed — either a bug in a
+# runtime refactor (fix it) or a deliberate policy change (regenerate
+# the golden file with `digest_dump > scripts/golden_digests.txt` and
+# justify it in the PR).
+#
+# Usage: scripts/check_digests.sh <digest_dump-binary> [golden-file]
+set -eu
+
+DUMP=${1:?usage: check_digests.sh <digest_dump-binary> [golden-file]}
+GOLDEN=${2:-"$(dirname "$0")/golden_digests.txt"}
+
+if [ ! -f "$GOLDEN" ]; then
+    echo "check_digests.sh: golden file $GOLDEN missing" >&2
+    exit 1
+fi
+
+ACTUAL=$("$DUMP")
+
+if ! printf '%s\n' "$ACTUAL" | diff -u "$GOLDEN" -; then
+    echo "check_digests.sh: trace digests diverge from $GOLDEN" >&2
+    echo "  (schedule changed; see scripts/check_digests.sh header)" >&2
+    exit 1
+fi
+
+echo "check_digests.sh: all trace digests match $GOLDEN"

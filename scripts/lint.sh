@@ -1,19 +1,52 @@
 #!/bin/sh
-# Run clang-tidy (config: .clang-tidy at the repo root) over the first-party
+# Static hygiene checks over the first-party sources.
+#
+# Pass 1 — include hygiene: every header under src/ must compile
+# standalone (syntax-only), i.e. include what it uses instead of
+# leaning on whatever its includers happened to pull in first. This
+# keeps the layered runtime headers (round_engine.h, window.h,
+# id_service.h, arena.h, ...) independently usable and catches
+# missing-include rot at lint time rather than at the first unlucky
+# include-order change. Needs only the C++ compiler, so it always runs.
+#
+# Pass 2 — clang-tidy (config: .clang-tidy at the repo root) over the
 # sources, using the compile database of an existing build directory.
+# If clang-tidy is not installed, pass 2 reports and is skipped — the
+# tool is optional in the minimal toolchain image; the CMake `lint`
+# target is only generated when it is present.
 #
 # Usage: scripts/lint.sh [clang-tidy-binary] [build-dir]
-# Defaults: clang-tidy, build/. Exits non-zero on any warning, so it can
-# gate CI. If clang-tidy is not installed, reports and exits 0 — the tool
-# is optional in the minimal toolchain image; the CMake `lint` target is
-# only generated when it is present.
+# Defaults: clang-tidy, build/. Exits non-zero on any finding, so it
+# can gate CI.
 set -eu
 
 TIDY=${1:-clang-tidy}
 BUILD_DIR=${2:-build}
+CXX=${CXX:-c++}
 
+# ----------------------------------------------------------------------
+# Pass 1: standalone-header (include-what-you-use-lite) check.
+# ----------------------------------------------------------------------
+echo "lint.sh: checking that every header under src/ compiles standalone"
+HDR_FAILED=0
+for hdr in $(find src -name '*.h' | sort); do
+    if ! "$CXX" -std=c++20 -fsyntax-only -Isrc -x c++ "$hdr" 2>/tmp/lint_hdr_err; then
+        echo "lint.sh: header is not self-contained: $hdr" >&2
+        sed 's/^/    /' /tmp/lint_hdr_err >&2
+        HDR_FAILED=1
+    fi
+done
+if [ "$HDR_FAILED" -ne 0 ]; then
+    echo "lint.sh: include-hygiene pass failed" >&2
+    exit 1
+fi
+echo "lint.sh: include hygiene OK"
+
+# ----------------------------------------------------------------------
+# Pass 2: clang-tidy.
+# ----------------------------------------------------------------------
 if ! command -v "$TIDY" >/dev/null 2>&1; then
-    echo "lint.sh: $TIDY not installed; skipping (install clang-tidy to lint)"
+    echo "lint.sh: $TIDY not installed; skipping tidy pass (install clang-tidy to lint)"
     exit 0
 fi
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then

@@ -237,6 +237,14 @@ galoisPfp(Graph& g, graph::Node source, graph::Node sink, const Config& cfg)
         r.report.cacheAccesses += phase.cacheAccesses;
         r.report.cacheMisses += phase.cacheMisses;
         r.report.threads = phase.threads;
+        // Chain the per-phase schedule digests so the whole multi-phase
+        // run has one portable fingerprint (0 under non-det executors).
+        if (phase.traceDigest != 0) {
+            if (r.report.traceDigest == 0)
+                r.report.traceDigest = runtime::kFnv1aOffset;
+            r.report.traceDigest =
+                runtime::fnv1aMix(r.report.traceDigest, phase.traceDigest);
+        }
 
         // Refresh heights and gather the still-active nodes in id order
         // (deterministic).

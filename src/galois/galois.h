@@ -76,6 +76,9 @@ enum class NdWorklist
     ChunkedLifo  //!< depth-ish order; best locality for cavity workloads
 };
 
+/** Low-level worklist configuration (alias of the runtime policy). */
+using runtime::WorklistPolicy;
+
 /** Execution configuration. */
 struct Config
 {
@@ -85,8 +88,23 @@ struct Config
     runtime::DetOptions det;
     /** Worklist policy of the speculative executor. */
     NdWorklist ndWorklist = NdWorklist::ChunkedFifo;
+    /**
+     * Tasks per worklist chunk — the stealing granularity of the
+     * speculative executor (NonDet only). Larger chunks amortize the
+     * shared-deque lock and keep related tasks on one thread; smaller
+     * chunks spread sparse work faster. Clamped to >= 1.
+     */
+    unsigned ndChunkSize = 64;
     /** Feed the software cache model (locality experiments, Fig. 11). */
     bool collectLocality = false;
+
+    /** The speculative executor's worklist policy from these knobs. */
+    WorklistPolicy
+    worklistPolicy() const
+    {
+        return WorklistPolicy{ndWorklist == NdWorklist::ChunkedFifo,
+                              ndChunkSize};
+    }
 };
 
 /** Parse an executor name ("serial", "nondet", "det") — the command-line
@@ -119,15 +137,9 @@ forEach(const std::vector<T>& initial, F&& op, const Config& cfg)
         return runtime::executeSerial(initial, std::forward<F>(op),
                                       cfg.collectLocality);
       case Exec::NonDet:
-        if (cfg.ndWorklist == NdWorklist::ChunkedLifo) {
-            return runtime::executeNonDet<false>(initial,
-                                                 std::forward<F>(op),
-                                                 cfg.threads,
-                                                 cfg.collectLocality);
-        }
-        return runtime::executeNonDet<true>(initial, std::forward<F>(op),
-                                            cfg.threads,
-                                            cfg.collectLocality);
+        return runtime::executeNonDet(initial, std::forward<F>(op),
+                                      cfg.threads, cfg.worklistPolicy(),
+                                      cfg.collectLocality);
       case Exec::Det:
         return runtime::executeDet(initial, std::forward<F>(op),
                                    cfg.threads, cfg.det,

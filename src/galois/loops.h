@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <functional>
 
+#include "runtime/round_engine.h" // blockRange
 #include "support/per_thread.h"
 #include "support/thread_pool.h"
 
@@ -37,11 +38,8 @@ doAll(std::size_t n, unsigned threads, Fn&& fn)
         return;
     }
     support::ThreadPool::get().run(threads, [&](unsigned tid) {
-        const std::size_t per = n / threads;
-        const std::size_t extra = n % threads;
-        const std::size_t begin =
-            tid * per + std::min<std::size_t>(tid, extra);
-        const std::size_t end = begin + per + (tid < extra ? 1 : 0);
+        // Same deterministic partition as the round engine's slices.
+        auto [begin, end] = runtime::blockRange(n, tid, threads);
         for (std::size_t i = begin; i < end; ++i)
             fn(i);
     });

@@ -33,6 +33,7 @@
 #include "runtime/conflict.h"
 #include "runtime/lockable.h"
 #include "runtime/stats.h"
+#include "support/arena.h"
 
 namespace galois::runtime {
 
@@ -178,14 +179,28 @@ class UserContext
     S&
     saveState(Args&&... args)
     {
-        S* s = new S(std::forward<Args>(args)...);
+        // With a bound arena (the deterministic executor binds its
+        // per-thread round arena) the state is bump-allocated and only
+        // its destructor is registered — the memory is reclaimed
+        // wholesale when the executor resets the arena at the round
+        // boundary. Without one (serial/speculative execution) the
+        // state lives on the heap as before.
+        S* s;
+        void (*deleter)(void*);
+        if (arena_ != nullptr) {
+            s = arena_->createUnmanaged<S>(std::forward<Args>(args)...);
+            deleter = [](void* p) { static_cast<S*>(p)->~S(); };
+        } else {
+            s = new S(std::forward<Args>(args)...);
+            deleter = [](void* p) { delete static_cast<S*>(p); };
+        }
         if (mode_ == Mode::DetInspect && localSlot_ && !*localSlot_) {
             *localSlot_ = s;
-            *localDeleter_ = [](void* p) { delete static_cast<S*>(p); };
+            *localDeleter_ = deleter;
         } else {
             clearScratch();
             scratch_ = s;
-            scratchDel_ = [](void* p) { delete static_cast<S*>(p); };
+            scratchDel_ = deleter;
         }
         return *s;
     }
@@ -241,10 +256,20 @@ class UserContext
 #endif
     }
 
+    /**
+     * Destroy any scratch state still held from the last task. The
+     * executor must call this before resetting a bound arena: the
+     * scratch object lives in that arena, and dropping it afterwards
+     * would run a destructor on rewound memory.
+     */
+    void endTaskScope() { clearScratch(); }
+
     ~UserContext() { clearScratch(); }
 
     void bindStats(ThreadStats* stats) { stats_ = stats; }
     void bindCache(model::CacheModel* cache) { cache_ = cache; }
+    /** Route saveState() allocations to an arena (nullptr: heap). */
+    void bindArena(support::Arena* arena) { arena_ = arena; }
 
     ThreadStats& stats() { return *stats_; }
 
@@ -332,6 +357,7 @@ class UserContext
     void (**localDeleter_)(void*) = nullptr;
     ThreadStats* stats_ = nullptr;
     model::CacheModel* cache_ = nullptr;
+    support::Arena* arena_ = nullptr;
     std::vector<T> pushes_;
     std::vector<std::uint64_t> pushIds_;
 };

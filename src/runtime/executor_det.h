@@ -17,14 +17,23 @@
  *      unique maximal-by-id independent set — and defers the rest
  *      (selectAndExec).
  *
- * Execution is SPMD, exactly as in Figure 2: the worker threads stay
- * resident for the whole loop and rendezvous on barriers between phases
- * (the serial bookkeeping between phases — window calculation, round
- * assembly, deterministic merge — is done by thread 0). Rounds are the
- * critical path of deterministic execution (Section 3.4), so they must
- * not pay a thread wake-up: one round costs four barriers.
+ * This file is deliberately thin: it is the *policy* composition of four
+ * standalone, unit-tested mechanisms —
  *
- * Determinism argument (tested exhaustively in tests/runtime):
+ *   - runtime/round_engine.h: the SPMD harness (thread clamp, barriers,
+ *     per-thread stats/caches, the four-barrier round protocol with
+ *     serial-section fault containment and per-phase timing);
+ *   - runtime/id_service.h: deterministic (parent id, birth rank)
+ *     ranking + renumbering + locality spread (Figure 2 line 5 and the
+ *     interleave of Section 3.3);
+ *   - runtime/window.h: the adaptive commit-ratio window
+ *     (calculateWindow of Figure 2, the "parameterless" policy);
+ *   - support/arena.h: generation-scoped storage for task records and
+ *     round-scoped storage for continuation state, so the steady-state
+ *     hot path performs no per-task heap traffic.
+ *
+ * Determinism argument (tested exhaustively in tests/runtime and pinned
+ * end-to-end by scripts/golden_digests.txt):
  *   - ids are assigned by a deterministic sort of (parent id, birth rank),
  *   - the window is a deterministic function of per-round commit counts,
  *   - writeMarksMax computes a max over a totally ordered set, which is
@@ -49,20 +58,19 @@
 #include <functional>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "analysis/detsan.h"
-#include "model/cache_model.h"
-#include "runtime/conflict.h"
 #include "runtime/context.h"
+#include "runtime/conflict.h"
+#include "runtime/id_service.h"
+#include "runtime/round_engine.h"
 #include "runtime/stats.h"
+#include "runtime/window.h"
 #include "runtime/worklist.h" // SpinLock
-#include "support/barrier.h"
+#include "support/arena.h"
 #include "support/failpoint.h"
-#include "support/parallel_sort.h"
-#include "support/per_thread.h"
-#include "support/thread_pool.h"
-#include "support/timer.h"
 
 namespace galois::runtime {
 
@@ -160,6 +168,18 @@ struct DetOptions
         v.spreadBuckets = std::max<std::uint64_t>(1, spreadBuckets);
         return v;
     }
+
+    /** The window-policy subset of these options. */
+    WindowConfig
+    windowConfig() const
+    {
+        WindowConfig w;
+        w.commitTarget = commitTarget;
+        w.minWindow = minWindow;
+        w.initialWindow = initialWindow;
+        w.fixedWindow = fixedWindow;
+        return w;
+    }
 };
 
 namespace detail {
@@ -196,16 +216,6 @@ struct DetRecord : DetRecordBase
     ~DetRecord() { destroyLocal(); }
 };
 
-/** [begin, end) slice of n items for thread tid of nthreads. */
-inline std::pair<std::size_t, std::size_t>
-blockRange(std::size_t n, unsigned tid, unsigned nthreads)
-{
-    const std::size_t per = n / nthreads;
-    const std::size_t extra = n % nthreads;
-    const std::size_t begin = tid * per + std::min<std::size_t>(tid, extra);
-    return {begin, begin + per + (tid < extra ? 1 : 0)};
-}
-
 } // namespace detail
 
 /**
@@ -220,28 +230,28 @@ class DetExecutor
     DetExecutor(F& op, unsigned threads, const DetOptions& opt,
                 bool use_cache)
         : op_(op),
-          threads_(std::max(1u, std::min(
-              threads, support::ThreadPool::get().maxThreads()))),
           opt_(opt.validated()),
-          useCache_(use_cache),
-          barrier_(threads_),
-          outs_(threads_),
-          caches_(use_cache ? support::ThreadPool::get().maxThreads() : 0)
-    {}
+          engine_(threads, use_cache),
+          idService_(opt_.localitySpread ? opt_.spreadBuckets : 1,
+                     engine_.threads()),
+          window_(opt_.windowConfig()),
+          outs_(engine_.threads())
+    {
+        for (unsigned t = 0; t < engine_.threads(); ++t)
+            scratchArenas_.emplace_back();
+    }
 
     /** Execute all tasks; returns aggregate statistics. */
     RunReport
     run(const std::vector<T>& initial)
     {
-        support::Timer timer;
-        timer.start();
         report_.traceDigest = kFnv1aOffset;
 
         // Seed generation 0: birth rank is the iteration-order position,
         // matching "ids based on the iteration order of the C++ iterator".
         children_.reserve(initial.size());
         for (std::size_t i = 0; i < initial.size(); ++i)
-            children_.push_back(Child{initial[i], 0, i});
+            children_.push_back(PendingTask<T>{initial[i], 0, i});
 
         // One SPMD region per generation: the id-assignment sort runs
         // between regions (where the parallel sort may use the pool
@@ -255,16 +265,11 @@ class DetExecutor
                 recordError(kBookkeepingErrorId);
                 break;
             }
-            if (opt_.fixedWindow != 0)
-                window_ = opt_.fixedWindow;
-            else if (window_ == 0)
-                window_ = opt_.initialWindow != 0 ? opt_.initialWindow
-                                                  : 4 * opt_.minWindow;
+            window_.beginGeneration();
             carry_.clear();
             carryPos_ = 0;
             queuePos_ = 0;
-            support::ThreadPool::get().run(
-                threads_, [&](unsigned tid) { spmd(tid); });
+            engine_.spmd([&](unsigned tid) { spmd(tid); });
         }
 
         if (failed_.load(std::memory_order_acquire)) {
@@ -275,34 +280,22 @@ class DetExecutor
             // stay usable, then deliver the winning exception: the one
             // recorded for the smallest task id, which is the same on
             // every thread count.
-            for (detail::DetRecord<T>& r : storage_)
-                for (Lockable* l : r.nbhd)
-                    l->releaseIfOwner(&r);
+            for (detail::DetRecord<T>* r : queue_)
+                for (Lockable* l : r->nbhd)
+                    l->releaseIfOwner(r);
             std::rethrow_exception(firstError_);
         }
 
-        timer.stop();
-        for (std::size_t t = 0; t < stats_.size(); ++t)
-            report_.accumulate(stats_.remote(t));
-        report_.threads = threads_;
-        report_.seconds = timer.seconds();
+        engine_.finish(report_);
         return report_;
     }
 
   private:
-    /** A dynamically created task, before it has an id. */
-    struct Child
-    {
-        T item;
-        std::uint64_t parentId;
-        std::uint64_t birthRank; //!< k (creation index) or preassigned id
-    };
-
     /** Per-thread output of a selectAndExec phase. */
     struct PhaseOut
     {
         std::vector<detail::DetRecord<T>*> failed;
-        std::vector<Child> children;
+        std::vector<PendingTask<T>> children;
         std::vector<std::uint64_t> committedIds; //!< id order (trace digest)
         std::uint64_t committed = 0;
     };
@@ -312,48 +305,33 @@ class DetExecutor
     // ------------------------------------------------------------------
 
     /**
-     * SPMD round loop. Fault discipline: no phase may throw (a throwing
-     * participant would strand its peers at the next barrier), and an
-     * error never truncates a round. A failing task is excluded and its
-     * exception recorded, but every other task of the round still
-     * inspects/commits exactly as it would have — so the final state at
-     * the error is the deterministic "all rounds up to and including
-     * the failing one, minus the failing tasks", independent of thread
-     * count. The loop then stops at the next round boundary.
+     * SPMD round loop: DetExecutor's policies plugged into the engine's
+     * four-barrier protocol. Fault discipline: no parallel phase may
+     * throw (a throwing participant would strand its peers at the next
+     * barrier), and an error never truncates a round. A failing task is
+     * excluded and its exception recorded, but every other task of the
+     * round still inspects/commits exactly as it would have — so the
+     * final state at the error is the deterministic "all rounds up to
+     * and including the failing one, minus the failing tasks",
+     * independent of thread count. The loop then stops at the next
+     * round boundary.
      */
     void
     spmd(unsigned tid)
     {
         UserContext<T> ctx;
-        ctx.bindStats(&stats_.local());
-        if (useCache_)
-            ctx.bindCache(&caches_[tid]);
+        engine_.bindContext(ctx, tid);
+        ctx.bindArena(&scratchArenas_[tid]);
 
-        for (;;) {
-            if (tid == 0) {
-                try {
-                    assembleRound(); // calculateWindow + getWindowOfTasks
-                } catch (...) {
-                    recordError(kBookkeepingErrorId);
-                    roundActive_ = false;
-                }
-            }
-            barrier_.wait();
-            if (!roundActive_)
-                return;
-            inspectSlice(tid, ctx); // never throws
-            barrier_.wait();
-            selectSlice(tid, ctx); // never throws
-            barrier_.wait();
-            if (tid == 0) {
-                try {
-                    mergeRound();
-                } catch (...) {
-                    recordError(kBookkeepingErrorId);
-                }
-            }
-            barrier_.wait();
-        }
+        engine_.roundLoop(
+            tid,
+            /*assemble=*/[this] { return assembleRound(); },
+            /*phase1=*/
+            [this, &ctx](unsigned t) { inspectSlice(t, ctx); },
+            /*phase2=*/
+            [this, &ctx](unsigned t) { selectSlice(t, ctx); },
+            /*merge=*/[this] { mergeRound(); },
+            /*on_error=*/[this] { recordError(kBookkeepingErrorId); });
     }
 
     /**
@@ -388,64 +366,42 @@ class DetExecutor
     // ------------------------------------------------------------------
 
     /**
-     * Order this generation's children deterministically (the sort of
-     * Figure 2 line 5; parallel — the paper flags this sort's cost),
-     * build records, apply the locality spread, and assign ids by final
-     * position.
+     * Turn this generation's pending children into id-ordered records:
+     * the IdService ranks them deterministically (the sort of Figure 2
+     * line 5 plus the locality spread) and this callback materializes
+     * each one in the generation arena. Resetting the arena first
+     * destroys the previous generation's records and hands their slabs
+     * straight back — steady state allocates nothing.
      */
     void
     buildGeneration()
     {
         FAILPOINT("det.idsort", report_.generations);
-        support::parallelSort(
-            children_,
-            [](const Child& a, const Child& b) {
-                if (a.parentId != b.parentId)
-                    return a.parentId < b.parentId;
-                return a.birthRank < b.birthRank;
-            },
-            threads_);
-
-        const std::size_t n = children_.size();
-        storage_.clear();
+        recordArena_.reset();
         queue_.clear();
-        queue_.reserve(n);
-
-        // Locality spread (Section 3.3): deal sorted positions round-robin
-        // into spreadBuckets buckets so that tasks adjacent in iteration
-        // order land about n/buckets apart in id order — i.e. in different
-        // windows whenever the window is smaller than that.
-        const std::uint64_t buckets =
-            opt_.localitySpread ? std::max<std::uint64_t>(1, opt_.spreadBuckets)
-                                : 1;
-        std::uint64_t next_id = 1;
-        for (std::uint64_t b = 0; b < buckets; ++b) {
-            for (std::size_t i = b; i < n; i += buckets) {
-                storage_.emplace_back();
-                detail::DetRecord<T>& r = storage_.back();
-                r.item = std::move(children_[i].item);
-                r.parentId = children_[i].parentId;
-                r.birthRank = children_[i].birthRank;
-                r.id = next_id++;
-                queue_.push_back(&r);
-            }
-        }
-        children_.clear();
+        queue_.reserve(children_.size());
+        idService_.assign(children_, [this](PendingTask<T>&& c,
+                                            std::uint64_t id) {
+            auto* r = recordArena_.create<detail::DetRecord<T>>();
+            r->item = std::move(c.item);
+            r->parentId = c.parentId;
+            r->birthRank = c.birthRank;
+            r->id = id;
+            queue_.push_back(r);
+        });
     }
 
     /** getWindowOfTasks: take the id-smallest window prefix into cur_. */
-    void
+    bool
     assembleRound()
     {
         const std::uint64_t remaining =
             (carry_.size() - carryPos_) + (queue_.size() - queuePos_);
-        roundActive_ =
-            remaining > 0 && !failed_.load(std::memory_order_acquire);
-        if (!roundActive_)
-            return;
+        if (remaining == 0 || failed_.load(std::memory_order_acquire))
+            return false;
 
         const std::uint64_t eff_window =
-            std::min<std::uint64_t>(window_, remaining);
+            std::min<std::uint64_t>(window_.size(), remaining);
         cur_.clear();
         // Deferred tasks (carry) have smaller ids than untried ones, so
         // they come first.
@@ -460,6 +416,7 @@ class DetExecutor
             o.committedIds.clear();
             o.committed = 0;
         }
+        return true;
     }
 
     /**
@@ -480,7 +437,7 @@ class DetExecutor
         for (PhaseOut& o : outs_) {
             new_carry.insert(new_carry.end(), o.failed.begin(),
                              o.failed.end());
-            for (Child& c : o.children)
+            for (PendingTask<T>& c : o.children)
                 children_.push_back(std::move(c));
             // Thread t's slice of cur was contiguous and id-ordered, so
             // folding per-thread commit lists in thread order folds the
@@ -498,8 +455,8 @@ class DetExecutor
 
         ++report_.rounds;
         if (opt_.roundHook)
-            opt_.roundHook(window_, cur_.size(), committed);
-        updateWindow(cur_.size(), committed);
+            opt_.roundHook(window_.size(), cur_.size(), committed);
+        window_.update(cur_.size(), committed);
 
         // Progress watchdog: a correct cautious operator commits the
         // maximal-id task of every round, so repeated zero-commit rounds
@@ -527,37 +484,12 @@ class DetExecutor
                 " consecutive rounds committed 0 tasks (generation " +
                 std::to_string(report_.generations) + ", round " +
                 std::to_string(report_.rounds) + ", window " +
-                std::to_string(window_) + ", " +
+                std::to_string(window_.size()) + ", " +
                 std::to_string(carry_.size() +
                                (queue_.size() - queuePos_)) +
                 " tasks pending); stuck task ids: [" + ids +
                 "]; the operator is likely not cautious (acquires after "
                 "its failsafe point)");
-        }
-    }
-
-    /** Adaptive window policy (calculateWindow of Figure 2). */
-    void
-    updateWindow(std::uint64_t attempted, std::uint64_t committed)
-    {
-        if (opt_.fixedWindow != 0) {
-            window_ = opt_.fixedWindow;
-            return;
-        }
-        const double ratio = attempted == 0
-                                 ? 1.0
-                                 : static_cast<double>(committed) /
-                                       static_cast<double>(attempted);
-        if (ratio >= opt_.commitTarget) {
-            // Cap to keep repeated doubling from overflowing on long runs
-            // with consistently high commit ratios.
-            if (window_ < (std::uint64_t(1) << 40))
-                window_ *= 2;
-        } else {
-            window_ = std::max<std::uint64_t>(
-                opt_.minWindow,
-                static_cast<std::uint64_t>(static_cast<double>(window_) *
-                                           ratio / opt_.commitTarget));
         }
     }
 
@@ -584,7 +516,7 @@ class DetExecutor
         // crossed; label this thread's sanitizer scope with them.
         analysis::setRound(report_.generations, report_.rounds + 1);
 #endif
-        auto [begin, end] = detail::blockRange(cur_.size(), tid, threads_);
+        auto [begin, end] = engine_.slice(cur_.size(), tid);
         for (std::size_t i = begin; i < end; ++i) {
             detail::DetRecord<T>* r = cur_[i];
             try {
@@ -608,12 +540,16 @@ class DetExecutor
 
     /**
      * Select-and-execute phase: commit the unique independent set, defer
-     * the rest, clear marks, collect created tasks.
+     * the rest, clear marks, collect created tasks. The thread's round
+     * arena — holding every continuation object its slice saved during
+     * inspect — is rewound at the end: destroyLocal() runs on both the
+     * commit and the defer path, and inspect/select share the same
+     * slice partition, so nothing in the arena outlives this phase.
      */
     void
     selectSlice(unsigned tid, UserContext<T>& ctx)
     {
-        auto [begin, end] = detail::blockRange(cur_.size(), tid, threads_);
+        auto [begin, end] = engine_.slice(cur_.size(), tid);
         PhaseOut& out = outs_[tid];
         for (std::size_t i = begin; i < end; ++i) {
             detail::DetRecord<T>* r = cur_[i];
@@ -689,6 +625,11 @@ class DetExecutor
 #if defined(DETGALOIS_DETSAN)
         analysis::endTask();
 #endif
+        // Every continuation object this thread's slice saved has been
+        // destroyed above; drop the context's scratch (it lives in the
+        // same arena) and rewind the arena for the next round.
+        ctx.endTaskScope();
+        scratchArenas_[tid].reset();
     }
 
     /** Move tasks pushed by a committed task into the next generation. */
@@ -704,10 +645,10 @@ class DetExecutor
             assert(ids.size() == pushes.size() &&
                    "mixed push()/push(id) within one task");
             for (std::size_t j = 0; j < pushes.size(); ++j)
-                out.children.push_back(Child{pushes[j], ids[j], 0});
+                out.children.push_back(PendingTask<T>{pushes[j], ids[j], 0});
         } else {
             for (std::size_t j = 0; j < pushes.size(); ++j)
-                out.children.push_back(Child{pushes[j], r->id, j});
+                out.children.push_back(PendingTask<T>{pushes[j], r->id, j});
         }
     }
 
@@ -716,24 +657,23 @@ class DetExecutor
     // ------------------------------------------------------------------
 
     F& op_;
-    unsigned threads_;
     DetOptions opt_;
-    bool useCache_;
+    RoundEngine engine_;
+    IdService idService_;
+    WindowPolicy window_;
 
-    std::deque<detail::DetRecord<T>> storage_;
+    support::Arena recordArena_; //!< generation-scoped DetRecord storage
+    std::deque<support::Arena> scratchArenas_; //!< per-thread round arenas
     std::vector<detail::DetRecord<T>*> queue_; //!< generation tasks, id order
-    std::vector<Child> children_; //!< next generation (unordered)
-    std::uint64_t window_ = 0;
+    std::vector<PendingTask<T>> children_; //!< next generation (unordered)
 
     // Round state shared between threads; written by thread 0 between
     // barriers, read by everyone after.
-    support::Barrier barrier_;
     std::vector<detail::DetRecord<T>*> cur_;
     std::vector<detail::DetRecord<T>*> carry_; //!< failed, id-sorted
     std::size_t carryPos_ = 0;
     std::size_t queuePos_ = 0;
     std::vector<PhaseOut> outs_;
-    bool roundActive_ = false;
 
     std::atomic<bool> failed_{false};
     std::exception_ptr firstError_;
@@ -741,8 +681,6 @@ class DetExecutor
     std::uint64_t zeroCommitRounds_ = 0; //!< consecutive, for the watchdog
     SpinLock errLock_;
 
-    support::PerThread<ThreadStats> stats_;
-    std::vector<model::CacheModel> caches_;
     RunReport report_;
 };
 

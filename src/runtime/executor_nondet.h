@@ -10,6 +10,13 @@
  * Once a task crosses its failsafe point it owns its whole neighborhood
  * and updates global data in place — no undo log is ever needed.
  *
+ * The run scaffolding — thread clamp, per-thread stats, the cache-model
+ * bank, timing, report aggregation — comes from the shared RoundEngine;
+ * only the speculative scheduling policy lives here. The worklist order
+ * (FIFO/LIFO) and chunk size are runtime configuration (WorklistPolicy),
+ * so there is a single instantiation of this function per (T, F) instead
+ * of one per policy combination.
+ *
  * Fault discipline (mirrors the deterministic executor): a task that
  * raises a non-conflict exception is *captured, released and drained* —
  * its marks are released, its error is recorded, and its pending-work
@@ -39,35 +46,34 @@
 #include <vector>
 
 #include "analysis/detsan.h"
-#include "model/cache_model.h"
-#include "runtime/conflict.h"
 #include "runtime/context.h"
+#include "runtime/conflict.h"
+#include "runtime/round_engine.h"
 #include "runtime/stats.h"
 #include "runtime/worklist.h"
 #include "support/failpoint.h"
 #include "support/per_thread.h"
 #include "support/termination.h"
-#include "support/thread_pool.h"
 #include "support/prng.h"
-#include "support/timer.h"
 
 namespace galois::runtime {
 
 /**
  * Run all tasks speculatively on the given number of threads.
  *
- * @tparam Fifo     worklist policy: chunked FIFO (breadth-ish; right for
- *                  relaxation fixpoints) or chunked LIFO (depth-ish;
- *                  best temporal locality for cavity workloads).
  * @param initial   seed tasks (distributed in blocks across threads).
  * @param op        operator void(T&, UserContext<T>&); must be cautious.
  * @param threads   number of worker threads.
+ * @param wl_policy worklist order and chunk size: chunked FIFO
+ *                  (breadth-ish; right for relaxation fixpoints) or
+ *                  chunked LIFO (depth-ish; best temporal locality for
+ *                  cavity workloads).
  * @param use_cache feed the software cache model (locality experiments).
  */
-template <bool Fifo, typename T, typename F>
+template <typename T, typename F>
 RunReport
 executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
-              bool use_cache = false)
+              WorklistPolicy wl_policy = {}, bool use_cache = false)
 {
     struct NdOwner : MarkOwner
     {};
@@ -79,10 +85,9 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
         unsigned aborts = 0;
     };
 
-    support::Timer timer;
-    timer.start();
+    RoundEngine engine(threads, use_cache);
 
-    ChunkedWorklist<Entry, Fifo> worklist;
+    ChunkedWorklist<Entry> worklist(wl_policy);
     support::TerminationDetector term;
     term.reset(initial.size());
 
@@ -96,15 +101,12 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
         err_lock.unlock();
     };
 
-    support::PerThread<ThreadStats> stats;
     support::PerThread<NdOwner> owners;
-    std::vector<model::CacheModel> caches(
-        use_cache ? support::ThreadPool::get().maxThreads() : 0);
 
     std::atomic<std::size_t> seed_cursor{0};
     const std::size_t seed_block = 256;
 
-    support::ThreadPool::get().run(threads, [&](unsigned tid) {
+    engine.spmd([&](unsigned tid) {
         // Seed phase: threads carve disjoint blocks off the initial range
         // so that initial locality (adjacent tasks) stays within a thread.
         // A failed push (allocation failure) drains the task's pending
@@ -126,11 +128,9 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
             }
         }
 
-        ThreadStats& my_stats = stats.local();
         UserContext<T> ctx;
-        ctx.bindStats(&my_stats);
-        if (use_cache)
-            ctx.bindCache(&caches[tid]);
+        engine.bindContext(ctx, tid);
+        ThreadStats& my_stats = ctx.stats();
 
         NdOwner* owner = &owners.local();
         std::vector<Lockable*> acquired;
@@ -233,12 +233,8 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
     if (first_error)
         std::rethrow_exception(first_error);
 
-    timer.stop();
     RunReport report;
-    for (std::size_t t = 0; t < stats.size(); ++t)
-        report.accumulate(stats.remote(t));
-    report.threads = threads;
-    report.seconds = timer.seconds();
+    engine.finish(report);
     return report;
 }
 

@@ -5,22 +5,22 @@
  * Executes tasks one at a time in FIFO order. Used as (i) the semantics
  * oracle for the parallel executors in tests, and (ii) the single-thread
  * baseline for speedup figures when no better hand-optimized sequential
- * implementation exists.
+ * implementation exists. Stats, cache-model and report plumbing come
+ * from the shared RoundEngine (with a one-thread region and no parallel
+ * dispatch), so all three executors aggregate identically.
  */
 
 #ifndef DETGALOIS_RUNTIME_EXECUTOR_SERIAL_H
 #define DETGALOIS_RUNTIME_EXECUTOR_SERIAL_H
 
 #include <deque>
-#include <utility>
 #include <vector>
 
 #include "analysis/detsan.h"
-#include "model/cache_model.h"
 #include "runtime/context.h"
+#include "runtime/round_engine.h"
 #include "runtime/stats.h"
 #include "support/failpoint.h"
-#include "support/timer.h"
 
 namespace galois::runtime {
 
@@ -35,15 +35,9 @@ template <typename T, typename F>
 RunReport
 executeSerial(const std::vector<T>& initial, F&& op, bool use_cache = false)
 {
-    support::Timer timer;
-    timer.start();
-
-    ThreadStats stats;
-    model::CacheModel cache;
+    RoundEngine engine(1, use_cache);
     UserContext<T> ctx;
-    ctx.bindStats(&stats);
-    if (use_cache)
-        ctx.bindCache(&cache);
+    engine.bindContext(ctx, 0);
 
     std::deque<T> work(initial.begin(), initial.end());
     std::vector<Lockable*> nbhd; // unused in serial mode, required by API
@@ -61,17 +55,14 @@ executeSerial(const std::vector<T>& initial, F&& op, bool use_cache = false)
         op(item, ctx);
         for (const T& t : ctx.pendingPushes())
             work.push_back(t);
-        ++stats.committed;
+        ++ctx.stats().committed;
     }
 #if defined(DETGALOIS_DETSAN)
     analysis::endTask();
 #endif
 
-    timer.stop();
     RunReport report;
-    report.accumulate(stats);
-    report.threads = 1;
-    report.seconds = timer.seconds();
+    engine.finish(report);
     return report;
 }
 

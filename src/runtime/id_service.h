@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic id assignment service (Figure 2 line 5 + the locality
+ * interleave of Section 3.3), extracted from the deterministic executor
+ * as a standalone, unit-testable component.
+ *
+ * Dynamically created tasks arrive unordered (whatever thread committed
+ * their parent appended them). The service restores a deterministic
+ * total order by ranking tasks lexicographically by (parent id, birth
+ * rank) — the k-th task pushed by task p ranks as (id(p), k) — and
+ * renumbering 1..n by final position. Pre-assigned user ids (Section
+ * 3.3, third optimization) ride the same path: the executor stores the
+ * user id as parentId with birthRank 0, so the sort degenerates to
+ * sorting by the user's ids.
+ *
+ * The optional locality spread deals sorted positions round-robin into
+ * `spreadBuckets` buckets, so tasks adjacent in iteration order land
+ * about n/buckets apart in id order — i.e. in different rounds whenever
+ * the window is smaller than that — trading intra-round conflict
+ * probability against locality exactly as the paper describes.
+ *
+ * Everything is a pure function of (pending set, bucket count, thread
+ * count-independent sort), which the determinism argument of the DIG
+ * scheduler rests on. (The parallel sort's result is identical for any
+ * worker count; see support/parallel_sort.h.)
+ */
+
+#ifndef DETGALOIS_RUNTIME_ID_SERVICE_H
+#define DETGALOIS_RUNTIME_ID_SERVICE_H
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "support/parallel_sort.h"
+
+namespace galois::runtime {
+
+/** A dynamically created task before it has a deterministic id. */
+template <typename T>
+struct PendingTask
+{
+    T item{};
+    std::uint64_t parentId = 0;  //!< creating task's id, or a user id
+    std::uint64_t birthRank = 0; //!< k-th push of the parent (0 for user ids)
+};
+
+/**
+ * Assigns deterministic ids to one generation of pending tasks.
+ *
+ * Stateless apart from its configuration; assign() consumes the pending
+ * vector (items are moved out) and leaves it empty.
+ */
+class IdService
+{
+  public:
+    /**
+     * @param spread_buckets locality-interleave bucket count (1 = plain
+     *                       sorted order); clamped to >= 1.
+     * @param threads        workers for the ranking sort (the sort's
+     *                       result does not depend on this).
+     */
+    explicit IdService(std::uint64_t spread_buckets = 1,
+                       unsigned threads = 1)
+        : buckets_(std::max<std::uint64_t>(1, spread_buckets)),
+          threads_(std::max(1u, threads))
+    {}
+
+    /**
+     * Rank, renumber and emit: calls emit(std::move(pending_task), id)
+     * exactly once per task, in ascending id order, ids 1..n.
+     */
+    template <typename T, typename Emit>
+    void
+    assign(std::vector<PendingTask<T>>& pending, Emit&& emit) const
+    {
+        support::parallelSort(
+            pending,
+            [](const PendingTask<T>& a, const PendingTask<T>& b) {
+                if (a.parentId != b.parentId)
+                    return a.parentId < b.parentId;
+                return a.birthRank < b.birthRank;
+            },
+            threads_);
+
+        const std::size_t n = pending.size();
+        std::uint64_t next_id = 1;
+        for (std::uint64_t b = 0; b < buckets_; ++b)
+            for (std::size_t i = b; i < n; i += buckets_)
+                emit(std::move(pending[i]), next_id++);
+        pending.clear();
+    }
+
+    /** Locality-interleave bucket count in effect. */
+    std::uint64_t spreadBuckets() const { return buckets_; }
+
+  private:
+    std::uint64_t buckets_;
+    unsigned threads_;
+};
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_ID_SERVICE_H

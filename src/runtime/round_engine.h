@@ -1,0 +1,209 @@
+/**
+ * @file
+ * SPMD round engine — the executor-independent half of the runtime.
+ *
+ * Every executor repeats the same scaffolding: clamp the requested
+ * thread count to the pool, keep per-thread stats, optionally hand each
+ * thread a private software cache model, time the loop, and fold it all
+ * into a RunReport. The deterministic executor adds a bulk-synchronous
+ * round protocol on top: a serial bookkeeping step, two parallel phases
+ * over id-ordered slices, and a serial merge, separated by barriers
+ * (Figure 2 of the paper). RoundEngine owns both layers so that
+ * executors are reduced to their scheduling policy:
+ *
+ *  - construction: thread clamp, barrier, per-thread stats, cache bank;
+ *  - bindContext(): the per-thread UserContext wiring (stats + cache)
+ *    that was previously copy-pasted across the three executors;
+ *  - spmd(): dispatch a parallel region on the engine's thread count;
+ *  - roundLoop(): the four-barrier round protocol with serial-section
+ *    fault containment (a throwing bookkeeping step must stop the loop
+ *    at a round boundary, never strand peers at a barrier) and
+ *    per-phase wall-clock timing into RunReport::phases;
+ *  - finish(): stats aggregation + timing into a RunReport.
+ *
+ * blockRange() — the deterministic contiguous partition of n items over
+ * the region's threads — also lives here; the id-ordered slices it
+ * yields are what make per-thread output concatenation (in thread
+ * order) a schedule-pure merge.
+ */
+
+#ifndef DETGALOIS_RUNTIME_ROUND_ENGINE_H
+#define DETGALOIS_RUNTIME_ROUND_ENGINE_H
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "model/cache_model.h"
+#include "runtime/context.h"
+#include "runtime/stats.h"
+#include "support/barrier.h"
+#include "support/per_thread.h"
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace galois::runtime {
+
+/** Contiguous [begin, end) slice of n items for thread tid of nthreads. */
+inline std::pair<std::size_t, std::size_t>
+blockRange(std::size_t n, unsigned tid, unsigned nthreads)
+{
+    const std::size_t per = n / nthreads;
+    const std::size_t extra = n % nthreads;
+    const std::size_t begin = tid * per + std::min<std::size_t>(tid, extra);
+    return {begin, begin + per + (tid < extra ? 1 : 0)};
+}
+
+/** Shared run scaffolding + the bulk-synchronous round protocol. */
+class RoundEngine
+{
+  public:
+    /**
+     * @param requested_threads desired worker count (clamped to
+     *                          [1, ThreadPool::maxThreads()]).
+     * @param use_cache         give each thread a private CacheModel and
+     *                          bind it in bindContext() (Fig. 11 proxy).
+     */
+    RoundEngine(unsigned requested_threads, bool use_cache)
+        : threads_(std::max(
+              1u, std::min(requested_threads,
+                           support::ThreadPool::get().maxThreads()))),
+          barrier_(threads_),
+          caches_(use_cache ? support::ThreadPool::get().maxThreads() : 0)
+    {
+        timer_.start();
+    }
+
+    /** Effective (clamped) thread count of the region. */
+    unsigned threads() const { return threads_; }
+
+    /** Wire a per-thread context: stats always, cache model on demand.
+     *  This is the one copy of the setup previously duplicated by the
+     *  serial, speculative and deterministic executors. */
+    template <typename T>
+    void
+    bindContext(UserContext<T>& ctx, unsigned tid)
+    {
+        ctx.bindStats(&stats_.local());
+        if (!caches_.empty())
+            ctx.bindCache(&caches_[tid]);
+    }
+
+    /** Deterministic slice of n items for tid on this engine's region. */
+    std::pair<std::size_t, std::size_t>
+    slice(std::size_t n, unsigned tid) const
+    {
+        return blockRange(n, tid, threads_);
+    }
+
+    /** Run fn(tid) on threads() pool threads and wait for completion. */
+    template <typename Fn>
+    void
+    spmd(Fn&& fn)
+    {
+        support::ThreadPool::get().run(threads_, std::forward<Fn>(fn));
+    }
+
+    /** Rendezvous of all region threads (exposed for custom phases). */
+    void sync() { barrier_.wait(); }
+
+    /** Calling thread's stats slot (for non-context bookkeeping). */
+    ThreadStats& localStats() { return stats_.local(); }
+
+    /**
+     * The deterministic round protocol, run by every region thread:
+     *
+     *   loop:
+     *     tid 0: active = assemble()     (serial; throws are contained)
+     *     barrier; if !active: return
+     *     phase1(tid)                    (parallel; must not throw)
+     *     barrier
+     *     phase2(tid)                    (parallel; must not throw)
+     *     barrier
+     *     tid 0: merge()                 (serial; throws are contained)
+     *     barrier
+     *
+     * A serial section that throws calls onSerialError() from inside the
+     * catch block (std::current_exception() is live) and the loop stops
+     * at the next round boundary via assemble() returning false — no
+     * thread is ever stranded at a barrier. Thread 0 accounts wall time
+     * per phase into the profile returned by finish(); each parallel
+     * phase is timed to the barrier that closes it, so stragglers are
+     * included.
+     */
+    template <typename Assemble, typename Phase1, typename Phase2,
+              typename Merge, typename OnSerialError>
+    void
+    roundLoop(unsigned tid, Assemble&& assemble, Phase1&& phase1,
+              Phase2&& phase2, Merge&& merge, OnSerialError&& on_error)
+    {
+        support::Timer clock;
+        for (;;) {
+            if (tid == 0) {
+                clock.start();
+                try {
+                    roundActive_ = assemble();
+                } catch (...) {
+                    on_error();
+                    roundActive_ = false;
+                }
+                clock.stop();
+                phases_.assembleSeconds += clock.seconds();
+            }
+            barrier_.wait();
+            if (!roundActive_)
+                return;
+            if (tid == 0)
+                clock.start();
+            phase1(tid);
+            barrier_.wait();
+            if (tid == 0) {
+                clock.stop();
+                phases_.inspectSeconds += clock.seconds();
+                clock.start();
+            }
+            phase2(tid);
+            barrier_.wait();
+            if (tid == 0) {
+                clock.stop();
+                phases_.selectSeconds += clock.seconds();
+                clock.start();
+                try {
+                    merge();
+                } catch (...) {
+                    on_error();
+                }
+                clock.stop();
+                phases_.mergeSeconds += clock.seconds();
+            }
+            barrier_.wait();
+        }
+    }
+
+    /** Stop the clock and fold threads, seconds, per-thread stats and
+     *  the phase profile into the report. */
+    void
+    finish(RunReport& report)
+    {
+        timer_.stop();
+        for (std::size_t t = 0; t < stats_.size(); ++t)
+            report.accumulate(stats_.remote(t));
+        report.threads = threads_;
+        report.seconds = timer_.seconds();
+        report.phases = phases_;
+    }
+
+  private:
+    unsigned threads_;
+    support::Barrier barrier_;
+    support::PerThread<ThreadStats> stats_;
+    std::vector<model::CacheModel> caches_;
+    support::Timer timer_;
+    PhaseProfile phases_;
+    bool roundActive_ = false;
+};
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_ROUND_ENGINE_H

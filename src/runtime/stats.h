@@ -71,6 +71,21 @@ struct ThreadStats
     }
 };
 
+/**
+ * Wall-clock seconds per round-engine phase, accounted by thread 0 of
+ * the SPMD region (each parallel phase is timed to the barrier that
+ * closes it, so stragglers are included). Zero for executors without
+ * rounds (serial, speculative). These are the per-phase costs behind
+ * the paper's Section 3.4 overhead analysis.
+ */
+struct PhaseProfile
+{
+    double assembleSeconds = 0; //!< window calculation + round assembly
+    double inspectSeconds = 0;  //!< parallel inspect (writeMarksMax)
+    double selectSeconds = 0;   //!< parallel select-and-execute
+    double mergeSeconds = 0;    //!< deterministic merge + window update
+};
+
 /** Summary of one for_each execution, returned to the caller. */
 struct RunReport
 {
@@ -88,6 +103,7 @@ struct RunReport
     std::uint64_t traceDigest = 0;
     double seconds = 0.0;          //!< wall-clock time of the loop
     unsigned threads = 1;          //!< threads used
+    PhaseProfile phases;           //!< per-phase time (round engine only)
 
     /** Fraction of attempted tasks that aborted. */
     double

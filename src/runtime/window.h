@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Adaptive commit-ratio window policy (Section 3.2 — calculateWindow of
+ * Figure 2), extracted from the deterministic executor as a standalone,
+ * unit-testable component.
+ *
+ * The policy is the paper's "parameterless" knob replacement: instead of
+ * a hand-tuned round size, the window doubles while the commit ratio
+ * meets the target and shrinks proportionally to the observed ratio when
+ * it does not, never dropping below minWindow. Everything here is pure
+ * integer/double arithmetic on (attempted, committed) pairs — a
+ * deterministic function of the schedule, which is what makes the whole
+ * scheduler thread-count invariant (tests/window_test.cpp pins the exact
+ * update rule; the golden-digest harness pins its composition with the
+ * rest of the runtime).
+ */
+
+#ifndef DETGALOIS_RUNTIME_WINDOW_H
+#define DETGALOIS_RUNTIME_WINDOW_H
+
+#include <algorithm>
+#include <cstdint>
+
+namespace galois::runtime {
+
+/** Knobs of the window policy (a validated subset of DetOptions). */
+struct WindowConfig
+{
+    /** Commit-ratio target; growth at or above it, shrink below. */
+    double commitTarget = 0.95;
+    /** Lower clamp of every shrink. */
+    std::uint64_t minWindow = 16;
+    /** First window of the run (0: defaults to 4*minWindow). */
+    std::uint64_t initialWindow = 0;
+    /** Non-zero: fixed window, adaptivity off (ablation only). */
+    std::uint64_t fixedWindow = 0;
+};
+
+/**
+ * Window-size state machine. Usage per generation:
+ *
+ *   policy.beginGeneration();
+ *   while (tasks remain) {
+ *       take = min(policy.size(), remaining);
+ *       ... run round ...
+ *       policy.update(attempted, committed);
+ *   }
+ *
+ * The window deliberately persists across generations (a workload's
+ * conflict density rarely changes abruptly between generations, and
+ * re-warming from the initial window every generation would pay the
+ * ramp-up repeatedly).
+ */
+class WindowPolicy
+{
+  public:
+    WindowPolicy() = default;
+
+    explicit WindowPolicy(const WindowConfig& cfg) : cfg_(cfg) {}
+
+    /**
+     * Start a generation: pin the fixed window (ablation mode) or, on
+     * the very first generation, seed the adaptive start size. The
+     * default start is deliberately small (4*minWindow): the adaptive
+     * policy doubles its way up in a handful of rounds when tasks are
+     * independent, while a large initial window is disastrous for
+     * dependence-heavy starts (e.g. Delaunay insertion, where early
+     * tasks all conflict on the root bucket).
+     */
+    void
+    beginGeneration()
+    {
+        if (cfg_.fixedWindow != 0)
+            window_ = cfg_.fixedWindow;
+        else if (window_ == 0)
+            window_ = cfg_.initialWindow != 0 ? cfg_.initialWindow
+                                              : 4 * cfg_.minWindow;
+    }
+
+    /** Current window size (tasks per round). */
+    std::uint64_t size() const { return window_; }
+
+    /**
+     * Fold one round's outcome into the window: double on commit ratio
+     * >= target (capped so repeated doubling cannot overflow), shrink
+     * proportionally to ratio/target otherwise, clamped at minWindow.
+     * An empty round (attempted == 0) counts as a full commit.
+     */
+    void
+    update(std::uint64_t attempted, std::uint64_t committed)
+    {
+        if (cfg_.fixedWindow != 0) {
+            window_ = cfg_.fixedWindow;
+            return;
+        }
+        const double ratio = attempted == 0
+                                 ? 1.0
+                                 : static_cast<double>(committed) /
+                                       static_cast<double>(attempted);
+        if (ratio >= cfg_.commitTarget) {
+            if (window_ < (std::uint64_t(1) << 40))
+                window_ *= 2;
+        } else {
+            window_ = std::max<std::uint64_t>(
+                cfg_.minWindow,
+                static_cast<std::uint64_t>(static_cast<double>(window_) *
+                                           ratio / cfg_.commitTarget));
+        }
+    }
+
+  private:
+    WindowConfig cfg_;
+    std::uint64_t window_ = 0;
+};
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_WINDOW_H

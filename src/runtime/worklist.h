@@ -9,12 +9,17 @@
  * whole chunks (FIFO) from other threads when it runs dry. Only the
  * per-thread chunk deques are shared; the open chunk a thread is filling
  * or draining is private, so the common case takes no lock at all.
+ *
+ * The pop policy (FIFO/LIFO) and chunk size are runtime configuration
+ * (WorklistPolicy) rather than template parameters: the speculative
+ * schedule is non-deterministic either way, so nothing is lost by
+ * deciding the policy per run — and the executor no longer needs one
+ * template instantiation per policy combination.
  */
 
 #ifndef DETGALOIS_RUNTIME_WORKLIST_H
 #define DETGALOIS_RUNTIME_WORKLIST_H
 
-#include <array>
 #include <atomic>
 #include <deque>
 #include <memory>
@@ -56,23 +61,35 @@ class SpinLock
 };
 
 /**
+ * Runtime scheduling policy of a ChunkedWorklist. The pop *policy*
+ * matters enormously for work efficiency:
+ *
+ *  - fifo = true (chunked FIFO, the Galois default): breadth-first-ish;
+ *    essential for fixpoint/relaxation workloads like bfs, where LIFO
+ *    order explores long wrong paths and multiplies label corrections;
+ *  - fifo = false (chunked LIFO): depth-first-ish; best cache locality,
+ *    right for cavity-style workloads (dmr, dt).
+ */
+struct WorklistPolicy
+{
+    bool fifo = true;        //!< pop order of the local chunk queue
+    unsigned chunkSize = 64; //!< tasks per chunk (stealing granularity)
+};
+
+/**
  * Work-stealing multiset of tasks of type T.
  *
  * Unordered semantics: pop() may return any pushed-and-not-yet-popped
- * task — this is the freedom the Galois model grants the scheduler — but
- * the pop *policy* matters enormously for work efficiency:
- *
- *  - Fifo = false (chunked LIFO): depth-first-ish; best cache locality,
- *    right for cavity-style workloads (dmr, dt);
- *  - Fifo = true (chunked FIFO, the Galois default): breadth-first-ish;
- *    essential for fixpoint/relaxation workloads like bfs, where LIFO
- *    order explores long wrong paths and multiplies label corrections.
+ * task — this is the freedom the Galois model grants the scheduler.
  */
-template <typename T, bool Fifo = true, unsigned ChunkSize = 64>
+template <typename T>
 class ChunkedWorklist
 {
   public:
-    ChunkedWorklist() = default;
+    explicit ChunkedWorklist(WorklistPolicy policy = {})
+        : fifo_(policy.fifo),
+          chunkSize_(policy.chunkSize < 1 ? 1 : policy.chunkSize)
+    {}
 
     /** Push a task on the calling thread's local worklist. */
     void
@@ -80,12 +97,12 @@ class ChunkedWorklist
     {
         Local& me = locals_.local();
         if (!me.write)
-            me.write = std::make_unique<Chunk>();
-        if (me.write->count == ChunkSize) {
+            me.write = makeChunk();
+        if (me.write->count == chunkSize_) {
             me.lock.lock();
             me.shared.push_back(std::move(me.write));
             me.lock.unlock();
-            me.write = std::make_unique<Chunk>();
+            me.write = makeChunk();
         }
         me.write->items[me.write->count++] = item;
     }
@@ -95,7 +112,7 @@ class ChunkedWorklist
     pop()
     {
         Local& me = locals_.local();
-        if constexpr (Fifo) {
+        if (fifo_) {
             // Drain the read chunk front-to-back.
             if (me.read && me.readPos < me.read->count)
                 return me.read->items[me.readPos++];
@@ -133,7 +150,11 @@ class ChunkedWorklist
   private:
     struct Chunk
     {
-        std::array<T, ChunkSize> items;
+        explicit Chunk(unsigned capacity)
+            : items(std::make_unique<T[]>(capacity))
+        {}
+
+        std::unique_ptr<T[]> items;
         unsigned count = 0;
     };
 
@@ -145,6 +166,12 @@ class ChunkedWorklist
         unsigned readPos = 0;
         std::deque<std::unique_ptr<Chunk>> shared;
     };
+
+    std::unique_ptr<Chunk>
+    makeChunk() const
+    {
+        return std::make_unique<Chunk>(chunkSize_);
+    }
 
     std::optional<T>
     steal()
@@ -163,20 +190,21 @@ class ChunkedWorklist
                     std::move(victim.shared.front());
                 victim.shared.pop_front();
                 victim.lock.unlock();
-                if constexpr (Fifo) {
+                if (fifo_) {
                     me.read = std::move(stolen);
                     me.readPos = 0;
                     return me.read->items[me.readPos++];
-                } else {
-                    me.write = std::move(stolen);
-                    return me.write->items[--me.write->count];
                 }
+                me.write = std::move(stolen);
+                return me.write->items[--me.write->count];
             }
             victim.lock.unlock();
         }
         return std::nullopt;
     }
 
+    bool fifo_;
+    unsigned chunkSize_;
     support::PerThread<Local> locals_;
 };
 

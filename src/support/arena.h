@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Generation-scoped bump allocator (region/arena).
+ *
+ * The deterministic executor's hot path allocates one task record per
+ * task per generation plus one continuation-state object per inspected
+ * task per round — all with identical lifetimes ending at a known
+ * program point (the generation or round boundary). An arena turns that
+ * churn into pointer bumps: allocate by advancing a cursor through
+ * chunked slabs, free everything at once with reset(), and reuse the
+ * slabs for the next generation so steady state performs no heap calls
+ * at all.
+ *
+ * Each Arena instance is single-threaded by design (no internal
+ * synchronization); per-thread use goes through support::PerThread<Arena>
+ * exactly like the executors' other thread-local state.
+ *
+ * Object lifetime discipline:
+ *  - create<U>() registers U's destructor when it is non-trivial; the
+ *    destructors run in reverse construction order at reset() (or
+ *    destruction), so managed objects behave like stack objects of the
+ *    generation.
+ *  - createUnmanaged<U>() skips registration; the caller must run ~U()
+ *    before reset(). The executors use this for continuation state,
+ *    whose destruction point (task commit or failure) precedes the
+ *    arena rewind by construction.
+ *
+ * Allocation failure: growing the arena passes the "arena.chunk"
+ * failpoint (keyed by the chunk ordinal) before touching the heap, so
+ * tests can inject deterministic std::bad_alloc at exact growth points;
+ * a real or injected failure leaves the arena valid — everything
+ * constructed so far is still destroyed exactly once by reset().
+ */
+
+#ifndef DETGALOIS_SUPPORT_ARENA_H
+#define DETGALOIS_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "support/failpoint.h"
+
+namespace galois::support {
+
+/** Single-threaded chunked bump allocator with LIFO finalizers. */
+class Arena
+{
+  public:
+    static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+    explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+        : chunkBytes_(chunk_bytes < 256 ? 256 : chunk_bytes)
+    {}
+
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+
+    ~Arena() { reset(); }
+
+    /**
+     * Allocate `bytes` aligned to `align` (any power of two). The block
+     * lives until the next reset(). Never returns null; throws
+     * std::bad_alloc on heap exhaustion (or via the arena.chunk
+     * failpoint).
+     */
+    void*
+    allocate(std::size_t bytes, std::size_t align)
+    {
+        if (bytes == 0)
+            bytes = 1;
+        std::uintptr_t p = alignUp(cursor_, align);
+        if (p + bytes > limit_) {
+            refill(bytes, align);
+            p = alignUp(cursor_, align);
+        }
+        cursor_ = p + bytes;
+        return reinterpret_cast<void*>(p);
+    }
+
+    /**
+     * Construct a U in the arena and register its destructor (when
+     * non-trivial) to run at reset(), LIFO. If the constructor throws,
+     * nothing is registered and the arena stays valid.
+     */
+    template <typename U, typename... Args>
+    U*
+    create(Args&&... args)
+    {
+        Finalizer* fin = nullptr;
+        if constexpr (!std::is_trivially_destructible_v<U>) {
+            fin = static_cast<Finalizer*>(
+                allocate(sizeof(Finalizer), alignof(Finalizer)));
+        }
+        U* obj = createUnmanaged<U>(std::forward<Args>(args)...);
+        if constexpr (!std::is_trivially_destructible_v<U>) {
+            fin->fn = [](void* p) { static_cast<U*>(p)->~U(); };
+            fin->obj = obj;
+            fin->next = finalizers_;
+            finalizers_ = fin;
+        }
+        return obj;
+    }
+
+    /**
+     * Construct a U in the arena without destructor registration: the
+     * caller must run ~U() itself (before reset()) when U is
+     * non-trivially destructible.
+     */
+    template <typename U, typename... Args>
+    U*
+    createUnmanaged(Args&&... args)
+    {
+        void* mem = allocate(sizeof(U), alignof(U));
+        return ::new (mem) U(std::forward<Args>(args)...);
+    }
+
+    /**
+     * End the current generation: run registered finalizers in reverse
+     * construction order, rewind the cursor to the first chunk, and keep
+     * every chunk for reuse. O(finalizers), no heap traffic.
+     */
+    void
+    reset()
+    {
+        for (Finalizer* f = finalizers_; f != nullptr; f = f->next)
+            f->fn(f->obj);
+        finalizers_ = nullptr;
+        active_ = 0;
+        rewindToActive();
+        ++generation_;
+    }
+
+    /** Chunks ever allocated (monotone; reuse does not add chunks). */
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+    /** Bytes of slab capacity currently reserved. */
+    std::size_t
+    bytesReserved() const
+    {
+        std::size_t total = 0;
+        for (const Chunk& c : chunks_)
+            total += c.size;
+        return total;
+    }
+
+    /** Completed reset() calls (generation counter). */
+    std::uint64_t generation() const { return generation_; }
+
+  private:
+    struct Finalizer
+    {
+        void (*fn)(void*);
+        void* obj;
+        Finalizer* next;
+    };
+
+    struct Chunk
+    {
+        std::unique_ptr<unsigned char[]> data;
+        std::size_t size;
+    };
+
+    static std::uintptr_t
+    alignUp(std::uintptr_t p, std::size_t align)
+    {
+        return (p + (align - 1)) & ~(static_cast<std::uintptr_t>(align) - 1);
+    }
+
+    void
+    rewindToActive()
+    {
+        if (chunks_.empty()) {
+            cursor_ = limit_ = 0;
+            return;
+        }
+        const Chunk& c = chunks_[active_];
+        cursor_ = reinterpret_cast<std::uintptr_t>(c.data.get());
+        limit_ = cursor_ + c.size;
+    }
+
+    /** Advance to a chunk that fits `bytes` after alignment, reusing
+     *  retained chunks first and growing the slab list only when none
+     *  fits. */
+    void
+    refill(std::size_t bytes, std::size_t align)
+    {
+        const std::size_t need = bytes + align - 1;
+        while (active_ + 1 < chunks_.size()) {
+            ++active_;
+            rewindToActive();
+            if (alignUp(cursor_, align) + bytes <= limit_)
+                return;
+        }
+        FAILPOINT("arena.chunk", chunks_.size());
+        const std::size_t size = need > chunkBytes_ ? need : chunkBytes_;
+        chunks_.push_back(
+            Chunk{std::make_unique<unsigned char[]>(size), size});
+        active_ = chunks_.size() - 1;
+        rewindToActive();
+    }
+
+    std::size_t chunkBytes_;
+    std::vector<Chunk> chunks_;
+    std::size_t active_ = 0; //!< chunk the cursor currently bumps through
+    std::uintptr_t cursor_ = 0;
+    std::uintptr_t limit_ = 0;
+    Finalizer* finalizers_ = nullptr;
+    std::uint64_t generation_ = 0;
+};
+
+} // namespace galois::support
+
+#endif // DETGALOIS_SUPPORT_ARENA_H

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the generation-scoped bump allocator (support/arena.h):
+ * alignment, chunk growth and reuse across generations, LIFO finalizer
+ * discipline for non-trivially-destructible objects, the unmanaged
+ * escape hatch, and validity under deterministic allocation-failure
+ * injection (the arena.chunk badalloc failpoint).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "support/arena.h"
+#include "support/failpoint.h"
+
+using galois::support::Arena;
+using galois::support::FailPlan;
+
+namespace {
+
+/** Counts constructions/destructions and records destruction order. */
+struct Tracked
+{
+    static int live;
+    static std::vector<int>* destroyedOrder;
+
+    explicit Tracked(int tag_) : tag(tag_) { ++live; }
+    ~Tracked()
+    {
+        --live;
+        if (destroyedOrder)
+            destroyedOrder->push_back(tag);
+    }
+
+    int tag;
+    std::vector<int> payload{1, 2, 3}; // non-trivial member
+};
+
+int Tracked::live = 0;
+std::vector<int>* Tracked::destroyedOrder = nullptr;
+
+struct alignas(64) Overaligned
+{
+    char data[64];
+};
+
+} // namespace
+
+TEST(Arena, AllocationsAreAligned)
+{
+    Arena a;
+    for (std::size_t align : {1ul, 2ul, 8ul, 16ul, 64ul, 128ul}) {
+        for (int i = 0; i < 50; ++i) {
+            void* p = a.allocate(1 + static_cast<std::size_t>(i) % 40,
+                                 align);
+            EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+                << "align " << align << " iteration " << i;
+        }
+    }
+}
+
+TEST(Arena, OveralignedCreate)
+{
+    Arena a;
+    for (int i = 0; i < 32; ++i) {
+        Overaligned* o = a.createUnmanaged<Overaligned>();
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(o) % 64, 0u);
+    }
+}
+
+TEST(Arena, AllocationsDoNotOverlap)
+{
+    Arena a(/*chunk_bytes=*/512); // force frequent chunk growth
+    std::vector<unsigned char*> blocks;
+    const std::size_t kBlock = 96;
+    for (int i = 0; i < 200; ++i) {
+        auto* p = static_cast<unsigned char*>(a.allocate(kBlock, 8));
+        std::memset(p, i & 0xff, kBlock);
+        blocks.push_back(p);
+    }
+    // Every block still holds its own fill pattern: no overlap.
+    for (int i = 0; i < 200; ++i)
+        for (std::size_t j = 0; j < kBlock; ++j)
+            ASSERT_EQ(blocks[i][j], static_cast<unsigned char>(i & 0xff));
+    EXPECT_GT(a.chunkCount(), 1u);
+}
+
+TEST(Arena, ResetRunsFinalizersInReverseOrder)
+{
+    std::vector<int> order;
+    Tracked::destroyedOrder = &order;
+    {
+        Arena a;
+        for (int i = 0; i < 10; ++i)
+            a.create<Tracked>(i);
+        EXPECT_EQ(Tracked::live, 10);
+        a.reset();
+        EXPECT_EQ(Tracked::live, 0);
+        EXPECT_EQ(order, (std::vector<int>{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}));
+        EXPECT_EQ(a.generation(), 1u);
+    }
+    Tracked::destroyedOrder = nullptr;
+}
+
+TEST(Arena, DestructorRunsPendingFinalizers)
+{
+    Tracked::destroyedOrder = nullptr;
+    {
+        Arena a;
+        a.create<Tracked>(0);
+        a.create<Tracked>(1);
+        EXPECT_EQ(Tracked::live, 2);
+    }
+    EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(Arena, GenerationResetReusesMemory)
+{
+    Arena a;
+    void* first = a.allocate(64, 8);
+    a.allocate(1024, 8);
+    const std::size_t chunks = a.chunkCount();
+    a.reset();
+    // The cursor rewound to the first chunk: the same address comes back
+    // and no new chunk is needed for an identical generation.
+    EXPECT_EQ(a.allocate(64, 8), first);
+    a.allocate(1024, 8);
+    EXPECT_EQ(a.chunkCount(), chunks);
+    EXPECT_EQ(a.generation(), 1u);
+}
+
+TEST(Arena, UnmanagedObjectsAreNotFinalized)
+{
+    Arena a;
+    Tracked* t = a.createUnmanaged<Tracked>(7);
+    EXPECT_EQ(Tracked::live, 1);
+    a.reset();
+    // reset() must not have destroyed it (caller owns the destructor
+    // call) — but the memory is rewound, so destroy before reusing.
+    EXPECT_EQ(Tracked::live, 1);
+    t->~Tracked();
+    EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(Arena, ThrowingConstructorRegistersNothing)
+{
+    struct Thrower
+    {
+        Thrower() { throw std::runtime_error("ctor"); }
+        ~Thrower() { ADD_FAILURE() << "destructor of never-built object"; }
+    };
+    Arena a;
+    a.create<Tracked>(1);
+    EXPECT_THROW(a.create<Thrower>(), std::runtime_error);
+    a.create<Tracked>(2);
+    EXPECT_EQ(Tracked::live, 2);
+    a.reset(); // must only finalize the two Tracked objects
+    EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(Arena, OversizedAllocationGetsDedicatedChunk)
+{
+    Arena a(/*chunk_bytes=*/512);
+    auto* big = static_cast<unsigned char*>(a.allocate(8192, 16));
+    std::memset(big, 0xab, 8192);
+    void* small = a.allocate(16, 8);
+    EXPECT_NE(small, nullptr);
+    EXPECT_EQ(big[8191], 0xab);
+}
+
+TEST(Arena, BadAllocFailpointLeavesArenaValid)
+{
+    using galois::support::failpoints::Scoped;
+    Arena a(/*chunk_bytes=*/512);
+    a.create<Tracked>(0); // allocates chunk 0
+    EXPECT_EQ(Tracked::live, 1);
+
+    {
+        // Inject bad_alloc at the next chunk growth (ordinal 1).
+        Scoped fp("arena.chunk", FailPlan::badAllocAt(1));
+        EXPECT_THROW(a.allocate(4096, 8), std::bad_alloc);
+        // Constructed state is untouched by the failed growth.
+        EXPECT_EQ(Tracked::live, 1);
+        // Small allocations that fit the current chunk still succeed.
+        EXPECT_NE(a.allocate(16, 8), nullptr);
+    }
+
+    // Disarmed: growth works again, and reset destroys exactly the
+    // objects that were actually constructed.
+    EXPECT_NE(a.allocate(4096, 8), nullptr);
+    a.create<Tracked>(1);
+    EXPECT_EQ(Tracked::live, 2);
+    a.reset();
+    EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(Arena, ManyGenerationsStayBounded)
+{
+    Arena a;
+    a.allocate(4096, 8); // size the slab once
+    const std::size_t reserved = a.bytesReserved();
+    for (int gen = 0; gen < 100; ++gen) {
+        for (int i = 0; i < 64; ++i)
+            a.create<Tracked>(i);
+        a.reset();
+    }
+    EXPECT_EQ(Tracked::live, 0);
+    EXPECT_EQ(a.bytesReserved(), reserved); // steady state: no growth
+    EXPECT_EQ(a.generation(), 100u);
+}

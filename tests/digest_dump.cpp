@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Golden trace-digest dump: runs every application under Exec::Det on
+ * fixed, generator-built inputs at 1/2/4/8 threads and prints one line
+ * per run:
+ *
+ *   <app> <threads> <traceDigest-hex>
+ *
+ * scripts/check_digests.sh diffs this output against the committed
+ * golden values (scripts/golden_digests.txt). The digest folds every
+ * round's committed-id sequence (see runtime/stats.h), so a byte-equal
+ * dump proves the deterministic schedule itself — not just the final
+ * state — is unchanged. Refactors of the scheduler must keep this green;
+ * a deliberate schedule change must regenerate the golden file and call
+ * the change out in review (DESIGN.md section 9).
+ *
+ * Inputs are deliberately small: the point is schedule coverage (several
+ * generations and window adaptations per app), not load.
+ */
+
+#include <cstdio>
+#include <cinttypes>
+
+#include "apps/bfs.h"
+#include "apps/cc.h"
+#include "apps/dmr.h"
+#include "apps/dt.h"
+#include "apps/mis.h"
+#include "apps/mm.h"
+#include "apps/pfp.h"
+#include "apps/sssp.h"
+#include "graph/generators.h"
+
+namespace {
+
+galois::Config
+detCfg(unsigned threads)
+{
+    galois::Config cfg;
+    cfg.exec = galois::Exec::Det;
+    cfg.threads = threads;
+    return cfg;
+}
+
+void
+emit(const char* app, unsigned threads, const galois::RunReport& report)
+{
+    std::printf("%s %u %016" PRIx64 "\n", app, threads,
+                report.traceDigest);
+}
+
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+} // namespace
+
+int
+main()
+{
+    using namespace galois;
+
+    for (unsigned t : kThreadCounts) {
+        auto edges = graph::randomKOut(1500, 5, 11, /*symmetric=*/true);
+        apps::bfs::Graph g(1500, edges);
+        emit("bfs", t, apps::bfs::galoisBfs(g, 0, detCfg(t)));
+    }
+
+    for (unsigned t : kThreadCounts) {
+        auto edges = apps::sssp::randomWeightedGraph(1200, 4, 100, 13);
+        apps::sssp::Graph g(1200, edges);
+        emit("sssp", t, apps::sssp::galoisSssp(g, 0, detCfg(t)));
+    }
+
+    for (unsigned t : kThreadCounts) {
+        auto edges = graph::randomKOut(1500, 4, 17, /*symmetric=*/true);
+        apps::cc::Graph g(1500, edges);
+        emit("cc", t, apps::cc::galoisComponents(g, detCfg(t)));
+    }
+
+    for (unsigned t : kThreadCounts) {
+        auto edges = graph::randomKOut(2000, 5, 23, /*symmetric=*/true);
+        apps::mis::Graph g(2000, edges);
+        emit("mis", t, apps::mis::galoisMis(g, detCfg(t)));
+    }
+
+    for (unsigned t : kThreadCounts) {
+        auto prob = apps::mm::makeProblem(1500, 4, 29);
+        emit("mm", t, apps::mm::galoisMatch(prob, detCfg(t)));
+    }
+
+    for (unsigned t : kThreadCounts) {
+        const graph::Node n = 200;
+        auto edges = graph::randomFlowNetwork(n, 4, 30, 31);
+        apps::pfp::Graph g(n, edges, /*find_reverse=*/true);
+        emit("pfp", t, apps::pfp::galoisPfp(g, 0, n - 1, detCfg(t)).report);
+    }
+
+    for (unsigned t : kThreadCounts) {
+        apps::dmr::Problem prob;
+        apps::dmr::makeProblem(400, 37, prob);
+        emit("dmr", t, apps::dmr::refine(prob, detCfg(t)));
+    }
+
+    for (unsigned t : kThreadCounts) {
+        apps::dt::Problem prob;
+        apps::dt::makeProblem(apps::dt::randomPoints(500, 41), 43, prob);
+        emit("dt", t, apps::dt::triangulate(prob, detCfg(t)));
+    }
+
+    return 0;
+}

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for deterministic id assignment (runtime/id_service.h):
+ * lexicographic (parentId, birthRank) ranking and 1..n renumbering,
+ * pre-assigned user-id passthrough, and the round-robin locality spread.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/id_service.h"
+
+using galois::runtime::IdService;
+using galois::runtime::PendingTask;
+
+namespace {
+
+template <typename T>
+std::vector<std::pair<T, std::uint64_t>>
+collect(const IdService& svc, std::vector<PendingTask<T>> pending)
+{
+    std::vector<std::pair<T, std::uint64_t>> out;
+    svc.assign(pending, [&](PendingTask<T>&& t, std::uint64_t id) {
+        out.emplace_back(std::move(t.item), id);
+    });
+    EXPECT_TRUE(pending.empty());
+    return out;
+}
+
+} // namespace
+
+TEST(IdService, RanksByParentIdThenBirthRank)
+{
+    // Arrival order scrambled; (parentId, birthRank) dictates the ids.
+    std::vector<PendingTask<char>> pending = {
+        {'d', 3, 0}, {'b', 1, 1}, {'a', 1, 0}, {'c', 2, 5},
+    };
+    auto out = collect(IdService(), std::move(pending));
+    ASSERT_EQ(out.size(), 4u);
+    EXPECT_EQ(out[0], std::make_pair('a', std::uint64_t(1)));
+    EXPECT_EQ(out[1], std::make_pair('b', std::uint64_t(2)));
+    EXPECT_EQ(out[2], std::make_pair('c', std::uint64_t(3)));
+    EXPECT_EQ(out[3], std::make_pair('d', std::uint64_t(4)));
+}
+
+TEST(IdService, IdsAreDenseFromOne)
+{
+    std::vector<PendingTask<int>> pending;
+    for (int i = 99; i >= 0; --i)
+        pending.push_back({i, static_cast<std::uint64_t>(i), 0});
+    auto out = collect(IdService(), std::move(pending));
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i].second, i + 1);
+}
+
+TEST(IdService, PreassignedUserIdsPassThroughInOrder)
+{
+    // The executor encodes user-assigned ids as (parentId = userId,
+    // birthRank = 0); the sort must then reproduce the user's order
+    // regardless of arrival order, with dense renumbering on top.
+    std::vector<PendingTask<std::string>> pending = {
+        {"third", 300, 0}, {"first", 17, 0}, {"second", 205, 0},
+    };
+    auto out = collect(IdService(), std::move(pending));
+    ASSERT_EQ(out.size(), 3u);
+    EXPECT_EQ(out[0].first, "first");
+    EXPECT_EQ(out[1].first, "second");
+    EXPECT_EQ(out[2].first, "third");
+    EXPECT_EQ(out[2].second, 3u);
+}
+
+TEST(IdService, ResultIndependentOfSortThreadCount)
+{
+    std::vector<PendingTask<int>> base;
+    // Large enough to cross the parallel sort's serial cutoff.
+    for (int i = 0; i < 40000; ++i)
+        base.push_back({i,
+                        static_cast<std::uint64_t>((i * 7919) % 1000),
+                        static_cast<std::uint64_t>(i)});
+    auto serial = collect(IdService(1, 1), base);
+    auto parallel = collect(IdService(1, 8), base);
+    EXPECT_EQ(serial, parallel);
+}
+
+TEST(IdService, SpreadDealsRoundRobinIntoBuckets)
+{
+    // 7 tasks in sorted order a..g, 3 buckets: positions are dealt
+    // column-major — bucket 0 takes sorted positions 0,3,6; bucket 1
+    // takes 1,4; bucket 2 takes 2,5. Ids follow that dealing order.
+    std::vector<PendingTask<char>> pending;
+    for (char c = 'a'; c <= 'g'; ++c)
+        pending.push_back({c, static_cast<std::uint64_t>(c), 0});
+    auto out = collect(IdService(/*spread_buckets=*/3), std::move(pending));
+    ASSERT_EQ(out.size(), 7u);
+    const char expected[] = {'a', 'd', 'g', 'b', 'e', 'c', 'f'};
+    for (std::size_t i = 0; i < 7; ++i) {
+        EXPECT_EQ(out[i].first, expected[i]) << "position " << i;
+        EXPECT_EQ(out[i].second, i + 1);
+    }
+}
+
+TEST(IdService, SpreadSeparatesAdjacentTasksByAboutNOverBuckets)
+{
+    const int n = 1000;
+    const std::uint64_t buckets = 10;
+    std::vector<PendingTask<int>> pending;
+    for (int i = 0; i < n; ++i)
+        pending.push_back({i, static_cast<std::uint64_t>(i), 0});
+    auto out = collect(IdService(buckets), std::move(pending));
+    std::vector<std::uint64_t> idOf(n);
+    for (auto& [item, id] : out)
+        idOf[static_cast<std::size_t>(item)] = id;
+    // Tasks adjacent in sorted order land ~n/buckets apart in id order
+    // (so a window smaller than that puts them in different rounds).
+    for (int i = 0; i + 1 < n; ++i) {
+        const std::uint64_t a = idOf[static_cast<std::size_t>(i)];
+        const std::uint64_t b = idOf[static_cast<std::size_t>(i + 1)];
+        const std::uint64_t gap = a < b ? b - a : a - b;
+        EXPECT_GE(gap, static_cast<std::uint64_t>(n) / buckets - 1)
+            << "adjacent pair " << i;
+    }
+}
+
+TEST(IdService, BucketCountClampedToAtLeastOne)
+{
+    IdService svc(/*spread_buckets=*/0);
+    EXPECT_EQ(svc.spreadBuckets(), 1u);
+    std::vector<PendingTask<int>> pending = {{5, 1, 0}, {6, 2, 0}};
+    auto out = collect(svc, std::move(pending));
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0].first, 5);
+    EXPECT_EQ(out[1].first, 6);
+}
+
+TEST(IdService, EmptyPendingEmitsNothing)
+{
+    auto out = collect(IdService(61, 4), std::vector<PendingTask<int>>{});
+    EXPECT_TRUE(out.empty());
+}

@@ -172,7 +172,8 @@ TEST(Worklist, DrainsEverythingAcrossThreads)
 
 TEST(Worklist, FifoPolicyPreservesSingleThreadOrder)
 {
-    galois::runtime::ChunkedWorklist<int, /*Fifo=*/true> wl;
+    galois::runtime::ChunkedWorklist<int> wl(
+        galois::WorklistPolicy{/*fifo=*/true, /*chunkSize=*/64});
     for (int i = 0; i < 300; ++i)
         wl.push(i);
     for (int i = 0; i < 300; ++i) {
@@ -185,7 +186,8 @@ TEST(Worklist, FifoPolicyPreservesSingleThreadOrder)
 
 TEST(Worklist, LifoPolicyDrainsEverythingAcrossThreads)
 {
-    galois::runtime::ChunkedWorklist<int, /*Fifo=*/false> wl;
+    galois::runtime::ChunkedWorklist<int> wl(
+        galois::WorklistPolicy{/*fifo=*/false, /*chunkSize=*/64});
     constexpr int kItems = 10000;
     std::vector<std::atomic<int>> seen(kItems);
     for (int i = 0; i < kItems; ++i)
@@ -198,21 +200,41 @@ TEST(Worklist, LifoPolicyDrainsEverythingAcrossThreads)
         EXPECT_EQ(seen[i].load(), 1) << "item " << i;
 }
 
+TEST(Worklist, TinyChunksForceSharedDequeTraffic)
+{
+    // chunkSize 1 promotes every push to the shared deque: the
+    // steal/refill paths run constantly instead of only at chunk
+    // boundaries.
+    galois::runtime::ChunkedWorklist<int> wl(
+        galois::WorklistPolicy{/*fifo=*/true, /*chunkSize=*/1});
+    for (int i = 0; i < 500; ++i)
+        wl.push(i);
+    for (int i = 0; i < 500; ++i) {
+        auto item = wl.pop();
+        ASSERT_TRUE(item.has_value());
+        EXPECT_EQ(*item, i);
+    }
+    EXPECT_FALSE(wl.pop().has_value());
+}
+
 TEST(NonDetExecutor, BothWorklistPoliciesAreCorrect)
 {
     for (auto policy :
          {galois::NdWorklist::ChunkedFifo, galois::NdWorklist::ChunkedLifo}) {
-        SumWorkload w(32, 3000);
-        Config cfg;
-        cfg.exec = Exec::NonDet;
-        cfg.threads = 4;
-        cfg.ndWorklist = policy;
-        auto report = galois::forEach(w.initialTasks(), w.op(), cfg);
-        EXPECT_EQ(report.committed, 3000u);
-        std::int64_t expect = 0;
-        for (std::uint32_t i = 0; i < 3000; ++i)
-            expect += 3 * static_cast<std::int64_t>(i);
-        EXPECT_EQ(w.total(), expect);
+        for (unsigned chunk : {1u, 64u}) {
+            SumWorkload w(32, 3000);
+            Config cfg;
+            cfg.exec = Exec::NonDet;
+            cfg.threads = 4;
+            cfg.ndWorklist = policy;
+            cfg.ndChunkSize = chunk;
+            auto report = galois::forEach(w.initialTasks(), w.op(), cfg);
+            EXPECT_EQ(report.committed, 3000u);
+            std::int64_t expect = 0;
+            for (std::uint32_t i = 0; i < 3000; ++i)
+                expect += 3 * static_cast<std::int64_t>(i);
+            EXPECT_EQ(w.total(), expect);
+        }
     }
 }
 

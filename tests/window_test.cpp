@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the adaptive commit-ratio window policy
+ * (runtime/window.h) — the exact arithmetic matters: the golden-digest
+ * harness pins schedules that depend on every rounding decision here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "runtime/window.h"
+
+using galois::runtime::WindowConfig;
+using galois::runtime::WindowPolicy;
+
+namespace {
+
+WindowPolicy
+makePolicy(double target = 0.95, std::uint64_t min_window = 16,
+           std::uint64_t initial = 0, std::uint64_t fixed = 0)
+{
+    WindowConfig cfg;
+    cfg.commitTarget = target;
+    cfg.minWindow = min_window;
+    cfg.initialWindow = initial;
+    cfg.fixedWindow = fixed;
+    WindowPolicy p(cfg);
+    p.beginGeneration();
+    return p;
+}
+
+} // namespace
+
+TEST(WindowPolicy, DefaultInitialWindowIsFourTimesMin)
+{
+    EXPECT_EQ(makePolicy(0.95, 16).size(), 64u);
+    EXPECT_EQ(makePolicy(0.95, 5).size(), 20u);
+}
+
+TEST(WindowPolicy, ExplicitInitialWindowWins)
+{
+    EXPECT_EQ(makePolicy(0.95, 16, 100).size(), 100u);
+}
+
+TEST(WindowPolicy, GrowsByDoublingOnCommitRatioAtOrAboveTarget)
+{
+    WindowPolicy p = makePolicy(0.95, 16);
+    p.update(64, 64); // ratio 1.0
+    EXPECT_EQ(p.size(), 128u);
+    p.update(128, 122); // ratio ~0.953 >= 0.95
+    EXPECT_EQ(p.size(), 256u);
+}
+
+TEST(WindowPolicy, ShrinksProportionallyBelowTarget)
+{
+    WindowPolicy p = makePolicy(0.95, 16, 1000);
+    p.update(1000, 475); // ratio 0.475 -> 1000 * 0.475/0.95 = 500
+    EXPECT_EQ(p.size(), 500u);
+    p.update(500, 250); // ratio 0.5 -> 500 * 0.5/0.95 = 263.15.. -> 263
+    EXPECT_EQ(p.size(), 263u);
+}
+
+TEST(WindowPolicy, ShrinkClampsAtMinWindow)
+{
+    WindowPolicy p = makePolicy(0.95, 16, 64);
+    p.update(64, 1); // would shrink to ~1
+    EXPECT_EQ(p.size(), 16u);
+    p.update(16, 0); // zero commits: still clamped
+    EXPECT_EQ(p.size(), 16u);
+}
+
+TEST(WindowPolicy, EmptyRoundCountsAsFullCommit)
+{
+    WindowPolicy p = makePolicy(0.95, 16);
+    p.update(0, 0); // attempted == 0 -> ratio 1.0 -> grow
+    EXPECT_EQ(p.size(), 128u);
+}
+
+TEST(WindowPolicy, GrowthCapsInsteadOfOverflowing)
+{
+    WindowPolicy p = makePolicy(0.95, 16);
+    for (int i = 0; i < 80; ++i)
+        p.update(10, 10);
+    // Doubling stops once the window passes 2^40; it never wraps.
+    EXPECT_GE(p.size(), std::uint64_t(1) << 40);
+    EXPECT_LE(p.size(), std::uint64_t(1) << 41);
+}
+
+TEST(WindowPolicy, FixedWindowDisablesAdaptivity)
+{
+    WindowPolicy p = makePolicy(0.95, 16, 0, /*fixed=*/911);
+    EXPECT_EQ(p.size(), 911u);
+    p.update(911, 911);
+    EXPECT_EQ(p.size(), 911u);
+    p.update(911, 3);
+    EXPECT_EQ(p.size(), 911u);
+    p.beginGeneration();
+    EXPECT_EQ(p.size(), 911u);
+}
+
+TEST(WindowPolicy, WindowPersistsAcrossGenerations)
+{
+    WindowPolicy p = makePolicy(0.95, 16);
+    p.update(64, 64);
+    p.update(128, 128);
+    EXPECT_EQ(p.size(), 256u);
+    p.beginGeneration(); // adaptive window carries over, no re-warm
+    EXPECT_EQ(p.size(), 256u);
+}
+
+TEST(WindowPolicy, UpdateSequenceIsPure)
+{
+    // Identical (attempted, committed) sequences give identical sizes —
+    // the property the deterministic scheduler's portability rests on.
+    auto run = [] {
+        WindowPolicy p = makePolicy(0.9, 8);
+        std::uint64_t acc = 0;
+        const std::uint64_t attempts[] = {32, 64, 128, 90, 45, 45, 90};
+        const std::uint64_t commits[] = {32, 60, 40, 89, 45, 20, 90};
+        for (int i = 0; i < 7; ++i) {
+            p.update(attempts[i], commits[i]);
+            acc = acc * 31 + p.size();
+        }
+        return acc;
+    };
+    EXPECT_EQ(run(), run());
+}

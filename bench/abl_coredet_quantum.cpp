@@ -26,8 +26,9 @@ using namespace galois;
 using namespace galois::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    applyCliOverrides(argc, argv);
     const Settings s = settings();
     const unsigned threads = std::min(4u, s.threads.back());
     banner("Ablation: CoreDet quantum size",

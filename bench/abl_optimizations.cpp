@@ -32,8 +32,9 @@ using namespace galois;
 using namespace galois::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    applyCliOverrides(argc, argv);
     const Settings s = settings();
     const unsigned threads = s.threads.back();
     banner("Ablation: Section 3.3 optimizations",

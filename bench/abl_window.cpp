@@ -38,8 +38,9 @@ struct Workload
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    applyCliOverrides(argc, argv);
     const Settings s = settings();
     const unsigned threads = s.threads.back();
     banner("Ablation: window policy",

@@ -3,10 +3,13 @@
 #include <stdexcept>
 
 #include "apps/bfs.h"
+#include "apps/cc.h"
 #include "apps/dmr.h"
 #include "apps/dt.h"
 #include "apps/mis.h"
+#include "apps/mm.h"
 #include "apps/pfp.h"
+#include "apps/sssp.h"
 #include "graph/generators.h"
 #include "model/cache_registry.h"
 #include "pbbs/det_bfs.h"
@@ -20,6 +23,8 @@ const char*
 variantName(Variant v)
 {
     switch (v) {
+      case Variant::Serial:
+        return "serial";
       case Variant::GN:
         return "g-n";
       case Variant::GD:
@@ -32,16 +37,45 @@ variantName(Variant v)
     return "?";
 }
 
+const char*
+executorName(Variant v)
+{
+    switch (v) {
+      case Variant::Serial:
+        return "serial";
+      case Variant::GN:
+        return "nondet";
+      case Variant::GD:
+        return "det";
+      case Variant::GDNoCont:
+        return "det-nocont";
+      case Variant::PBBS:
+        return "pbbs";
+    }
+    return "?";
+}
+
+Measurement
+AppBench::run(Variant v, unsigned threads, bool locality)
+{
+    Measurement m = runImpl(v, threads, locality);
+    recordRun(name(), executorName(v), threads, m.report);
+    return m;
+}
+
 namespace {
 
 Config
 galoisConfig(Variant v, unsigned threads, bool locality)
 {
     Config cfg;
-    cfg.exec = (v == Variant::GN) ? Exec::NonDet : Exec::Det;
+    cfg.exec = (v == Variant::Serial) ? Exec::Serial
+               : (v == Variant::GN)   ? Exec::NonDet
+                                      : Exec::Det;
     cfg.threads = threads;
     cfg.det.continuation = (v != Variant::GDNoCont);
     cfg.collectLocality = locality;
+    cfg.traceRounds = traceRequested();
     return cfg;
 }
 
@@ -56,6 +90,7 @@ fromReport(const RunReport& r)
     m.rounds = r.rounds;
     m.cacheAccesses = r.cacheAccesses;
     m.cacheMisses = r.cacheMisses;
+    m.report = r;
     return m;
 }
 
@@ -73,6 +108,13 @@ fromPbbs(const pbbs::PbbsStats& s, bool locality)
         m.cacheAccesses = totals.accesses;
         m.cacheMisses = totals.misses;
     }
+    m.report.seconds = s.seconds;
+    m.report.committed = s.committed;
+    m.report.aborted = s.aborted;
+    m.report.atomicOps = s.atomicOps;
+    m.report.rounds = s.rounds;
+    m.report.cacheAccesses = m.cacheAccesses;
+    m.report.cacheMisses = m.cacheMisses;
     return m;
 }
 
@@ -108,7 +150,7 @@ class BfsBench : public AppBench
     }
 
     Measurement
-    run(Variant v, unsigned threads, bool locality) override
+    runImpl(Variant v, unsigned threads, bool locality) override
     {
         if (v == Variant::PBBS) {
             model::enableThreadCaches(locality);
@@ -158,7 +200,7 @@ class MisBench : public AppBench
     }
 
     Measurement
-    run(Variant v, unsigned threads, bool locality) override
+    runImpl(Variant v, unsigned threads, bool locality) override
     {
         if (v == Variant::PBBS) {
             model::enableThreadCaches(locality);
@@ -207,7 +249,7 @@ class DtBench : public AppBench
     }
 
     Measurement
-    run(Variant v, unsigned threads, bool locality) override
+    runImpl(Variant v, unsigned threads, bool locality) override
     {
         // Fresh problem per run; construction is untimed (input prep).
         apps::dt::Problem prob;
@@ -260,7 +302,7 @@ class DmrBench : public AppBench
     }
 
     Measurement
-    run(Variant v, unsigned threads, bool locality) override
+    runImpl(Variant v, unsigned threads, bool locality) override
     {
         apps::dmr::Problem prob;
         apps::dmr::makeProblem(numPoints_, 0xd312, prob);
@@ -316,7 +358,7 @@ class PfpBench : public AppBench
     }
 
     Measurement
-    run(Variant v, unsigned threads, bool locality) override
+    runImpl(Variant v, unsigned threads, bool locality) override
     {
         if (v == Variant::PBBS)
             throw std::logic_error("pfp has no PBBS variant");
@@ -341,6 +383,139 @@ class PfpBench : public AppBench
     std::int64_t flowValue_ = 0;
 };
 
+// -------------------------------------------------------------------
+// sssp (extension workload — sweep only)
+// -------------------------------------------------------------------
+
+class SsspBench : public AppBench
+{
+  public:
+    explicit SsspBench(const Settings& s)
+    {
+        const auto n =
+            static_cast<graph::Node>(150000 * s.scale);
+        auto edges = apps::sssp::randomWeightedGraph(n, 4, 100, 0x55b1);
+        graph_ = std::make_unique<apps::sssp::Graph>(n, edges);
+    }
+
+    std::string name() const override { return "sssp"; }
+    bool hasPbbs() const override { return false; }
+    std::string baselineName() const override { return "dijkstra"; }
+
+    double
+    baselineSeconds() override
+    {
+        support::Timer t;
+        t.start();
+        auto dist = apps::sssp::serialDijkstra(*graph_, 0);
+        t.stop();
+        if (dist[0] != 0)
+            throw std::runtime_error("sssp baseline corrupt");
+        return t.seconds();
+    }
+
+    Measurement
+    runImpl(Variant v, unsigned threads, bool locality) override
+    {
+        if (v == Variant::PBBS)
+            throw std::logic_error("sssp has no PBBS variant");
+        apps::sssp::reset(*graph_);
+        return fromReport(apps::sssp::galoisSssp(
+            *graph_, 0, galoisConfig(v, threads, locality)));
+    }
+
+  private:
+    std::unique_ptr<apps::sssp::Graph> graph_;
+};
+
+// -------------------------------------------------------------------
+// cc (extension workload — sweep only)
+// -------------------------------------------------------------------
+
+class CcBench : public AppBench
+{
+  public:
+    explicit CcBench(const Settings& s)
+    {
+        const auto n =
+            static_cast<graph::Node>(200000 * s.scale);
+        auto edges = graph::randomKOut(n, 4, 0xcc01, true);
+        graph_ = std::make_unique<apps::cc::Graph>(n, edges);
+    }
+
+    std::string name() const override { return "cc"; }
+    bool hasPbbs() const override { return false; }
+    std::string baselineName() const override { return "union-find"; }
+
+    double
+    baselineSeconds() override
+    {
+        support::Timer t;
+        t.start();
+        auto labels = apps::cc::serialComponents(*graph_);
+        t.stop();
+        if (labels.empty())
+            throw std::runtime_error("cc baseline corrupt");
+        return t.seconds();
+    }
+
+    Measurement
+    runImpl(Variant v, unsigned threads, bool locality) override
+    {
+        if (v == Variant::PBBS)
+            throw std::logic_error("cc has no PBBS variant");
+        apps::cc::reset(*graph_);
+        return fromReport(apps::cc::galoisComponents(
+            *graph_, galoisConfig(v, threads, locality)));
+    }
+
+  private:
+    std::unique_ptr<apps::cc::Graph> graph_;
+};
+
+// -------------------------------------------------------------------
+// mm (extension workload — sweep only)
+// -------------------------------------------------------------------
+
+class MmBench : public AppBench
+{
+  public:
+    explicit MmBench(const Settings& s)
+        : prob_(apps::mm::makeProblem(
+              static_cast<std::uint32_t>(150000 * s.scale), 4, 0x3a7c))
+    {}
+
+    std::string name() const override { return "mm"; }
+    bool hasPbbs() const override { return false; }
+    std::string baselineName() const override { return "serial-greedy"; }
+
+    double
+    baselineSeconds() override
+    {
+        prob_.reset();
+        support::Timer t;
+        t.start();
+        apps::mm::serialMatch(prob_);
+        t.stop();
+        if (!apps::mm::isMaximalMatching(prob_))
+            throw std::runtime_error("mm baseline corrupt");
+        return t.seconds();
+    }
+
+    Measurement
+    runImpl(Variant v, unsigned threads, bool locality) override
+    {
+        if (v == Variant::PBBS)
+            throw std::logic_error("mm has no PBBS variant");
+        prob_.reset();
+        return fromReport(apps::mm::galoisMatch(
+            prob_, galoisConfig(v, threads, locality)));
+    }
+
+  private:
+    apps::mm::Problem prob_;
+};
+
 } // namespace
 
 double
@@ -362,6 +537,21 @@ makeAllApps(const Settings& s)
     apps.push_back(std::make_unique<DtBench>(s));
     apps.push_back(std::make_unique<MisBench>(s));
     apps.push_back(std::make_unique<PfpBench>(s));
+    return apps;
+}
+
+std::vector<std::unique_ptr<AppBench>>
+makeExtendedApps(const Settings& s)
+{
+    std::vector<std::unique_ptr<AppBench>> apps;
+    apps.push_back(std::make_unique<BfsBench>(s));
+    apps.push_back(std::make_unique<CcBench>(s));
+    apps.push_back(std::make_unique<DmrBench>(s));
+    apps.push_back(std::make_unique<DtBench>(s));
+    apps.push_back(std::make_unique<MisBench>(s));
+    apps.push_back(std::make_unique<MmBench>(s));
+    apps.push_back(std::make_unique<PfpBench>(s));
+    apps.push_back(std::make_unique<SsspBench>(s));
     return apps;
 }
 

@@ -28,6 +28,7 @@ namespace galois::bench {
 /** Evaluation variant (Section 4.1 naming). */
 enum class Variant
 {
+    Serial,   //!< sequential Galois executor (sweep reference point)
     GN,       //!< non-deterministic Galois
     GD,       //!< deterministic Galois (DIG scheduling)
     GDNoCont, //!< g-d without the continuation optimization
@@ -35,6 +36,10 @@ enum class Variant
 };
 
 const char* variantName(Variant v);
+
+/** Stable executor identifier used in BENCH_results.json ("serial",
+ *  "nondet", "det", "det-nocont", "pbbs"). */
+const char* executorName(Variant v);
 
 /** One timed execution of a variant. */
 struct Measurement
@@ -46,6 +51,9 @@ struct Measurement
     std::uint64_t rounds = 0;
     std::uint64_t cacheAccesses = 0;
     std::uint64_t cacheMisses = 0;
+    /** Full runtime report of the execution (PBBS runs synthesize one
+     *  from PbbsStats) — feeds the JSON recorder. */
+    runtime::RunReport report;
 
     double
     abortRatio() const
@@ -90,13 +98,22 @@ class AppBench
     /** Seconds of one sequential-baseline execution. */
     virtual double baselineSeconds() = 0;
 
-    /** Execute a variant and report its statistics. */
-    virtual Measurement run(Variant v, unsigned threads,
-                            bool locality) = 0;
+    /** Execute a variant, record it into the harness's JSON recorder
+     *  (recordRun) and report its statistics. */
+    Measurement run(Variant v, unsigned threads, bool locality);
+
+  protected:
+    /** Variant execution proper (implemented per application). */
+    virtual Measurement runImpl(Variant v, unsigned threads,
+                                bool locality) = 0;
 };
 
 /** Instantiate all five applications at the configured scale. */
 std::vector<std::unique_ptr<AppBench>> makeAllApps(const Settings& s);
+
+/** The canonical 8-app sweep set (the paper's five plus the sssp, cc
+ *  and mm extension workloads), alphabetical. */
+std::vector<std::unique_ptr<AppBench>> makeExtendedApps(const Settings& s);
 
 /** Median loop-seconds over reps executions of a variant. */
 double medianRunSeconds(AppBench& app, Variant v, unsigned threads,

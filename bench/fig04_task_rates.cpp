@@ -19,8 +19,9 @@
 using namespace galois::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    applyCliOverrides(argc, argv);
     const Settings s = settings();
     const unsigned tmax = s.threads.back();
     banner("Figure 4",

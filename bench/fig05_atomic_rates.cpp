@@ -66,8 +66,9 @@ class CountingScheduler
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    applyCliOverrides(argc, argv);
     const Settings s = settings();
     const unsigned tmax = s.threads.back();
     banner("Figure 5",

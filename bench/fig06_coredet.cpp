@@ -62,8 +62,9 @@ timeScheduled(Fn&& fn, int reps)
 } // namespace
 
 int
-main()
+main(int argc, char** argv)
 {
+    applyCliOverrides(argc, argv);
     const Settings s = settings();
     banner("Figure 6",
            "Slowdown of CoreDet-style deterministic thread scheduling "

@@ -19,8 +19,9 @@
 using namespace galois::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    applyCliOverrides(argc, argv);
     const Settings s = settings();
     banner("Figure 7",
            "Speedup over the best sequential baseline (Figure 8) per "

@@ -22,8 +22,9 @@ using namespace galois;
 using namespace galois::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    applyCliOverrides(argc, argv);
     const Settings s = settings();
     banner("Figure 8",
            "Baseline times in seconds for speedup calculations (best "

@@ -19,8 +19,9 @@
 using namespace galois::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    applyCliOverrides(argc, argv);
     const Settings s = settings();
     banner("Figure 9",
            "Performance relative to the PBBS variant: t_PBBS(p) / "

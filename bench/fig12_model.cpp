@@ -20,8 +20,9 @@
 using namespace galois::bench;
 
 int
-main()
+main(int argc, char** argv)
 {
+    applyCliOverrides(argc, argv);
     const Settings s = settings();
     banner("Figure 12",
            "Linear model eff_var = B0 + B1*(PC_gn/PC_var)*eff_gn, fitted "

@@ -10,6 +10,13 @@
  *   REPRO_SCALE    input-size multiplier (default 1.0)
  *   REPRO_REPS     repetitions per measurement, median taken (default 1)
  *   REPRO_THREADS  comma list of thread counts (default "1,2,4")
+ *   REPRO_JSON     write BENCH_results.json of every measured run here
+ *   REPRO_TRACE    write a chrome://tracing dump of det rounds here
+ *
+ * The same knobs are available as command-line flags (--scale, --reps,
+ * --threads, --json, --trace) via applyCliOverrides(); flags win over
+ * the environment. Every measured variant execution is recorded into a
+ * process-global recorder (recordRun) and flushed at exit.
  */
 
 #ifndef DETGALOIS_BENCH_HARNESS_H
@@ -20,6 +27,8 @@
 #include <string>
 #include <vector>
 
+#include "runtime/stats.h"
+
 namespace galois::bench {
 
 /** Global benchmark settings parsed from the environment. */
@@ -28,12 +37,42 @@ struct Settings
     double scale = 1.0;
     int reps = 1;
     std::vector<unsigned> threads{1, 2, 4};
+    std::string jsonPath;  //!< BENCH_results.json sink ("" = off)
+    std::string tracePath; //!< chrome://tracing sink ("" = off)
 
     unsigned maxThreads() const { return threads.back(); }
 };
 
-/** Parse REPRO_* environment variables. */
+/** Parse REPRO_* environment variables (plus any CLI overrides). */
 Settings settings();
+
+/**
+ * Parse benchmark flags from argv: --json PATH, --trace PATH,
+ * --scale X, --reps N, --threads L[,L...] (also the --flag=value
+ * spellings). Unknown arguments are ignored. Call first in main();
+ * subsequent settings() calls see the overrides.
+ */
+void applyCliOverrides(int argc, char** argv);
+
+/** Should deterministic runs collect per-round TraceEvents
+ *  (Config::traceRounds)? True iff a trace sink is configured. */
+bool traceRequested();
+
+/**
+ * Record one measured execution into the process-global recorder.
+ * Repetitions of the same (app, executor, threads) key collapse into a
+ * single BenchRecord whose median_s is the median over reps; the first
+ * non-empty traceEvents of a key becomes its chrome-trace row.
+ */
+void recordRun(const std::string& app, const std::string& executor,
+               unsigned threads, const runtime::RunReport& report);
+
+/** Collapse everything recorded so far into BenchRecords. */
+std::vector<runtime::BenchRecord> collectBenchRecords();
+
+/** Write the configured JSON/trace sinks now (idempotent; also
+ *  installed via atexit by the first recordRun). */
+void flushBenchOutputs();
 
 /** Median wall-clock seconds of reps executions of fn. */
 double timeIt(const std::function<void()>& fn, int reps);

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Canonical benchmark sweep — the input of the regression gate.
+ *
+ * Runs every application of the extended suite (the paper's five plus
+ * the sssp/cc/mm extension workloads) under the serial, speculative
+ * (nondet) and deterministic (det) executors at every configured thread
+ * count, and emits the measurements as BENCH_results.json via the
+ * harness recorder:
+ *
+ *   build/bench/sweep --json BENCH_results.json
+ *   REPRO_JSON=BENCH_results.json build/bench/sweep
+ *
+ * scripts/bench_check.py diffs such a file against the committed
+ * baseline (scripts/bench_baseline.json): any deterministic-digest
+ * mismatch fails hard, median regressions beyond the noise gate fail.
+ * Add --trace trace.json for a chrome://tracing dump of the
+ * deterministic rounds.
+ */
+
+#include <cstdio>
+
+#include "apps_common.h"
+#include "harness.h"
+
+using namespace galois::bench;
+
+namespace {
+
+std::string
+hex16(std::uint64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    applyCliOverrides(argc, argv);
+    const Settings s = settings();
+    banner("Sweep",
+           "Canonical 8-app sweep: serial/nondet/det at every configured "
+           "thread count, medians over REPRO_REPS.");
+    if (s.jsonPath.empty())
+        std::printf("note: no --json/REPRO_JSON sink configured; results "
+                    "are printed only.\n\n");
+
+    Table table({"app", "executor", "threads", "median_s", "commit ratio",
+                 "rounds", "digest"});
+
+    for (auto& app : makeExtendedApps(s)) {
+        // Untimed warm-up: touches the app's working set so the first
+        // measured variant does not pay cold-start page faults.
+        (void)app->baselineSeconds();
+        for (Variant v : {Variant::Serial, Variant::GN, Variant::GD}) {
+            for (unsigned t : s.threads) {
+                // Serial ignores the thread count but is still measured
+                // per t so every (executor, threads) cell exists in the
+                // JSON — the gate compares on exact keys.
+                Measurement m;
+                std::vector<double> xs;
+                for (int r = 0; r < s.reps; ++r) {
+                    m = app->run(v, t, false);
+                    xs.push_back(m.seconds);
+                }
+                table.addRow(
+                    {app->name(), executorName(v), std::to_string(t),
+                     fmt(median(std::move(xs)), 4),
+                     fmt(1.0 - m.abortRatio(), 3),
+                     v == Variant::GN ? "-" : std::to_string(m.rounds),
+                     v == Variant::GD ? hex16(m.report.traceDigest)
+                                      : "-"});
+            }
+        }
+    }
+    table.print();
+    flushBenchOutputs();
+    return 0;
+}

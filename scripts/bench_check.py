@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate for BENCH_results.json documents.
+
+Diffs a fresh sweep result (bench/sweep --json, or any fig*/abl_*
+binary run with REPRO_JSON set) against a committed baseline:
+
+    bench_check.py BASELINE FRESH [--threshold 0.25] [--min-time 0.002]
+    bench_check.py --self-test
+
+Failure conditions (exit 1):
+  * schema mismatch, or baseline and fresh were produced with different
+    scale / reps / thread settings (records are not comparable);
+  * a (app, executor, threads) record of the baseline is missing from
+    the fresh result;
+  * any deterministic-executor digest differs — determinism makes this
+    an exact, noise-free check: same input => same schedule => same
+    digest, on every machine and thread count;
+  * a timing regression beyond the threshold (default +25%), measured
+    on min-over-reps (min_s) when both documents carry it, falling back
+    to median_s.
+
+Timing noise and machine-speed differences are absorbed in two ways:
+records whose baseline median is below --min-time are skipped as too
+small to time reliably, and per-record ratios are normalized by the
+median ratio over all records — a uniformly slower machine shifts every
+ratio by the same factor, which the normalization cancels, while a
+genuine regression moves only its own record. (With a majority of
+regressing records the normalization is conservative; the digest check
+is unaffected.)
+
+Rounds and generations of deterministic records are also compared
+exactly: they are schedule properties, not timings.
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+SCHEMA = "detgalois-bench/1"
+DET_EXECUTORS = {"det", "det-nocont", "det-ref"}
+
+
+def load(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        raise SystemExit(
+            f"{path}: schema {doc.get('schema')!r} != {SCHEMA!r}")
+    return doc
+
+
+def key(rec):
+    return (rec["app"], rec["executor"], rec["threads"])
+
+
+def by_key(doc, path):
+    out = {}
+    for rec in doc["records"]:
+        k = key(rec)
+        if k in out:
+            raise SystemExit(f"{path}: duplicate record {k}")
+        out[k] = rec
+    return out
+
+
+def check(baseline_path, fresh_path, threshold=0.25, min_time=0.002,
+          time_threads=None, out=sys.stdout):
+    """Return a list of failure strings (empty = gate passes)."""
+    base_doc = load(baseline_path)
+    fresh_doc = load(fresh_path)
+    failures = []
+
+    for field in ("scale", "reps", "threads"):
+        if base_doc.get(field) != fresh_doc.get(field):
+            failures.append(
+                f"run settings differ: {field} "
+                f"{base_doc.get(field)!r} vs {fresh_doc.get(field)!r}")
+    if failures:
+        return failures
+
+    base = by_key(base_doc, baseline_path)
+    fresh = by_key(fresh_doc, fresh_path)
+
+    for k in sorted(base):
+        if k not in fresh:
+            failures.append(f"{'/'.join(map(str, k))}: missing from "
+                            f"fresh results")
+
+    # Exact schedule checks (deterministic executors only).
+    for k in sorted(base):
+        if k not in fresh or k[1] not in DET_EXECUTORS:
+            continue
+        b, f = base[k], fresh[k]
+        name = "/".join(map(str, k))
+        if b["digest"] != f["digest"]:
+            failures.append(f"{name}: digest {f['digest']} != baseline "
+                            f"{b['digest']} (schedule changed)")
+        for field in ("rounds", "generations", "committed"):
+            if b.get(field) != f.get(field):
+                failures.append(
+                    f"{name}: {field} {f.get(field)} != baseline "
+                    f"{b.get(field)}")
+
+    # Normalized timing check. Prefer min-over-reps when both documents
+    # carry it: the fastest rep is the one least disturbed by scheduling
+    # noise, so it is the most reproducible estimator across runs.
+    def best_time(rec):
+        return rec.get("min_s", rec["median_s"])
+
+    ratios = {}
+    for k in sorted(base):
+        if k not in fresh:
+            continue
+        if time_threads is not None and k[2] not in time_threads:
+            continue
+        b_t = best_time(base[k])
+        f_t = best_time(fresh[k])
+        if b_t < min_time or f_t <= 0:
+            continue
+        ratios[k] = f_t / b_t
+    if ratios:
+        speed = statistics.median(ratios.values())
+        print(f"machine-speed factor (median ratio): {speed:.3f}",
+              file=out)
+        for k, r in sorted(ratios.items()):
+            norm = r / speed
+            flag = "REGRESSION" if norm > 1.0 + threshold else "ok"
+            print(f"  {'/'.join(map(str, k)):<24} ratio {r:6.3f}  "
+                  f"normalized {norm:6.3f}  {flag}", file=out)
+            if norm > 1.0 + threshold:
+                failures.append(
+                    f"{'/'.join(map(str, k))}: median regressed "
+                    f"{norm:.2f}x normalized (>{1.0 + threshold:.2f}x)")
+    return failures
+
+
+def self_test():
+    """Run the gate against the committed fixture pair."""
+    fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                            "fixtures")
+    baseline = os.path.join(fixtures, "bench_fixture_baseline.json")
+    ok = os.path.join(fixtures, "bench_fixture_ok.json")
+    regress = os.path.join(fixtures, "bench_fixture_regress.json")
+    sink = open(os.devnull, "w")
+
+    ok_failures = check(baseline, ok, out=sink)
+    if ok_failures:
+        print("self-test FAILED: within-noise fixture was rejected:")
+        for f in ok_failures:
+            print(f"  {f}")
+        return 1
+
+    bad_failures = check(baseline, regress, out=sink)
+    perf = [f for f in bad_failures if "regressed" in f]
+    digest = [f for f in bad_failures if "digest" in f]
+    if not perf or not digest:
+        print("self-test FAILED: regressing fixture was not caught "
+              f"(failures: {bad_failures})")
+        return 1
+
+    print("self-test passed: within-noise fixture accepted, regressing "
+          "fixture rejected "
+          f"({len(perf)} perf, {len(digest)} digest findings)")
+    return 0
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", nargs="?")
+    ap.add_argument("fresh", nargs="?")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="allowed normalized median growth (default 0.25)")
+    ap.add_argument("--min-time", type=float, default=0.002,
+                    help="skip records with baseline median below this "
+                         "many seconds (default 0.002)")
+    ap.add_argument("--time-threads", default=None,
+                    help="comma list of thread counts whose timings are "
+                         "gated (default: all). Digest/schedule checks "
+                         "always cover every record; restricting the "
+                         "timing gate to t=1 avoids oversubscription "
+                         "noise on shared CI machines.")
+    ap.add_argument("--self-test", action="store_true",
+                    help="validate the gate against the fixture pair")
+    args = ap.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.fresh:
+        ap.error("baseline and fresh paths required (or --self-test)")
+
+    time_threads = None
+    if args.time_threads:
+        time_threads = {int(t) for t in args.time_threads.split(",")}
+
+    failures = check(args.baseline, args.fresh, args.threshold,
+                     args.min_time, time_threads)
+    if failures:
+        print(f"\nbench_check: FAIL ({len(failures)} finding(s)):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nbench_check: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

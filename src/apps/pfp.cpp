@@ -227,6 +227,17 @@ galoisPfp(Graph& g, graph::Node source, graph::Node sink, const Config& cfg)
     const std::uint32_t height_cap = 2 * g.numNodes();
     while (!active.empty()) {
         const RunReport phase = forEach(active, op, cfg);
+        // Concatenate per-round observability data across phases,
+        // re-basing round numbers and the trace timeline so the merged
+        // report reads as one continuous run.
+        r.report.roundTrace.insert(r.report.roundTrace.end(),
+                                   phase.roundTrace.begin(),
+                                   phase.roundTrace.end());
+        for (runtime::TraceEvent e : phase.traceEvents) {
+            e.round += r.report.rounds;
+            e.startSeconds += r.report.seconds;
+            r.report.traceEvents.push_back(e);
+        }
         r.report.committed += phase.committed;
         r.report.aborted += phase.aborted;
         r.report.atomicOps += phase.atomicOps;

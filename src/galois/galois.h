@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "runtime/executor_det.h"
+#include "runtime/executor_det_ref.h"
 #include "runtime/executor_nondet.h"
 #include "runtime/executor_serial.h"
 
@@ -43,7 +44,13 @@ enum class Exec
 {
     Serial, //!< one thread, FIFO (reference semantics)
     NonDet, //!< speculative parallel execution (Fig. 1b) — fastest
-    Det     //!< deterministic DIG scheduling (Fig. 2) — portable output
+    Det,    //!< deterministic DIG scheduling (Fig. 2) — portable output
+    /** Serial reference implementation of the DIG schedule — the
+     *  differential-testing oracle. Same committed-id sequence, trace
+     *  digest and final state as Det, produced by an independent
+     *  implementation (see runtime/executor_det_ref.h). Slow; meant
+     *  for tests and debugging, not production runs. */
+    DetRef
 };
 
 /** Operator-facing context (alias of the runtime context). */
@@ -52,6 +59,11 @@ using Context = runtime::UserContext<T>;
 
 using runtime::Lockable;
 using runtime::RunReport;
+/** Machine-readable benchmark observation (see runtime/stats.h and the
+ *  JSON emitters in runtime/report_io.h). */
+using runtime::BenchRecord;
+using runtime::RoundSample;
+using runtime::TraceEvent;
 using DetOptions = runtime::DetOptions;
 /** Thrown by the deterministic executor's progress watchdog. */
 using runtime::LivelockError;
@@ -97,6 +109,13 @@ struct Config
     unsigned ndChunkSize = 64;
     /** Feed the software cache model (locality experiments, Fig. 11). */
     bool collectLocality = false;
+    /**
+     * Collect per-round TraceEvents (RunReport::traceEvents) for the
+     * chrome://tracing dump (runtime/report_io.h). Deterministic-executor
+     * only; zero cost when off (the default): no event is allocated and
+     * the round protocol pays one predicted branch per phase.
+     */
+    bool traceRounds = false;
 
     /** The speculative executor's worklist policy from these knobs. */
     WorklistPolicy
@@ -116,6 +135,8 @@ parseExec(const std::string& name)
         return Exec::Serial;
     if (name == "det")
         return Exec::Det;
+    if (name == "det-ref" || name == "detref")
+        return Exec::DetRef;
     return Exec::NonDet;
 }
 
@@ -143,7 +164,10 @@ forEach(const std::vector<T>& initial, F&& op, const Config& cfg)
       case Exec::Det:
         return runtime::executeDet(initial, std::forward<F>(op),
                                    cfg.threads, cfg.det,
-                                   cfg.collectLocality);
+                                   cfg.collectLocality, cfg.traceRounds);
+      case Exec::DetRef:
+        return runtime::executeDetRef(initial, std::forward<F>(op),
+                                      cfg.det);
     }
     return RunReport{}; // unreachable
 }

@@ -228,7 +228,7 @@ class DetExecutor
 {
   public:
     DetExecutor(F& op, unsigned threads, const DetOptions& opt,
-                bool use_cache)
+                bool use_cache, bool trace_rounds = false)
         : op_(op),
           opt_(opt.validated()),
           engine_(threads, use_cache),
@@ -237,6 +237,7 @@ class DetExecutor
           window_(opt_.windowConfig()),
           outs_(engine_.threads())
     {
+        engine_.enableTrace(trace_rounds);
         for (unsigned t = 0; t < engine_.threads(); ++t)
             scratchArenas_.emplace_back();
     }
@@ -454,6 +455,8 @@ class DetExecutor
         carryPos_ = 0;
 
         ++report_.rounds;
+        report_.roundTrace.push_back(
+            RoundSample{window_.size(), cur_.size(), committed});
         if (opt_.roundHook)
             opt_.roundHook(window_.size(), cur_.size(), committed);
         window_.update(cur_.size(), committed);
@@ -694,10 +697,11 @@ class DetExecutor
 template <typename T, typename F>
 RunReport
 executeDet(const std::vector<T>& initial, F&& op, unsigned threads,
-           const DetOptions& opt = DetOptions(), bool use_cache = false)
+           const DetOptions& opt = DetOptions(), bool use_cache = false,
+           bool trace_rounds = false)
 {
     DetExecutor<T, std::remove_reference_t<F>> exec(op, threads, opt,
-                                                    use_cache);
+                                                    use_cache, trace_rounds);
     return exec.run(initial);
 }
 

@@ -1,5 +1,7 @@
 #include "runtime/report_io.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -48,6 +50,153 @@ reportCsvRow(const RunReport& report, const std::string& label)
        << report.generations << ',' << report.cacheAccesses << ','
        << report.cacheMisses << ',' << report.backoffYields;
     return os.str();
+}
+
+// ----------------------------------------------------------------------
+// JSON helpers
+// ----------------------------------------------------------------------
+
+namespace {
+
+/** Shortest round-tripping decimal for a double (JSON number). */
+std::string
+jsonNumber(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer a shorter form when it round-trips (keeps files readable).
+    for (int prec = 6; prec < 17; ++prec) {
+        char shorter[64];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        double back = 0;
+        std::sscanf(shorter, "%lf", &back);
+        if (back == v)
+            return shorter;
+    }
+    return buf;
+}
+
+std::string
+hexDigest(std::uint64_t d)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%016" PRIx64, d);
+    return buf;
+}
+
+} // namespace
+
+std::string
+jsonEscape(const std::string& s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+benchRecordJson(const BenchRecord& r)
+{
+    std::ostringstream os;
+    os << "{\"app\":\"" << jsonEscape(r.app) << "\",\"executor\":\""
+       << jsonEscape(r.executor) << "\",\"threads\":" << r.threads
+       << ",\"reps\":" << r.reps << ",\"median_s\":"
+       << jsonNumber(r.medianSeconds) << ",\"min_s\":"
+       << jsonNumber(r.minSeconds) << ",\"commit_ratio\":"
+       << jsonNumber(r.commitRatio) << ",\"committed\":" << r.committed
+       << ",\"aborted\":" << r.aborted << ",\"pushed\":" << r.pushed
+       << ",\"atomic_ops\":" << r.atomicOps << ",\"rounds\":" << r.rounds
+       << ",\"generations\":" << r.generations << ",\"digest\":\""
+       << hexDigest(r.traceDigest) << "\",\"phases\":{\"assemble_s\":"
+       << jsonNumber(r.phases.assembleSeconds) << ",\"inspect_s\":"
+       << jsonNumber(r.phases.inspectSeconds) << ",\"select_s\":"
+       << jsonNumber(r.phases.selectSeconds) << ",\"merge_s\":"
+       << jsonNumber(r.phases.mergeSeconds) << "}";
+    os << ",\"window_trajectory\":[";
+    for (std::size_t i = 0; i < r.windowTrajectory.size(); ++i) {
+        const RoundSample& s = r.windowTrajectory[i];
+        if (i != 0)
+            os << ',';
+        os << '[' << s.window << ',' << s.attempted << ',' << s.committed
+           << ']';
+    }
+    os << "]}";
+    return os.str();
+}
+
+void
+writeBenchResults(std::ostream& os, const std::vector<BenchRecord>& records,
+                  const BenchRunInfo& info)
+{
+    os << "{\n  \"schema\": \"" << kBenchSchema << "\",\n  \"scale\": "
+       << jsonNumber(info.scale) << ",\n  \"reps\": " << info.reps
+       << ",\n  \"threads\": [";
+    for (std::size_t i = 0; i < info.threads.size(); ++i) {
+        if (i != 0)
+            os << ", ";
+        os << info.threads[i];
+    }
+    os << "],\n  \"records\": [\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        os << "    " << benchRecordJson(records[i]);
+        if (i + 1 != records.size())
+            os << ',';
+        os << '\n';
+    }
+    os << "  ]\n}\n";
+}
+
+void
+writeTraceEvents(std::ostream& os, const std::vector<TraceRun>& runs)
+{
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (std::size_t pid = 0; pid < runs.size(); ++pid) {
+        const TraceRun& run = runs[pid];
+        if (!first)
+            os << ',';
+        first = false;
+        // Process-name metadata row so trace viewers label the track.
+        os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+           << ",\"tid\":0,\"args\":{\"name\":\""
+           << jsonEscape(run.label) << "\"}}";
+        for (const TraceEvent& e : run.events) {
+            os << ",{\"name\":\"" << traceEventPhaseName(e.phase)
+               << "\",\"cat\":\"round\",\"ph\":\"X\",\"ts\":"
+               << jsonNumber(e.startSeconds * 1e6) << ",\"dur\":"
+               << jsonNumber(e.durationSeconds * 1e6) << ",\"pid\":" << pid
+               << ",\"tid\":0,\"args\":{\"round\":" << e.round << "}}";
+        }
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
 }
 
 } // namespace galois::runtime

@@ -3,8 +3,12 @@
  * Human- and machine-readable rendering of RunReports.
  *
  * Library users (and our own benchmark harness) want run statistics in
- * two forms: an aligned key/value block for eyeballs and a CSV line for
- * pipelines. Kept out of stats.h so the core runtime stays iostream-free.
+ * four forms: an aligned key/value block for eyeballs, a CSV line for
+ * quick pipelines, the BENCH_results.json document consumed by the
+ * regression gate (scripts/bench_check.py), and a chrome://tracing
+ * trace_event dump of the deterministic round protocol for
+ * flamegraph-style inspection. Kept out of stats.h so the core runtime
+ * stays iostream-free.
  */
 
 #ifndef DETGALOIS_RUNTIME_REPORT_IO_H
@@ -12,6 +16,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "runtime/stats.h"
 
@@ -27,6 +32,59 @@ std::string reportCsvHeader();
 /** One CSV row: label,threads,seconds,committed,aborted,... */
 std::string reportCsvRow(const RunReport& report,
                          const std::string& label);
+
+// ----------------------------------------------------------------------
+// BENCH_results.json
+// ----------------------------------------------------------------------
+
+/** Schema identifier stamped into every BENCH_results.json. */
+inline constexpr const char* kBenchSchema = "detgalois-bench/1";
+
+/** Sweep-level metadata recorded alongside the records. A baseline and
+ *  a fresh run are comparable only when these agree (the gate checks). */
+struct BenchRunInfo
+{
+    double scale = 1.0;          //!< REPRO_SCALE of the run
+    int reps = 1;                //!< repetitions per measurement
+    std::vector<unsigned> threads; //!< thread counts swept
+};
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string jsonEscape(const std::string& s);
+
+/** One BenchRecord as a JSON object (digest as a 16-digit hex string —
+ *  64-bit values do not survive double-precision JSON parsers). */
+std::string benchRecordJson(const BenchRecord& record);
+
+/**
+ * Write the full BENCH_results.json document:
+ *
+ *   { "schema": "detgalois-bench/1", "scale": ..., "reps": ...,
+ *     "threads": [...], "records": [ {app, executor, threads,
+ *     median_s, reps, commit_ratio, rounds, digest, phases, ...} ] }
+ */
+void writeBenchResults(std::ostream& os,
+                       const std::vector<BenchRecord>& records,
+                       const BenchRunInfo& info);
+
+// ----------------------------------------------------------------------
+// chrome://tracing dump
+// ----------------------------------------------------------------------
+
+/** One traced run: a label ("bfs/det/t4") plus its round spans. */
+struct TraceRun
+{
+    std::string label;
+    std::vector<TraceEvent> events;
+};
+
+/**
+ * Write a chrome://tracing (trace_event format) document: every run
+ * becomes its own process row (pid) named by its label, each phase span
+ * a complete ("X") event with microsecond timestamps and the round
+ * number in args. Load via chrome://tracing, Perfetto, or speedscope.
+ */
+void writeTraceEvents(std::ostream& os, const std::vector<TraceRun>& runs);
 
 } // namespace galois::runtime
 

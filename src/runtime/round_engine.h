@@ -112,6 +112,13 @@ class RoundEngine
     ThreadStats& localStats() { return stats_.local(); }
 
     /**
+     * Collect per-round TraceEvents during roundLoop() (chrome://tracing
+     * dump, see runtime/report_io.h). Off by default; when off the only
+     * residue in the round protocol is one branch per phase.
+     */
+    void enableTrace(bool on) { traceEnabled_ = on; }
+
+    /**
      * The deterministic round protocol, run by every region thread:
      *
      *   loop:
@@ -150,6 +157,14 @@ class RoundEngine
                 }
                 clock.stop();
                 phases_.assembleSeconds += clock.seconds();
+                // The terminating assemble (empty bag) is profiled but
+                // not traced: the timeline holds exactly four spans per
+                // executed round, with no dangling span per generation.
+                if (roundActive_) {
+                    ++traceRound_;
+                    recordTrace(TraceEvent::Phase::Assemble,
+                                clock.seconds());
+                }
             }
             barrier_.wait();
             if (!roundActive_)
@@ -161,6 +176,7 @@ class RoundEngine
             if (tid == 0) {
                 clock.stop();
                 phases_.inspectSeconds += clock.seconds();
+                recordTrace(TraceEvent::Phase::Inspect, clock.seconds());
                 clock.start();
             }
             phase2(tid);
@@ -168,6 +184,7 @@ class RoundEngine
             if (tid == 0) {
                 clock.stop();
                 phases_.selectSeconds += clock.seconds();
+                recordTrace(TraceEvent::Phase::Select, clock.seconds());
                 clock.start();
                 try {
                     merge();
@@ -176,6 +193,7 @@ class RoundEngine
                 }
                 clock.stop();
                 phases_.mergeSeconds += clock.seconds();
+                recordTrace(TraceEvent::Phase::Merge, clock.seconds());
             }
             barrier_.wait();
         }
@@ -192,15 +210,32 @@ class RoundEngine
         report.threads = threads_;
         report.seconds = timer_.seconds();
         report.phases = phases_;
+        report.traceEvents = std::move(trace_);
     }
 
   private:
+    /** Append one span to the trace (thread 0 only, tracing on). The
+     *  timeline is the cumulative sum of phase durations: phases are
+     *  timed back-to-back by thread 0, so the spans tile the loop. */
+    void
+    recordTrace(TraceEvent::Phase phase, double dur)
+    {
+        if (!traceEnabled_)
+            return;
+        trace_.push_back(TraceEvent{traceRound_, phase, traceNow_, dur});
+        traceNow_ += dur;
+    }
+
     unsigned threads_;
     support::Barrier barrier_;
     support::PerThread<ThreadStats> stats_;
     std::vector<model::CacheModel> caches_;
     support::Timer timer_;
     PhaseProfile phases_;
+    std::vector<TraceEvent> trace_;
+    double traceNow_ = 0;          //!< trace timeline cursor (seconds)
+    std::uint64_t traceRound_ = 0; //!< rounds started (across generations)
+    bool traceEnabled_ = false;
     bool roundActive_ = false;
 };
 

@@ -12,6 +12,8 @@
 #define DETGALOIS_RUNTIME_STATS_H
 
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace galois::runtime {
 
@@ -86,6 +88,68 @@ struct PhaseProfile
     double mergeSeconds = 0;    //!< deterministic merge + window update
 };
 
+/**
+ * One round of the adaptive window policy as observed by the merge
+ * step: the window in effect, the tasks attempted and the tasks
+ * committed. The sequence of samples is the *window trajectory* of a
+ * run — under Exec::Det a pure function of (input, operator, options),
+ * so equal across thread counts, and the raw data behind the
+ * commit-ratio plots of the evaluation.
+ */
+struct RoundSample
+{
+    std::uint64_t window = 0;    //!< window size in effect this round
+    std::uint64_t attempted = 0; //!< tasks inspected (|cur|)
+    std::uint64_t committed = 0; //!< tasks committed
+
+    bool
+    operator==(const RoundSample& o) const
+    {
+        return window == o.window && attempted == o.attempted &&
+               committed == o.committed;
+    }
+};
+
+/**
+ * One timed span of the round protocol, recorded only when trace
+ * collection is enabled (Config::traceRounds): which phase, which
+ * round, and its position on thread 0's serial timeline. Rendered as a
+ * chrome://tracing "X" (complete) event by report_io.
+ */
+struct TraceEvent
+{
+    /** Round-protocol phase of this span. */
+    enum class Phase : std::uint8_t
+    {
+        Assemble = 0,
+        Inspect = 1,
+        Select = 2,
+        Merge = 3
+    };
+
+    std::uint64_t round = 0;   //!< 1-based round ordinal
+    Phase phase = Phase::Assemble;
+    double startSeconds = 0;   //!< offset from the start of the loop
+    double durationSeconds = 0;
+};
+
+/** Display name of a trace-event phase ("assemble", "inspect", ...). */
+inline const char*
+traceEventPhaseName(TraceEvent::Phase p)
+{
+    switch (p) {
+      case TraceEvent::Phase::Assemble:
+        return "assemble";
+      case TraceEvent::Phase::Inspect:
+        return "inspect";
+      case TraceEvent::Phase::Select:
+        return "select";
+      case TraceEvent::Phase::Merge:
+        return "merge";
+    }
+    return "?";
+}
+
 /** Summary of one for_each execution, returned to the caller. */
 struct RunReport
 {
@@ -104,6 +168,14 @@ struct RunReport
     double seconds = 0.0;          //!< wall-clock time of the loop
     unsigned threads = 1;          //!< threads used
     PhaseProfile phases;           //!< per-phase time (round engine only)
+    /** Per-round (window, attempted, committed) samples — the window
+     *  trajectory. Filled by the deterministic executors (one sample per
+     *  round, appended by the serial merge step); empty elsewhere. */
+    std::vector<RoundSample> roundTrace;
+    /** chrome://tracing spans of the round protocol. Collected only when
+     *  tracing is enabled (Config::traceRounds); empty — and costing
+     *  nothing — otherwise. */
+    std::vector<TraceEvent> traceEvents;
 
     /** Fraction of attempted tasks that aborted. */
     double
@@ -112,6 +184,16 @@ struct RunReport
         const double attempts =
             static_cast<double>(committed) + static_cast<double>(aborted);
         return attempts == 0 ? 0.0 : static_cast<double>(aborted) / attempts;
+    }
+
+    /** Fraction of attempted tasks that committed (1 - abortRatio). */
+    double
+    commitRatio() const
+    {
+        const double attempts =
+            static_cast<double>(committed) + static_cast<double>(aborted);
+        return attempts == 0 ? 1.0
+                             : static_cast<double>(committed) / attempts;
     }
 
     /** Committed tasks per microsecond. */
@@ -142,6 +224,66 @@ struct RunReport
         backoffYields += t.backoffYields;
     }
 };
+
+/**
+ * One benchmark observation in machine-readable form: an (app,
+ * executor, thread-count) cell of the evaluation matrix together with
+ * the run statistics that back every claim of the paper — median
+ * wall-clock time over reps, per-phase costs, commit ratio, rounds,
+ * the window trajectory and the schedule's trace digest. Serialized to
+ * BENCH_results.json by runtime/report_io and consumed by
+ * scripts/bench_check.py (the perf/determinism regression gate).
+ */
+struct BenchRecord
+{
+    std::string app;      //!< benchmark name (bfs, dmr, ...)
+    std::string executor; //!< "serial", "nondet", "det", ...
+    unsigned threads = 1; //!< requested thread count
+    int reps = 1;         //!< repetitions medianSeconds summarizes
+    double medianSeconds = 0; //!< median loop seconds over reps
+    /** Minimum loop seconds over reps — the noise-robust estimator the
+     *  regression gate compares (the fastest rep is the one least
+     *  disturbed by scheduling noise). */
+    double minSeconds = 0;
+    double commitRatio = 1;   //!< committed / (committed + aborted)
+    std::uint64_t committed = 0;
+    std::uint64_t aborted = 0;
+    std::uint64_t pushed = 0;
+    std::uint64_t atomicOps = 0;
+    std::uint64_t rounds = 0;
+    std::uint64_t generations = 0;
+    std::uint64_t traceDigest = 0; //!< 0 outside Exec::Det
+    PhaseProfile phases;
+    std::vector<RoundSample> windowTrajectory;
+};
+
+/**
+ * Fold one run into a BenchRecord. medianSeconds/reps are seeded from
+ * the single run; callers summarizing several reps overwrite them.
+ */
+inline BenchRecord
+makeBenchRecord(const std::string& app, const std::string& executor,
+                unsigned threads, const RunReport& report)
+{
+    BenchRecord r;
+    r.app = app;
+    r.executor = executor;
+    r.threads = threads;
+    r.reps = 1;
+    r.medianSeconds = report.seconds;
+    r.minSeconds = report.seconds;
+    r.commitRatio = report.commitRatio();
+    r.committed = report.committed;
+    r.aborted = report.aborted;
+    r.pushed = report.pushed;
+    r.atomicOps = report.atomicOps;
+    r.rounds = report.rounds;
+    r.generations = report.generations;
+    r.traceDigest = report.traceDigest;
+    r.phases = report.phases;
+    r.windowTrajectory = report.roundTrace;
+    return r;
+}
 
 } // namespace galois::runtime
 

@@ -198,6 +198,46 @@ TEST(Arena, BadAllocFailpointLeavesArenaValid)
     EXPECT_EQ(Tracked::live, 0);
 }
 
+TEST(Arena, MidGenerationGrowthFailureKeepsFinalizersLifoExactlyOnce)
+{
+    // arena.chunk fires in the middle of a generation, partway through
+    // a sequence of managed creations. Everything constructed before
+    // the failure must be finalized by reset() in reverse construction
+    // order, each object exactly once — the failed creation must leave
+    // no dangling finalizer (it threw before registration).
+    using galois::support::failpoints::Scoped;
+    std::vector<int> order;
+    Tracked::destroyedOrder = &order;
+    {
+        Arena a(/*chunk_bytes=*/256);
+        Scoped fp("arena.chunk", FailPlan::badAllocAt(3));
+        int built = 0;
+        try {
+            for (int i = 0; i < 1000; ++i) {
+                a.create<Tracked>(i);
+                ++built;
+            }
+            FAIL() << "arena.chunk failpoint never fired";
+        } catch (const std::bad_alloc&) {
+        }
+        ASSERT_GT(built, 0);
+        ASSERT_LT(built, 1000);
+        EXPECT_EQ(Tracked::live, built);
+
+        a.reset();
+        EXPECT_EQ(Tracked::live, 0);
+        ASSERT_EQ(order.size(), static_cast<std::size_t>(built));
+        for (int i = 0; i < built; ++i)
+            EXPECT_EQ(order[static_cast<std::size_t>(i)], built - 1 - i)
+                << "finalizer order broken at position " << i;
+
+        // A second reset must not touch the already-finalized objects.
+        a.reset();
+        EXPECT_EQ(order.size(), static_cast<std::size_t>(built));
+    }
+    Tracked::destroyedOrder = nullptr;
+}
+
 TEST(Arena, ManyGenerationsStayBounded)
 {
     Arena a;

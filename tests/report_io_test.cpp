@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the machine-readable report emitters (runtime/report_io.h):
+ * BENCH_results.json structure, chrome://tracing dump structure, JSON
+ * string escaping, and the cost model of the Config::traceRounds knob —
+ * off (the default) must leave RunReport::traceEvents empty, on must
+ * produce a well-formed phase timeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "galois/galois.h"
+#include "runtime/report_io.h"
+
+using namespace galois;
+
+namespace {
+
+/** Tiny cautious workload: enough tasks for several det rounds. */
+struct Workload
+{
+    std::vector<runtime::Lockable> locks{64};
+    std::vector<long> cells = std::vector<long>(64, 0);
+
+    std::vector<int>
+    tasks() const
+    {
+        std::vector<int> t;
+        for (int i = 0; i < 400; ++i)
+            t.push_back(i);
+        return t;
+    }
+
+    auto
+    op()
+    {
+        return [this](int& v, Context<int>& ctx) {
+            ctx.acquire(locks[v % 64]);
+            ctx.acquire(locks[(v * 7 + 3) % 64]);
+            ctx.cautiousPoint();
+            cells[v % 64] += v;
+        };
+    }
+};
+
+RunReport
+runDet(bool trace, unsigned threads = 4)
+{
+    Workload w;
+    Config cfg;
+    cfg.exec = Exec::Det;
+    cfg.threads = threads;
+    cfg.traceRounds = trace;
+    return forEach(w.tasks(), w.op(), cfg);
+}
+
+/** Count occurrences of a substring. */
+std::size_t
+countOf(const std::string& hay, const std::string& needle)
+{
+    std::size_t n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+        ++n;
+    return n;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Config::traceRounds cost model
+// ---------------------------------------------------------------------
+
+TEST(TraceRounds, OffByDefaultAndEmpty)
+{
+    const RunReport r = runDet(/*trace=*/false);
+    EXPECT_TRUE(r.traceEvents.empty())
+        << "knob off must not allocate any trace event";
+    // The round trajectory is always collected (cheap, one sample per
+    // round) — only the per-phase timeline is gated.
+    EXPECT_EQ(r.roundTrace.size(), r.rounds);
+}
+
+TEST(TraceRounds, OnProducesWellFormedTimeline)
+{
+    const RunReport r = runDet(/*trace=*/true);
+    ASSERT_GT(r.rounds, 0u);
+    // Four phase spans per round, in protocol order.
+    ASSERT_EQ(r.traceEvents.size(), 4 * r.rounds);
+    double prev_end = 0.0;
+    for (std::size_t i = 0; i < r.traceEvents.size(); ++i) {
+        const TraceEvent& e = r.traceEvents[i];
+        EXPECT_EQ(e.round, i / 4 + 1) << i;
+        EXPECT_EQ(static_cast<unsigned>(e.phase), i % 4) << i;
+        EXPECT_GE(e.startSeconds, prev_end) << i;
+        EXPECT_GE(e.durationSeconds, 0.0) << i;
+        prev_end = e.startSeconds;
+    }
+}
+
+TEST(TraceRounds, SameScheduleWithAndWithoutTracing)
+{
+    const RunReport off = runDet(false);
+    const RunReport on = runDet(true);
+    EXPECT_EQ(on.traceDigest, off.traceDigest)
+        << "tracing must be observation-only";
+    EXPECT_EQ(on.rounds, off.rounds);
+    EXPECT_EQ(on.committed, off.committed);
+}
+
+// ---------------------------------------------------------------------
+// BENCH_results.json
+// ---------------------------------------------------------------------
+
+TEST(BenchJson, EscapesStrings)
+{
+    EXPECT_EQ(runtime::jsonEscape("plain"), "plain");
+    EXPECT_EQ(runtime::jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(runtime::jsonEscape("x\ny\t"), "x\\ny\\t");
+    EXPECT_EQ(runtime::jsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+TEST(BenchJson, RecordCarriesScheduleAndPhases)
+{
+    const RunReport r = runDet(false);
+    runtime::BenchRecord rec =
+        runtime::makeBenchRecord("toy", "det", 4, r);
+    const std::string json = runtime::benchRecordJson(rec);
+
+    EXPECT_NE(json.find("\"app\":\"toy\""), std::string::npos);
+    EXPECT_NE(json.find("\"executor\":\"det\""), std::string::npos);
+    EXPECT_NE(json.find("\"threads\":4"), std::string::npos);
+    for (const char* key :
+         {"\"median_s\"", "\"min_s\"", "\"commit_ratio\"", "\"rounds\"",
+          "\"generations\"", "\"digest\"", "\"phases\"",
+          "\"assemble_s\"", "\"inspect_s\"", "\"select_s\"",
+          "\"merge_s\"", "\"window_trajectory\""})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+
+    // The digest is a 16-hex-digit string (64-bit values do not survive
+    // double-precision JSON parsers).
+    char expect[64];
+    std::snprintf(expect, sizeof(expect), "\"digest\":\"%016llx\"",
+                  static_cast<unsigned long long>(r.traceDigest));
+    EXPECT_NE(json.find(expect), std::string::npos) << json;
+
+    // One [window, attempted, committed] triple per round.
+    EXPECT_EQ(countOf(json.substr(json.find("window_trajectory")), "["),
+              1 + r.rounds);
+}
+
+TEST(BenchJson, DocumentStructure)
+{
+    const RunReport r = runDet(false);
+    std::vector<runtime::BenchRecord> records;
+    records.push_back(runtime::makeBenchRecord("toy", "det", 1, r));
+    records.push_back(runtime::makeBenchRecord("toy", "det", 2, r));
+
+    runtime::BenchRunInfo info;
+    info.scale = 0.5;
+    info.reps = 3;
+    info.threads = {1, 2};
+    std::ostringstream os;
+    runtime::writeBenchResults(os, records, info);
+    const std::string doc = os.str();
+
+    EXPECT_NE(doc.find("\"schema\": \"detgalois-bench/1\""),
+              std::string::npos);
+    EXPECT_NE(doc.find("\"scale\": 0.5"), std::string::npos);
+    EXPECT_NE(doc.find("\"reps\": 3"), std::string::npos);
+    EXPECT_NE(doc.find("\"threads\": [1, 2]"), std::string::npos);
+    EXPECT_EQ(countOf(doc, "\"app\":\"toy\""), 2u);
+    // Balanced braces/brackets (cheap structural sanity without a
+    // parser; scripts/bench_check.py does the full json.load in CI).
+    EXPECT_EQ(countOf(doc, "{"), countOf(doc, "}"));
+    EXPECT_EQ(countOf(doc, "["), countOf(doc, "]"));
+}
+
+// ---------------------------------------------------------------------
+// chrome://tracing dump
+// ---------------------------------------------------------------------
+
+TEST(TraceJson, DumpStructure)
+{
+    const RunReport r = runDet(true);
+    ASSERT_FALSE(r.traceEvents.empty());
+
+    std::vector<runtime::TraceRun> runs;
+    runs.push_back(runtime::TraceRun{"toy/det/t4", r.traceEvents});
+    std::ostringstream os;
+    runtime::writeTraceEvents(os, runs);
+    const std::string doc = os.str();
+
+    EXPECT_NE(doc.find("\"traceEvents\":["), std::string::npos);
+    EXPECT_NE(doc.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+    // One process-name metadata event naming the run's track.
+    EXPECT_EQ(countOf(doc, "\"ph\":\"M\""), 1u);
+    EXPECT_NE(doc.find("\"name\":\"toy/det/t4\""), std::string::npos);
+    // Every phase span is a complete event with timestamp + duration.
+    EXPECT_EQ(countOf(doc, "\"ph\":\"X\""), r.traceEvents.size());
+    EXPECT_EQ(countOf(doc, "\"ts\":"), r.traceEvents.size());
+    EXPECT_EQ(countOf(doc, "\"dur\":"), r.traceEvents.size());
+    // Phase names appear once per round.
+    for (const char* phase :
+         {"\"assemble\"", "\"inspect\"", "\"select\"", "\"merge\""})
+        EXPECT_EQ(countOf(doc, phase), r.rounds) << phase;
+    EXPECT_EQ(countOf(doc, "{"), countOf(doc, "}"));
+    EXPECT_EQ(countOf(doc, "["), countOf(doc, "]"));
+}

@@ -381,6 +381,70 @@ TEST_F(ResilienceTest, WatchdogNeverMisfiresOnCautiousOperators)
     }
 }
 
+TEST_F(ResilienceTest, AllAbortLivelockTripsAtSameRoundOnEveryThreadCount)
+{
+    // All-abort schedule: every round re-executes the same window and
+    // commits nothing. The watchdog must fire after *exactly*
+    // watchdogRounds rounds — not one more, not one fewer — and the
+    // trip round, the committed count and the full diagnostic must be
+    // identical on 1, 2, 4 and 8 threads. The round number is part of
+    // the message, so string equality pins it.
+    constexpr std::uint64_t kWatchdog = 5;
+    auto run = [&](Exec exec, const char* label, unsigned threads) {
+        std::vector<Lockable> locks(4);
+        std::vector<std::uint32_t> init(24);
+        for (std::uint32_t i = 0; i < 24; ++i)
+            init[i] = i;
+        Config cfg;
+        cfg.exec = exec;
+        cfg.threads = threads;
+        cfg.det.continuation = false; // baseline (DetCheck) selection
+        cfg.det.watchdogRounds = kWatchdog;
+        std::uint64_t rounds = 0;
+        std::uint64_t committed = 0;
+        cfg.det.roundHook = [&](std::uint64_t, std::uint64_t,
+                                std::uint64_t com) {
+            ++rounds;
+            committed += com;
+        };
+        std::string error;
+        try {
+            galois::forEach(
+                init,
+                [&](std::uint32_t& i, galois::Context<std::uint32_t>& ctx) {
+                    ctx.acquire(locks[i % 4]);
+                    ctx.cautiousPoint();
+                    ctx.acquire(locks[(i + 1) % 4]); // NOT cautious
+                },
+                cfg);
+        } catch (const LivelockError& e) {
+            error = e.what();
+        }
+        EXPECT_EQ(committed, 0u)
+            << label << " t=" << threads
+            << ": a round committed work in an all-abort schedule";
+        EXPECT_EQ(rounds, kWatchdog) << label << " t=" << threads;
+        return error;
+    };
+
+    const std::string ref = run(Exec::Det, "det", 1);
+    ASSERT_FALSE(ref.empty()) << "watchdog did not fire";
+    EXPECT_NE(ref.find("round " + std::to_string(kWatchdog)),
+              std::string::npos)
+        << ref;
+    for (unsigned t : {2u, 4u, 8u})
+        EXPECT_EQ(run(Exec::Det, "det", t), ref) << t << " threads";
+
+    // The serial reference oracle trips its own watchdog at the same
+    // round (its message names the executor, so compare the round).
+    const std::string oracle = run(Exec::DetRef, "det-ref", 1);
+    ASSERT_FALSE(oracle.empty()) << "DetRef watchdog did not fire";
+    EXPECT_NE(oracle.find("progress watchdog"), std::string::npos);
+    EXPECT_NE(oracle.find("round " + std::to_string(kWatchdog)),
+              std::string::npos)
+        << oracle;
+}
+
 // ---------------------------------------------------------------------
 // DetOptions validation
 // ---------------------------------------------------------------------

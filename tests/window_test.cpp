@@ -77,6 +77,43 @@ TEST(WindowPolicy, EmptyRoundCountsAsFullCommit)
     EXPECT_EQ(p.size(), 128u);
 }
 
+TEST(WindowPolicy, CommitRatioExactlyZeroFloorsAtMinWindowInOneStep)
+{
+    // Ratio exactly 0 is the worst round the policy can observe: the
+    // proportional shrink computes window * 0 and the clamp must catch
+    // it immediately — no gradual decay, no underflow to zero.
+    WindowPolicy p = makePolicy(0.95, 16, std::uint64_t(1) << 20);
+    p.update(std::uint64_t(1) << 20, 0);
+    EXPECT_EQ(p.size(), 16u);
+}
+
+TEST(WindowPolicy, CommitRatioExactlyOneDoublesFromAnySize)
+{
+    // Ratio exactly 1 sits on the >= commitTarget boundary and must
+    // take the doubling branch, not the proportional one (which would
+    // only grow by 1/commitTarget).
+    WindowPolicy p = makePolicy(0.95, 16, 1000);
+    p.update(1000, 1000);
+    EXPECT_EQ(p.size(), 2000u);
+    p.update(2000, 2000);
+    EXPECT_EQ(p.size(), 4000u);
+}
+
+TEST(WindowPolicy, WindowClampsToSingleTask)
+{
+    // minWindow 1: the policy may shrink all the way to a one-task
+    // window (a fully serial round — the degenerate schedule every
+    // workload can make progress under) and must recover by doubling.
+    WindowPolicy p = makePolicy(0.95, /*min_window=*/1);
+    EXPECT_EQ(p.size(), 4u); // beginGeneration seeds 4 * minWindow
+    p.update(4, 0);
+    EXPECT_EQ(p.size(), 1u);
+    p.update(1, 0); // all-abort at window 1: pinned at the floor
+    EXPECT_EQ(p.size(), 1u);
+    p.update(1, 1); // ratio exactly 1 climbs back out
+    EXPECT_EQ(p.size(), 2u);
+}
+
 TEST(WindowPolicy, GrowthCapsInsteadOfOverflowing)
 {
     WindowPolicy p = makePolicy(0.95, 16);

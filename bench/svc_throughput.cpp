@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Load generator for the resident service (src/service).
+ *
+ * Drives an in-process DetService with a deterministic job mix (bfs,
+ * sssp, cc, mis across several sizes and thread widths), measures
+ * end-to-end throughput and queue/run latency, and verifies every ok
+ * receipt's digest against the one-shot reference path — so the bench
+ * doubles as a continuous isolation check under real load.
+ *
+ * Usage: svc_throughput [--jobs N] [--lanes N] [--queue N]
+ *                       [--faults PCT]
+ *
+ *   --jobs N    total jobs to push (default 64)
+ *   --lanes N   service lanes (default 4)
+ *   --queue N   admission queue capacity (default 2 * lanes)
+ *   --faults P  percent of jobs carrying a transient injected fault
+ *               (default 25; retried, must still verify)
+ */
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.h"
+#include "support/timer.h"
+
+using galois::service::DetService;
+using galois::service::JobSpec;
+using galois::service::JobStatus;
+using galois::service::Receipt;
+using galois::service::ServiceConfig;
+
+namespace {
+
+/** The deterministic job mix: index -> spec. */
+JobSpec
+mixedJob(unsigned i, unsigned faultPct)
+{
+    static const char* kApps[] = {"bfs", "sssp", "cc", "mis"};
+    JobSpec spec;
+    spec.id = "job-" + std::to_string(i);
+    spec.app = kApps[i % 4];
+    spec.n = 2000 + 1500 * (i % 5);
+    spec.k = 3 + i % 3;
+    spec.seed = 11 + i % 7;
+    spec.exec = galois::Exec::Det;
+    spec.threads = 1u << (i % 3); // 1, 2, 4
+    if (faultPct && i * 37 % 100 < faultPct)
+        spec.failpoints = "det.inspect=throw@eq:" +
+                          std::to_string(1 + i % 3) + "^1";
+    return spec;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    unsigned jobs = 64;
+    unsigned faultPct = 25;
+    ServiceConfig cfg;
+    cfg.lanes = 4;
+    cfg.queueCapacity = 0; // default: 2 * lanes, resolved below
+    for (int i = 1; i + 1 < argc; i += 2) {
+        if (!std::strcmp(argv[i], "--jobs"))
+            jobs = static_cast<unsigned>(std::atoi(argv[i + 1]));
+        else if (!std::strcmp(argv[i], "--lanes"))
+            cfg.lanes = static_cast<unsigned>(std::atoi(argv[i + 1]));
+        else if (!std::strcmp(argv[i], "--queue"))
+            cfg.queueCapacity =
+                static_cast<std::size_t>(std::atol(argv[i + 1]));
+        else if (!std::strcmp(argv[i], "--faults"))
+            faultPct = static_cast<unsigned>(std::atoi(argv[i + 1]));
+        else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--lanes N] [--queue N] "
+                         "[--faults PCT]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+    if (cfg.queueCapacity == 0)
+        cfg.queueCapacity = 2 * cfg.lanes;
+
+    // Reference digests from the one-shot path (faults stripped): the
+    // oracle every service receipt must reproduce.
+    std::map<std::string, std::string> expect;
+    for (unsigned i = 0; i < jobs; ++i) {
+        JobSpec ref = mixedJob(i, 0);
+        if (expect.count(ref.describe()))
+            continue;
+        Receipt r = DetService::runInline(ref);
+        if (r.status != JobStatus::Ok) {
+            std::fprintf(stderr, "reference run failed: %s\n",
+                         r.error.c_str());
+            return 1;
+        }
+        expect[ref.describe()] = galois::service::digestHex(r.digest);
+    }
+    std::printf("# %zu distinct (app, params) cells, %u jobs, "
+                "%u lanes, queue %zu, %u%% faults\n",
+                expect.size(), jobs, cfg.lanes, cfg.queueCapacity,
+                faultPct);
+
+    DetService svc(cfg);
+    std::mutex lock;
+    std::condition_variable allDone;
+    double queueS = 0, runS = 0;
+    unsigned ok = 0, rejected = 0, failed = 0, mismatched = 0;
+
+    galois::support::Timer wall;
+    wall.start();
+    for (unsigned i = 0; i < jobs; ++i) {
+        JobSpec spec = mixedJob(i, faultPct);
+        const std::string want = expect[mixedJob(i, 0).describe()];
+        // Back-pressure loop: a real client retries after a 429.
+        for (;;) {
+            bool admitted = svc.submit(spec, [&, want](Receipt r) {
+                std::lock_guard<std::mutex> guard(lock);
+                if (r.status == JobStatus::Ok) {
+                    ++ok;
+                    queueS += r.queueSeconds;
+                    runS += r.runSeconds;
+                    if (galois::service::digestHex(r.digest) != want)
+                        ++mismatched;
+                } else if (r.status == JobStatus::Rejected) {
+                    ++rejected;
+                } else {
+                    ++failed;
+                }
+                allDone.notify_all();
+            });
+            if (admitted)
+                break;
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+    }
+    {
+        // Terminal receipts only: a 429 is followed by a resubmission.
+        std::unique_lock<std::mutex> guard(lock);
+        allDone.wait(guard, [&] { return ok + failed == jobs; });
+    }
+    wall.stop();
+
+    const auto st = svc.stats();
+    std::printf("jobs        %u\n", jobs);
+    std::printf("ok          %u\n", ok);
+    std::printf("failed      %u\n", failed);
+    std::printf("rejections  %u (client retried)\n", rejected);
+    std::printf("retries     %llu\n",
+                static_cast<unsigned long long>(st.retries));
+    std::printf("digest mismatches %u\n", mismatched);
+    std::printf("wall        %.3f s  (%.1f jobs/s)\n", wall.seconds(),
+                jobs / wall.seconds());
+    if (ok) {
+        std::printf("mean queue  %.3f ms\n", queueS * 1e3 / ok);
+        std::printf("mean run    %.3f ms\n", runS * 1e3 / ok);
+    }
+    return mismatched == 0 ? 0 : 1;
+}

@@ -67,6 +67,9 @@ using runtime::TraceEvent;
 using DetOptions = runtime::DetOptions;
 /** Thrown by the deterministic executor's progress watchdog. */
 using runtime::LivelockError;
+/** Thrown by the wall-clock job watchdog / external cancellation
+ *  (DetOptions::wallDeadlineSeconds, DetOptions::cancelFlag). */
+using runtime::DeadlineError;
 /** Deterministic fault injection (see support/failpoint.h). */
 using support::FailPlan;
 using support::FailpointError;

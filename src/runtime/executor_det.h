@@ -71,6 +71,7 @@
 #include "runtime/worklist.h" // SpinLock
 #include "support/arena.h"
 #include "support/failpoint.h"
+#include "support/timer.h"
 
 namespace galois::runtime {
 
@@ -89,6 +90,27 @@ class LivelockError : public std::runtime_error
 {
   public:
     explicit LivelockError(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/**
+ * Thrown by the wall-clock job watchdog (DetOptions::wallDeadlineSeconds)
+ * or by external cancellation (DetOptions::cancelFlag). Where the
+ * livelock watchdog bounds *rounds without progress*, this bounds the
+ * *total wall time* of a run — the per-job deadline of the resident
+ * service. Checked by thread 0 at round boundaries only, so a run is
+ * never preempted mid-round: every effect visible at the deadline is a
+ * whole number of deterministic rounds, and the executor's usual
+ * finish-the-round unwind (mark release, deterministic error
+ * selection) applies. The *round* at which a wall-clock deadline trips
+ * naturally depends on host speed — a deadline abort is a fault, not a
+ * schedule, and produces no verifiable receipt.
+ */
+class DeadlineError : public std::runtime_error
+{
+  public:
+    explicit DeadlineError(const std::string& what)
         : std::runtime_error(what)
     {}
 };
@@ -137,6 +159,19 @@ struct DetOptions
      */
     std::uint64_t watchdogRounds = 64;
     /**
+     * Wall-clock job watchdog: fail the run with a DeadlineError once
+     * this many seconds have elapsed, checked at round boundaries
+     * (0 disables). The per-job deadline of the resident service.
+     */
+    double wallDeadlineSeconds = 0;
+    /**
+     * External cancellation: when non-null and set, the run fails with
+     * a DeadlineError at the next round boundary. The flag may be set
+     * from any thread (the service's control plane); the executor only
+     * reads it.
+     */
+    const std::atomic<bool>* cancelFlag = nullptr;
+    /**
      * Called after every round with (window, attempted, committed).
      * Because the entire schedule is deterministic, the sequence of hook
      * invocations is itself identical across thread counts — the
@@ -162,6 +197,11 @@ struct DetOptions
             throw std::invalid_argument(
                 "DetOptions::commitTarget must be in (0, 1], got " +
                 std::to_string(commitTarget));
+        }
+        if (wallDeadlineSeconds < 0) {
+            throw std::invalid_argument(
+                "DetOptions::wallDeadlineSeconds must be >= 0, got " +
+                std::to_string(wallDeadlineSeconds));
         }
         DetOptions v = *this;
         v.minWindow = std::max<std::uint64_t>(1, minWindow);
@@ -247,6 +287,14 @@ class DetExecutor
     run(const std::vector<T>& initial)
     {
         report_.traceDigest = kFnv1aOffset;
+
+        // Job watchdog: deadline/cancellation checks ride the engine's
+        // round-boundary cancellation hook, so they inherit its fault
+        // containment (finish the round, release marks, stop cleanly).
+        if (opt_.wallDeadlineSeconds > 0 || opt_.cancelFlag) {
+            deadlineTimer_.start();
+            engine_.setCancelCheck([this] { checkJobWatchdog(); });
+        }
 
         // Seed generation 0: birth rank is the iteration-order position,
         // matching "ids based on the iteration order of the C++ iterator".
@@ -341,6 +389,33 @@ class DetExecutor
      * errors of the same round.
      */
     static constexpr std::uint64_t kBookkeepingErrorId = 0;
+
+    /**
+     * Round-boundary job watchdog (thread 0, via the engine's
+     * cancellation hook): external cancellation and the wall-clock
+     * deadline. Throws DeadlineError; the hook's containment turns
+     * that into the standard finish-the-round unwind.
+     */
+    void
+    checkJobWatchdog()
+    {
+        if (opt_.cancelFlag &&
+            opt_.cancelFlag->load(std::memory_order_relaxed)) {
+            throw DeadlineError(
+                "DetExecutor job watchdog: run cancelled (generation " +
+                std::to_string(report_.generations) + ", round " +
+                std::to_string(report_.rounds) + ")");
+        }
+        if (opt_.wallDeadlineSeconds > 0 &&
+            deadlineTimer_.seconds() > opt_.wallDeadlineSeconds) {
+            throw DeadlineError(
+                "DetExecutor job watchdog: wall-clock deadline of " +
+                std::to_string(opt_.wallDeadlineSeconds) +
+                " s exceeded (generation " +
+                std::to_string(report_.generations) + ", round " +
+                std::to_string(report_.rounds) + ")");
+        }
+    }
 
     /**
      * Record an exception attributed to the given task id, keeping the
@@ -665,6 +740,7 @@ class DetExecutor
     IdService idService_;
     WindowPolicy window_;
 
+    support::Timer deadlineTimer_; //!< job-watchdog clock (run() start)
     support::Arena recordArena_; //!< generation-scoped DetRecord storage
     std::deque<support::Arena> scratchArenas_; //!< per-thread round arenas
     std::vector<detail::DetRecord<T>*> queue_; //!< generation tasks, id order

@@ -32,6 +32,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -119,6 +120,24 @@ class RoundEngine
     void enableTrace(bool on) { traceEnabled_ = on; }
 
     /**
+     * Cancellation hook: called by thread 0 at every round boundary
+     * (before the round is assembled), inside the serial section's
+     * containment. A hook that throws stops the loop exactly like a
+     * throwing assemble step — the current round is never truncated,
+     * no peer is stranded at a barrier, and the executor's
+     * finish-the-round unwind (mark release, deterministic error
+     * selection) runs as for any other serial-section fault. This is
+     * what job-level deadlines and external cancellation hang off:
+     * preemption at round granularity keeps every completed round's
+     * effects deterministic.
+     */
+    void
+    setCancelCheck(std::function<void()> check)
+    {
+        cancelCheck_ = std::move(check);
+    }
+
+    /**
      * The deterministic round protocol, run by every region thread:
      *
      *   loop:
@@ -150,6 +169,8 @@ class RoundEngine
             if (tid == 0) {
                 clock.start();
                 try {
+                    if (cancelCheck_)
+                        cancelCheck_();
                     roundActive_ = assemble();
                 } catch (...) {
                     on_error();
@@ -228,6 +249,7 @@ class RoundEngine
 
     unsigned threads_;
     support::Barrier barrier_;
+    std::function<void()> cancelCheck_;
     support::PerThread<ThreadStats> stats_;
     std::vector<model::CacheModel> caches_;
     support::Timer timer_;

@@ -1,0 +1,150 @@
+#include "service/app_registry.h"
+
+#include <deque>
+#include <mutex>
+#include <stdexcept>
+#include <tuple>
+
+#include "apps/bfs.h"
+#include "apps/cc.h"
+#include "apps/mis.h"
+#include "apps/sssp.h"
+#include "graph/generators.h"
+
+namespace galois::service {
+
+namespace {
+
+/**
+ * Cache of generated edge lists, keyed by everything that determines
+ * them. Entries are immutable once built (jobs only read them to
+ * construct private CsrGraphs), so a shared_ptr hand-out is safe under
+ * concurrent lanes; a small FIFO bound keeps the resident set modest.
+ */
+class InputCache
+{
+  public:
+    using Key = std::tuple<char, std::uint32_t, unsigned, std::uint64_t,
+                           std::int64_t>;
+    using Edges = std::shared_ptr<const std::vector<graph::Edge>>;
+
+    template <typename Build>
+    Edges
+    getOrBuild(const Key& key, Build&& build)
+    {
+        {
+            std::lock_guard<std::mutex> guard(lock_);
+            for (auto& [k, e] : entries_)
+                if (k == key)
+                    return e;
+        }
+        // Build outside the lock: generation is deterministic, so two
+        // lanes racing on the same key at worst do the work twice.
+        Edges built = std::make_shared<const std::vector<graph::Edge>>(
+            build());
+        std::lock_guard<std::mutex> guard(lock_);
+        for (auto& [k, e] : entries_)
+            if (k == key)
+                return e;
+        entries_.emplace_back(key, built);
+        if (entries_.size() > kCapacity)
+            entries_.pop_front();
+        return built;
+    }
+
+    std::size_t
+    size() const
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        return entries_.size();
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        entries_.clear();
+    }
+
+  private:
+    static constexpr std::size_t kCapacity = 32;
+    mutable std::mutex lock_;
+    std::deque<std::pair<Key, Edges>> entries_;
+};
+
+InputCache&
+cache()
+{
+    static InputCache c;
+    return c;
+}
+
+/** Family tag of a cache key: 'k' = randomKOut, 'w' = weighted. */
+InputCache::Edges
+kOutEdges(const JobSpec& s)
+{
+    return cache().getOrBuild(
+        {'k', s.n, s.k, s.seed, 0},
+        [&] { return graph::randomKOut(s.n, s.k, s.seed, true); });
+}
+
+InputCache::Edges
+weightedEdges(const JobSpec& s)
+{
+    return cache().getOrBuild({'w', s.n, s.k, s.seed, s.maxWeight}, [&] {
+        return apps::sssp::randomWeightedGraph(s.n, s.k, s.maxWeight,
+                                               s.seed);
+    });
+}
+
+} // namespace
+
+std::vector<std::string>
+appNames()
+{
+    return {"bfs", "cc", "mis", "sssp"};
+}
+
+runtime::RunReport
+runAppJob(const JobSpec& spec, const Config& cfg)
+{
+    if (spec.app == "bfs") {
+        auto edges = kOutEdges(spec);
+        apps::bfs::Graph g(spec.n, *edges);
+        apps::bfs::reset(g);
+        return apps::bfs::galoisBfs(g, spec.source, cfg);
+    }
+    if (spec.app == "sssp") {
+        auto edges = weightedEdges(spec);
+        apps::sssp::Graph g(spec.n, *edges);
+        apps::sssp::reset(g);
+        return apps::sssp::galoisSssp(g, spec.source, cfg);
+    }
+    if (spec.app == "cc") {
+        auto edges = kOutEdges(spec);
+        apps::cc::Graph g(spec.n, *edges);
+        apps::cc::reset(g); // labels start as node ids
+        return apps::cc::galoisComponents(g, cfg);
+    }
+    if (spec.app == "mis") {
+        auto edges = kOutEdges(spec);
+        apps::mis::Graph g(spec.n, *edges);
+        apps::mis::reset(g);
+        return apps::mis::galoisMis(g, cfg);
+    }
+    throw std::invalid_argument("unknown app '" + spec.app + "'");
+}
+
+std::size_t
+inputCacheSize()
+{
+    return cache().size();
+}
+
+void
+clearInputCache()
+{
+    cache().clear();
+}
+
+} // namespace galois::service

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Job-level application entry points + the service's input cache.
+ *
+ * The resident service runs a fixed registry of graph workloads (bfs,
+ * sssp, cc, mis), each reconstructed deterministically from a JobSpec's
+ * (n, k, seed) via the portable generators — so a receipt's parameters
+ * are complete replay instructions. The *edge lists* are immutable and
+ * shared: the cache keeps recently used inputs so a stream of jobs over
+ * the same graph pays generation once. Mutable per-node state lives in
+ * the per-job CsrGraph built from the cached edges; jobs therefore
+ * share nothing mutable, which is half of the isolation story (the
+ * other half is the executor's finish-the-round unwind).
+ */
+
+#ifndef DETGALOIS_SERVICE_APP_REGISTRY_H
+#define DETGALOIS_SERVICE_APP_REGISTRY_H
+
+#include <memory>
+#include <vector>
+
+#include "graph/csr_graph.h"
+#include "service/job.h"
+
+namespace galois::service {
+
+/** Application names runnable by the service. */
+std::vector<std::string> appNames();
+
+/**
+ * Execute one job attempt: build (or fetch) the input, run the app
+ * under the given config, and return the run's report. Throws whatever
+ * the executor throws (FailpointError, DeadlineError, LivelockError,
+ * std::bad_alloc, ...); the caller owns retry/receipt policy.
+ */
+runtime::RunReport runAppJob(const JobSpec& spec, const Config& cfg);
+
+/** Entries currently held by the shared input cache (diagnostics). */
+std::size_t inputCacheSize();
+
+/** Drop every cached input (tests; safe while jobs only read). */
+void clearInputCache();
+
+} // namespace galois::service
+
+#endif // DETGALOIS_SERVICE_APP_REGISTRY_H

@@ -1,0 +1,207 @@
+#include "service/job.h"
+
+#include <cstdio>
+
+#include "runtime/report_io.h"
+
+namespace galois::service {
+
+namespace {
+
+constexpr std::uint32_t kMaxNodes = 1u << 24; //!< per-job input cap
+constexpr unsigned kMaxDegree = 16;
+
+} // namespace
+
+const char*
+execName(Exec e)
+{
+    switch (e) {
+      case Exec::Serial: return "serial";
+      case Exec::NonDet: return "nondet";
+      case Exec::Det: return "det";
+      case Exec::DetRef: return "det-ref";
+    }
+    return "?";
+}
+
+Config
+JobSpec::config() const
+{
+    Config cfg;
+    cfg.exec = exec;
+    cfg.threads = threads;
+    cfg.det.watchdogRounds = watchdogRounds;
+    return cfg;
+}
+
+std::string
+JobSpec::describe() const
+{
+    return app + "(n=" + std::to_string(n) + ",k=" + std::to_string(k) +
+           ",seed=" + std::to_string(seed) + ")/" + execName(exec) +
+           "/t" + std::to_string(threads);
+}
+
+std::string
+parseJobSpec(const wire::Value& v, JobSpec& out)
+{
+    if (!v.isObject())
+        return "request is not a JSON object";
+
+    if (const wire::Value* f = v.find("id"))
+        out.id = f->asString();
+    if (out.id.empty())
+        return "missing or empty 'id'";
+
+    if (const wire::Value* f = v.find("app"))
+        out.app = f->asString();
+    if (out.app != "bfs" && out.app != "sssp" && out.app != "cc" &&
+        out.app != "mis") {
+        return "unknown app '" + out.app +
+               "' (want bfs|sssp|cc|mis)";
+    }
+
+    if (const wire::Value* f = v.find("n")) {
+        out.n = static_cast<std::uint32_t>(f->asU64());
+        if (out.n < 2 || out.n > kMaxNodes)
+            return "'n' out of range [2, " + std::to_string(kMaxNodes) +
+                   "]";
+    }
+    if (const wire::Value* f = v.find("k")) {
+        out.k = static_cast<unsigned>(f->asU64());
+        if (out.k < 1 || out.k > kMaxDegree)
+            return "'k' out of range [1, " + std::to_string(kMaxDegree) +
+                   "]";
+    }
+    if (const wire::Value* f = v.find("seed"))
+        out.seed = f->asU64(out.seed);
+    if (const wire::Value* f = v.find("source"))
+        out.source = static_cast<std::uint32_t>(f->asU64());
+    if (const wire::Value* f = v.find("max_weight")) {
+        out.maxWeight = f->asI64(out.maxWeight);
+        if (out.maxWeight < 1)
+            return "'max_weight' must be >= 1";
+    }
+
+    if (const wire::Value* f = v.find("exec")) {
+        const std::string name = f->asString("det");
+        if (name != "det" && name != "nondet" && name != "serial" &&
+            name != "det-ref")
+            return "unknown exec '" + name + "'";
+        out.exec = parseExec(name);
+    }
+    if (const wire::Value* f = v.find("threads")) {
+        out.threads = static_cast<unsigned>(f->asU64(1));
+        if (out.threads < 1 || out.threads > 1024)
+            return "'threads' out of range [1, 1024]";
+    }
+    if (const wire::Value* f = v.find("watchdog_rounds"))
+        out.watchdogRounds = f->asU64(out.watchdogRounds);
+    if (const wire::Value* f = v.find("deadline_ms"))
+        out.deadlineMs = f->asU64();
+    if (const wire::Value* f = v.find("retries"))
+        out.retries = static_cast<unsigned>(f->asU64(0));
+
+    if (const wire::Value* f = v.find("failpoints")) {
+        out.failpoints = f->asString();
+        if (!out.failpoints.empty()) {
+            const std::string err =
+                support::failpoints::parseSpecError(out.failpoints);
+            if (!err.empty())
+                return "bad 'failpoints': " + err;
+        }
+    }
+    if (const wire::Value* f = v.find("expect_digest")) {
+        out.expectDigest = f->asString();
+        if (out.expectDigest.size() != 16)
+            return "'expect_digest' must be 16 hex digits";
+    }
+
+    // Defaults chosen per app: small enough that a lane turns jobs over
+    // quickly, big enough that parallel execution is non-trivial.
+    if (out.n == 0)
+        out.n = out.app == "bfs" ? 20000 : 10000;
+    if (out.k == 0)
+        out.k = out.app == "cc" ? 3 : 4;
+    if (out.source >= out.n)
+        return "'source' out of range [0, n)";
+    return "";
+}
+
+std::string
+digestHex(std::uint64_t digest)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(digest));
+    return buf;
+}
+
+const char*
+jobStatusName(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok: return "ok";
+      case JobStatus::Rejected: return "rejected";
+      case JobStatus::BadRequest: return "badrequest";
+      case JobStatus::Timeout: return "timeout";
+      case JobStatus::Error: return "error";
+    }
+    return "?";
+}
+
+int
+jobStatusCode(JobStatus s)
+{
+    switch (s) {
+      case JobStatus::Ok: return 200;
+      case JobStatus::BadRequest: return 400;
+      case JobStatus::Rejected: return 429;
+      case JobStatus::Error: return 500;
+      case JobStatus::Timeout: return 504;
+    }
+    return 500;
+}
+
+std::string
+Receipt::toJson() const
+{
+    std::string out = "{\"schema\":\"detgalois-receipt/1\"";
+    out += ",\"id\":" + wire::quote(id);
+    out += ",\"status\":\"";
+    out += jobStatusName(status);
+    out += "\",\"code\":" + std::to_string(jobStatusCode(status));
+    out += ",\"attempts\":" + std::to_string(attempts);
+    if (!error.empty())
+        out += ",\"error\":" + wire::quote(error);
+    if (status == JobStatus::Ok) {
+        out += ",\"digest\":\"" + digestHex(digest) + "\"";
+        if (hasVerified)
+            out += std::string(",\"verified\":") +
+                   (verified ? "true" : "false");
+    }
+    if (!spec.app.empty()) {
+        out += ",\"params\":{\"app\":" + wire::quote(spec.app);
+        out += ",\"n\":" + std::to_string(spec.n);
+        out += ",\"k\":" + std::to_string(spec.k);
+        out += ",\"seed\":" + std::to_string(spec.seed);
+        out += ",\"source\":" + std::to_string(spec.source);
+        if (spec.app == "sssp")
+            out += ",\"max_weight\":" + std::to_string(spec.maxWeight);
+        out += ",\"exec\":\"";
+        out += execName(spec.exec);
+        out += "\",\"threads\":" + std::to_string(spec.threads) + "}";
+    }
+    char times[96];
+    std::snprintf(times, sizeof times,
+                  ",\"queue_ms\":%.3f,\"run_ms\":%.3f",
+                  queueSeconds * 1e3, runSeconds * 1e3);
+    out += times;
+    if (hasRecord)
+        out += ",\"record\":" + runtime::benchRecordJson(record);
+    out += "}";
+    return out;
+}
+
+} // namespace galois::service

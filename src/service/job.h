@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Job requests and verifiable receipts of the resident service.
+ *
+ * A JobSpec is everything that determines a deterministic run: the
+ * application, its input parameters (size, degree, seed), and the
+ * execution configuration. Under Exec::Det the schedule digest is a
+ * pure function of exactly these fields — never of thread count,
+ * timing, or what else the service was doing — which is what makes a
+ * Receipt *verifiable*: replay the same spec anywhere (one-shot binary,
+ * another service, another machine, any thread count) and the digest
+ * must match byte for byte, or the receipt is invalid.
+ */
+
+#ifndef DETGALOIS_SERVICE_JOB_H
+#define DETGALOIS_SERVICE_JOB_H
+
+#include <cstdint>
+#include <string>
+
+#include "galois/galois.h"
+#include "service/wire.h"
+
+namespace galois::service {
+
+/** One job request: application + input parameters + configuration. */
+struct JobSpec
+{
+    std::string id;         //!< client-chosen identifier, echoed back
+    std::string app;        //!< "bfs" | "sssp" | "cc" | "mis"
+    std::uint32_t n = 0;    //!< node count (0: per-app default)
+    unsigned k = 0;         //!< out-degree of the generator (0: default)
+    std::uint64_t seed = 1; //!< input-generator seed
+    std::uint32_t source = 0; //!< source node (bfs/sssp)
+    std::int64_t maxWeight = 100; //!< max edge weight (sssp)
+
+    Exec exec = Exec::Det;  //!< executor (receipts verify only for Det)
+    unsigned threads = 1;   //!< requested parallelism
+    std::uint64_t watchdogRounds = 64; //!< livelock watchdog setting
+    std::uint64_t deadlineMs = 0;      //!< wall deadline (0: service default)
+    unsigned retries = ~0u; //!< transient-fault retries (~0u: default)
+
+    /** Per-job fault plan (DETGALOIS_FAILPOINTS grammar; "" = none).
+     *  Scoped to this job alone — concurrent jobs never see it. */
+    std::string failpoints;
+
+    /** Expected digest for server-side verification ("" = none): the
+     *  receipt reports verified=true/false when set. 16 hex digits. */
+    std::string expectDigest;
+
+    /** galois::Config for this job (det knobs from the spec). */
+    Config config() const;
+
+    /** Canonical one-line summary (diagnostics, logs). */
+    std::string describe() const;
+};
+
+/**
+ * Parse a submit request object into a spec.
+ * @return "" on success, else a one-line diagnostic (unknown app,
+ *         malformed field, malformed failpoint plan, ...).
+ */
+std::string parseJobSpec(const wire::Value& v, JobSpec& out);
+
+/** Terminal state of a job. */
+enum class JobStatus
+{
+    Ok,         //!< completed; digest is the verifiable receipt
+    Rejected,   //!< admission control refused it (queue full)
+    BadRequest, //!< request did not parse/validate
+    Timeout,    //!< wall-clock deadline or cancellation
+    Error       //!< failed (fault injection, livelock, operator error)
+};
+
+const char* jobStatusName(JobStatus s);
+
+/** A schedule digest as the canonical 16-hex-digit receipt string. */
+std::string digestHex(std::uint64_t digest);
+
+/** Wire name of an executor ("serial"|"nondet"|"det"|"det-ref"). */
+const char* execName(Exec e);
+
+/** HTTP-flavoured status code of a receipt (200/400/429/500/504). */
+int jobStatusCode(JobStatus s);
+
+/**
+ * The service's reply for one job: schema detgalois-receipt/1. For an
+ * Ok receipt, `record` carries the full detgalois-bench/1 BenchRecord
+ * and `digest` the schedule digest; `params` echoes the spec so the
+ * receipt is self-contained replay instructions.
+ */
+struct Receipt
+{
+    std::string id;
+    JobStatus status = JobStatus::Error;
+    unsigned attempts = 0;      //!< execution attempts (retries + 1)
+    std::string error;          //!< diagnostic for non-Ok receipts
+    std::uint64_t digest = 0;   //!< schedule digest (Ok + Exec::Det)
+    bool hasRecord = false;
+    runtime::BenchRecord record;
+    JobSpec spec;               //!< echoed parameters
+    bool verified = false;      //!< digest matched spec.expectDigest
+    bool hasVerified = false;   //!< expectDigest was present
+    double queueSeconds = 0;    //!< admission -> lane pickup
+    double runSeconds = 0;      //!< lane pickup -> completion
+
+    /** Serialize as one line of detgalois-receipt/1 JSON (no '\n'). */
+    std::string toJson() const;
+};
+
+} // namespace galois::service
+
+#endif // DETGALOIS_SERVICE_JOB_H

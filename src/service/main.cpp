@@ -1,0 +1,142 @@
+/**
+ * @file
+ * detgalois-serve: the resident deterministic analytics service.
+ *
+ * Speaks the line-delimited JSON protocol (service/protocol.h) on
+ * stdin/stdout; with --socket PATH it additionally listens on a
+ * Unix-domain socket, one shared DetService behind both. Exits on
+ * stdin EOF or an {"op":"shutdown"} request from either transport.
+ *
+ * Usage: detgalois-serve [--lanes N] [--queue N] [--retries N]
+ *                        [--deadline-ms N] [--backoff-ms N]
+ *                        [--socket PATH]
+ *
+ * Example session:
+ *   $ printf '%s\n' \
+ *       '{"op":"submit","id":"j1","app":"bfs","n":20000,"seed":7,
+ *         "exec":"det","threads":4}' | detgalois-serve
+ *   {"schema":"detgalois-receipt/1","id":"j1","status":"ok",...}
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.h"
+
+namespace {
+
+void
+usage(const char* argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--lanes N] [--queue N] [--retries N]\n"
+        "          [--deadline-ms N] [--backoff-ms N] [--socket PATH]\n"
+        "Line-delimited JSON on stdin/stdout; see DESIGN.md section 11\n"
+        "for the protocol and receipt schema.\n",
+        argv0);
+}
+
+/** Connect to our own socket and ask the accept loop to stop. */
+void
+pokeShutdown(const std::string& path)
+{
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() < sizeof addr.sun_path) {
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof addr) == 0) {
+            const char req[] = "{\"op\":\"shutdown\"}\n";
+            (void)!::write(fd, req, sizeof req - 1);
+            char buf[64]; // wait for "bye" so the server saw it
+            (void)!::read(fd, buf, sizeof buf);
+        }
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    galois::service::ServiceConfig cfg;
+    std::string socketPath;
+    for (int i = 1; i < argc; ++i) {
+        const bool hasValue = i + 1 < argc;
+        if (!std::strcmp(argv[i], "--lanes") && hasValue)
+            cfg.lanes = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--queue") && hasValue)
+            cfg.queueCapacity =
+                static_cast<std::size_t>(std::atol(argv[++i]));
+        else if (!std::strcmp(argv[i], "--retries") && hasValue)
+            cfg.maxRetries = static_cast<unsigned>(std::atoi(argv[++i]));
+        else if (!std::strcmp(argv[i], "--deadline-ms") && hasValue)
+            cfg.defaultDeadlineMs =
+                static_cast<std::uint64_t>(std::atol(argv[++i]));
+        else if (!std::strcmp(argv[i], "--backoff-ms") && hasValue)
+            cfg.retryBackoffMs =
+                static_cast<std::uint64_t>(std::atol(argv[++i]));
+        else if (!std::strcmp(argv[i], "--socket") && hasValue)
+            socketPath = argv[++i];
+        else {
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    galois::service::DetService svc(cfg);
+
+    std::thread udsThread;
+    std::string udsError;
+    std::atomic<bool> stdinDone{false};
+    if (!socketPath.empty())
+        udsThread = std::thread(
+            [&svc, &socketPath, &udsError, &stdinDone] {
+                udsError = galois::service::serveUds(svc, socketPath);
+                if (!udsError.empty()) {
+                    // Setup failure: report it and keep serving stdin.
+                    std::fprintf(stderr, "detgalois-serve: %s\n",
+                                 udsError.c_str());
+                    return;
+                }
+                if (stdinDone.load())
+                    return; // stdin EOF path: main joins us normally
+                // A socket client asked the whole service to shut
+                // down, but the main thread may be parked in a stdin
+                // read that nothing can interrupt portably. All
+                // socket receipts are already written (serveUds joins
+                // its connections); drain the service and exit here.
+                // Flush output streams only: fflush(nullptr) would
+                // also take stdin's stream lock, which the blocked
+                // getline on the main thread is holding.
+                svc.shutdown();
+                std::cout.flush();
+                std::fflush(stdout);
+                std::fflush(stderr);
+                std::_Exit(0);
+            });
+
+    galois::service::serveStream(svc, std::cin, std::cout);
+    stdinDone.store(true);
+
+    if (udsThread.joinable()) {
+        pokeShutdown(socketPath);
+        udsThread.join();
+    }
+    svc.shutdown();
+    return udsError.empty() ? 0 : 1;
+}

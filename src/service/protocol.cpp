@@ -1,0 +1,260 @@
+#include "service/protocol.h"
+
+#include <atomic>
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <istream>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/wire.h"
+
+namespace galois::service {
+
+namespace {
+
+/**
+ * One protocol conversation: parses request lines, dispatches ops, and
+ * serializes every reply through a single writer lock (lane threads
+ * deliver receipts concurrently). drain() blocks until every admitted
+ * job of this conversation has written its receipt — a session must
+ * not be destroyed while a lane still holds its callback.
+ */
+class Session
+{
+  public:
+    using WriteLine = std::function<void(const std::string&)>;
+
+    Session(DetService& svc, WriteLine write)
+        : svc_(svc), write_(std::move(write))
+    {
+    }
+
+    /** Handle one request line. @return false when the client asked
+     *  the whole service to shut down. */
+    bool
+    handleLine(std::string line)
+    {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            return true;
+
+        std::string err;
+        wire::Value req = wire::parse(line, err);
+        if (!err.empty()) {
+            replyBadRequest("", "bad json: " + err);
+            return true;
+        }
+
+        const wire::Value* opField = req.find("op");
+        const std::string op =
+            opField ? opField->asString() : std::string("submit");
+        if (op == "ping") {
+            reply("{\"op\":\"pong\"}");
+            return true;
+        }
+        if (op == "stats") {
+            reply(DetService::statsJson(svc_.stats()));
+            return true;
+        }
+        if (op == "shutdown") {
+            reply("{\"op\":\"bye\"}");
+            return false;
+        }
+        if (op != "submit") {
+            replyBadRequest("", "unknown op '" + op + "'");
+            return true;
+        }
+
+        JobSpec spec;
+        const std::string bad = parseJobSpec(req, spec);
+        if (!bad.empty()) {
+            replyBadRequest(spec.id, bad);
+            return true;
+        }
+        {
+            std::lock_guard<std::mutex> guard(lock_);
+            ++outstanding_;
+        }
+        svc_.submit(std::move(spec), [this](Receipt r) {
+            reply(r.toJson());
+            std::lock_guard<std::mutex> guard(lock_);
+            --outstanding_;
+            drained_.notify_all();
+        });
+        return true;
+    }
+
+    /** Wait until every receipt of this conversation is written. */
+    void
+    drain()
+    {
+        std::unique_lock<std::mutex> guard(lock_);
+        drained_.wait(guard, [this] { return outstanding_ == 0; });
+    }
+
+  private:
+    void
+    reply(const std::string& line)
+    {
+        std::lock_guard<std::mutex> guard(writeLock_);
+        write_(line);
+    }
+
+    void
+    replyBadRequest(const std::string& id, const std::string& why)
+    {
+        Receipt r;
+        r.id = id;
+        r.status = JobStatus::BadRequest;
+        r.error = why;
+        reply(r.toJson());
+    }
+
+    DetService& svc_;
+    WriteLine write_;
+    std::mutex writeLock_;
+    std::mutex lock_;
+    std::condition_variable drained_;
+    unsigned outstanding_ = 0;
+};
+
+bool
+writeAll(int fd, const std::string& data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        const ssize_t n =
+            ::write(fd, data.data() + off, data.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+/** Run the line protocol over a connected socket until EOF/shutdown.
+ *  @return true when the client requested service shutdown. */
+bool
+serveConnection(DetService& svc, int fd)
+{
+    Session session(svc, [fd](const std::string& line) {
+        writeAll(fd, line + "\n");
+    });
+    bool wantShutdown = false;
+    std::string pending;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::read(fd, buf, sizeof buf);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        pending.append(buf, static_cast<std::size_t>(n));
+        std::size_t eol;
+        while ((eol = pending.find('\n')) != std::string::npos) {
+            std::string line = pending.substr(0, eol);
+            pending.erase(0, eol + 1);
+            if (!session.handleLine(std::move(line))) {
+                wantShutdown = true;
+                break;
+            }
+        }
+        if (wantShutdown)
+            break;
+    }
+    if (!wantShutdown && !pending.empty())
+        session.handleLine(std::move(pending));
+    session.drain();
+    return wantShutdown;
+}
+
+} // namespace
+
+void
+serveStream(DetService& svc, std::istream& in, std::ostream& out)
+{
+    std::mutex outLock;
+    Session session(svc, [&out, &outLock](const std::string& line) {
+        std::lock_guard<std::mutex> guard(outLock);
+        out << line << '\n';
+        out.flush();
+    });
+    std::string line;
+    while (std::getline(in, line))
+        if (!session.handleLine(std::move(line)))
+            break;
+    session.drain();
+}
+
+std::string
+serveUds(DetService& svc, const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (path.size() >= sizeof addr.sun_path)
+        return "socket path too long: " + path;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+    const int listenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd < 0)
+        return std::string("socket: ") + std::strerror(errno);
+    ::unlink(path.c_str()); // stale socket from a previous run
+    if (::bind(listenFd, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) != 0) {
+        const std::string err =
+            "bind " + path + ": " + std::strerror(errno);
+        ::close(listenFd);
+        return err;
+    }
+    if (::listen(listenFd, 16) != 0) {
+        const std::string err =
+            "listen " + path + ": " + std::strerror(errno);
+        ::close(listenFd);
+        ::unlink(path.c_str());
+        return err;
+    }
+
+    std::atomic<bool> stop{false};
+    std::mutex threadsLock;
+    std::vector<std::thread> connections;
+    for (;;) {
+        const int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR && !stop.load())
+                continue;
+            break; // closed by a shutdown request, or fatal
+        }
+        std::lock_guard<std::mutex> guard(threadsLock);
+        connections.emplace_back([&svc, &stop, listenFd, fd] {
+            if (serveConnection(svc, fd)) {
+                stop.store(true);
+                // Break the accept loop: shutting down the listening
+                // socket makes the blocked accept() return an error.
+                ::shutdown(listenFd, SHUT_RDWR);
+            }
+            ::close(fd);
+        });
+    }
+    {
+        std::lock_guard<std::mutex> guard(threadsLock);
+        for (auto& t : connections)
+            t.join();
+    }
+    ::close(listenFd);
+    ::unlink(path.c_str());
+    return "";
+}
+
+} // namespace galois::service

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Wire protocol of the resident service: line-delimited JSON.
+ *
+ * Every request is one JSON object on one line; every reply is one
+ * object on one line. Requests carry an "op":
+ *
+ *   {"op":"submit","id":"j1","app":"bfs","n":20000,"seed":7,...}
+ *       -> detgalois-receipt/1 object (see service/job.h). Receipts
+ *          are written when the job *finishes*, so replies to
+ *          concurrent submits may interleave out of order; match them
+ *          by "id".
+ *   {"op":"stats"}     -> detgalois-svcstats/1 counters
+ *   {"op":"ping"}      -> {"op":"pong"}
+ *   {"op":"shutdown"}  -> {"op":"bye"} and the loop returns
+ *
+ * A line that fails to parse or validate yields a 400-style receipt
+ * with the diagnostic; the connection stays up. The same loop serves
+ * stdin/stdout (serveStream) and each accepted Unix-domain-socket
+ * connection (serveUds), so one implementation defines the protocol.
+ */
+
+#ifndef DETGALOIS_SERVICE_PROTOCOL_H
+#define DETGALOIS_SERVICE_PROTOCOL_H
+
+#include <iosfwd>
+#include <string>
+
+#include "service/server.h"
+
+namespace galois::service {
+
+/**
+ * Serve requests from `in` until EOF or a shutdown op, writing one
+ * reply line per request to `out`. Blocks; receipts for admitted jobs
+ * are written from lane threads under an internal output lock.
+ */
+void serveStream(DetService& svc, std::istream& in, std::ostream& out);
+
+/**
+ * Listen on a Unix-domain socket at `path` (unlinked first if stale)
+ * and run the line protocol on every accepted connection, one service
+ * shared by all of them. Returns when a client sends {"op":"shutdown"}
+ * or accept fails fatally.
+ * @return "" on orderly exit, else a one-line error (bind/listen
+ *         failure with errno text).
+ */
+std::string serveUds(DetService& svc, const std::string& path);
+
+} // namespace galois::service
+
+#endif // DETGALOIS_SERVICE_PROTOCOL_H

@@ -1,0 +1,290 @@
+#include "service/server.h"
+
+#include <algorithm>
+#include <future>
+#include <optional>
+
+#include "support/thread_pool.h"
+#include "support/timer.h"
+
+namespace galois::service {
+
+namespace {
+
+/** Receipt for a job refused before reaching a lane. */
+Receipt
+rejection(const JobSpec& spec, const std::string& why)
+{
+    Receipt r;
+    r.id = spec.id;
+    r.spec = spec;
+    r.status = JobStatus::Rejected;
+    r.error = why;
+    return r;
+}
+
+} // namespace
+
+DetService::DetService(ServiceConfig cfg) : cfg_(cfg)
+{
+    if (cfg_.lanes == 0)
+        cfg_.lanes = 1;
+    if (cfg_.queueCapacity == 0)
+        cfg_.queueCapacity = 1;
+    epoch_ = std::chrono::steady_clock::now();
+    // Warm the pool before the first job: lane parallelism is bounded
+    // by what the pool actually managed to create (degradation).
+    support::ThreadPool::get();
+    lanes_.reserve(cfg_.lanes);
+    for (unsigned i = 0; i < cfg_.lanes; ++i)
+        lanes_.emplace_back([this] { laneLoop(); });
+}
+
+DetService::~DetService() { shutdown(); }
+
+double
+DetService::clockSeconds() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+}
+
+bool
+DetService::submit(JobSpec spec, Callback cb)
+{
+    std::string refuse;
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        ++stats_.submitted;
+        if (stopping_) {
+            refuse = "service is shutting down";
+        } else if (queue_.size() >= cfg_.queueCapacity) {
+            refuse = "queue full (" + std::to_string(queue_.size()) +
+                     "/" + std::to_string(cfg_.queueCapacity) + ")";
+        } else {
+            // Injected admission fault: deterministic overload drill.
+            try {
+                FAILPOINT("service.admit", stats_.submitted);
+            } catch (const support::FailpointError& e) {
+                refuse = e.what();
+            }
+        }
+        if (refuse.empty()) {
+            ++stats_.admitted;
+            stats_.queued = queue_.size() + 1;
+            queue_.push_back({std::move(spec), std::move(cb),
+                              clockSeconds()});
+        } else {
+            ++stats_.rejected;
+        }
+    }
+    if (refuse.empty()) {
+        workAvailable_.notify_one();
+        return true;
+    }
+    cb(rejection(spec, refuse));
+    return false;
+}
+
+Receipt
+DetService::submitAndWait(JobSpec spec)
+{
+    std::promise<Receipt> done;
+    std::future<Receipt> receipt = done.get_future();
+    submit(std::move(spec),
+           [&done](Receipt r) { done.set_value(std::move(r)); });
+    return receipt.get();
+}
+
+void
+DetService::suspendLanes()
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    suspended_ = true;
+}
+
+void
+DetService::resumeLanes()
+{
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        suspended_ = false;
+    }
+    workAvailable_.notify_all();
+}
+
+void
+DetService::shutdown()
+{
+    std::deque<Pending> orphaned;
+    {
+        std::lock_guard<std::mutex> guard(lock_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+        suspended_ = false;
+        orphaned.swap(queue_);
+        stats_.queued = 0;
+    }
+    cancelAll_.store(true, std::memory_order_release);
+    workAvailable_.notify_all();
+    for (auto& lane : lanes_)
+        lane.join();
+    lanes_.clear();
+    for (auto& p : orphaned)
+        p.cb(rejection(p.spec, "service shut down before execution"));
+}
+
+ServiceStats
+DetService::stats() const
+{
+    std::lock_guard<std::mutex> guard(lock_);
+    return stats_;
+}
+
+void
+DetService::laneLoop()
+{
+    for (;;) {
+        Pending job;
+        {
+            std::unique_lock<std::mutex> guard(lock_);
+            workAvailable_.wait(guard, [this] {
+                return stopping_ || (!suspended_ && !queue_.empty());
+            });
+            if (stopping_)
+                return;
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            stats_.queued = queue_.size();
+            ++stats_.running;
+        }
+
+        Receipt r;
+        r.id = job.spec.id;
+        r.spec = job.spec;
+        r.queueSeconds = clockSeconds() - job.submitSeconds;
+        executeJob(job.spec, cfg_, cancelAll_, r);
+
+        {
+            std::lock_guard<std::mutex> guard(lock_);
+            --stats_.running;
+            if (r.status == JobStatus::Ok)
+                ++stats_.completed;
+            else
+                ++stats_.failed;
+            if (r.attempts > 1)
+                stats_.retries += r.attempts - 1;
+        }
+        job.cb(std::move(r));
+    }
+}
+
+void
+DetService::executeJob(const JobSpec& spec, const ServiceConfig& cfg,
+                       const std::atomic<bool>& cancel, Receipt& r)
+{
+    Config runCfg = spec.config();
+    // Graceful degradation: never ask for more width than the pool
+    // has. Under Exec::Det the digest is the same either way.
+    runCfg.threads =
+        std::min(runCfg.threads, support::ThreadPool::get().maxThreads());
+    const std::uint64_t deadlineMs =
+        spec.deadlineMs ? spec.deadlineMs : cfg.defaultDeadlineMs;
+    runCfg.det.wallDeadlineSeconds = static_cast<double>(deadlineMs) / 1e3;
+    runCfg.det.cancelFlag = &cancel;
+
+    const unsigned retryBudget =
+        spec.retries == ~0u ? cfg.maxRetries : spec.retries;
+
+    support::Timer runTimer;
+    runTimer.start();
+    // The job's fault plan — even an empty one — fully shadows the
+    // process registry for the duration of the job, on this thread and
+    // on every pool worker it borrows. One scope spans all attempts so
+    // a '^N'-limited plan goes quiet after N firings: that is what
+    // makes an injected fault *transient* and the retry useful.
+    std::optional<failpoints::JobScope> scope;
+    try {
+        scope.emplace(spec.failpoints);
+    } catch (const std::invalid_argument& e) {
+        r.status = JobStatus::BadRequest; // unvalidated spec (direct API)
+        r.error = e.what();
+        return;
+    }
+    for (unsigned attempt = 0;; ++attempt) {
+        ++r.attempts;
+        try {
+            FAILPOINT("service.lane", attempt);
+            runtime::RunReport report = runAppJob(spec, runCfg);
+            r.status = JobStatus::Ok;
+            r.digest = report.traceDigest;
+            r.record = runtime::makeBenchRecord(
+                spec.app, execName(runCfg.exec), runCfg.threads, report);
+            r.hasRecord = true;
+            if (!spec.expectDigest.empty()) {
+                r.hasVerified = true;
+                r.verified = digestHex(r.digest) == spec.expectDigest;
+            }
+            break;
+        } catch (const DeadlineError& e) {
+            r.status = JobStatus::Timeout; // no retry: the budget is spent
+            r.error = e.what();
+            break;
+        } catch (const support::FailpointError& e) {
+            r.status = JobStatus::Error;
+            r.error = e.what();
+            if (attempt >= retryBudget)
+                break;
+        } catch (const std::bad_alloc&) {
+            r.status = JobStatus::Error;
+            r.error = "out of memory";
+            if (attempt >= retryBudget)
+                break;
+        } catch (const std::invalid_argument& e) {
+            r.status = JobStatus::BadRequest;
+            r.error = e.what();
+            break;
+        } catch (const std::exception& e) {
+            r.status = JobStatus::Error; // LivelockError lands here:
+            r.error = e.what();          // permanent, not worth retrying
+            break;
+        }
+        // Transient failure with budget left: deterministic exponential
+        // backoff, then try again from scratch.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            cfg.retryBackoffMs << std::min(attempt, 10u)));
+    }
+    runTimer.stop();
+    r.runSeconds = runTimer.seconds();
+}
+
+Receipt
+DetService::runInline(const JobSpec& spec, const ServiceConfig& cfg)
+{
+    Receipt r;
+    r.id = spec.id;
+    r.spec = spec;
+    static const std::atomic<bool> never{false};
+    executeJob(spec, cfg, never, r);
+    return r;
+}
+
+std::string
+DetService::statsJson(const ServiceStats& s)
+{
+    std::string out = "{\"schema\":\"detgalois-svcstats/1\"";
+    out += ",\"submitted\":" + std::to_string(s.submitted);
+    out += ",\"admitted\":" + std::to_string(s.admitted);
+    out += ",\"rejected\":" + std::to_string(s.rejected);
+    out += ",\"completed\":" + std::to_string(s.completed);
+    out += ",\"failed\":" + std::to_string(s.failed);
+    out += ",\"retries\":" + std::to_string(s.retries);
+    out += ",\"queued\":" + std::to_string(s.queued);
+    out += ",\"running\":" + std::to_string(s.running);
+    out += "}";
+    return out;
+}
+
+} // namespace galois::service

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The resident deterministic analytics service.
+ *
+ * DetService keeps the process warm — thread pool up, inputs cached —
+ * and turns a stream of JobSpecs into verifiable Receipts. The
+ * robustness contract, in order of the machinery that enforces it:
+ *
+ *  - **Admission control.** A bounded queue sits between submit() and
+ *    the lane workers. When it is full the job is rejected *immediately
+ *    and deterministically* with a 429-style receipt — the service
+ *    never blocks a client or buffers unboundedly.
+ *  - **Job isolation.** Each lane runs one job at a time under its own
+ *    failpoints::JobScope; inputs are immutable and shared, node state
+ *    is per-job. A job that faults, livelocks or exceeds its deadline
+ *    unwinds through the executor's finish-the-round path, releases its
+ *    generation-scoped arena, and leaves the pool and every concurrent
+ *    job's digest untouched.
+ *  - **Deadlines.** spec.deadlineMs (or the service default) arms the
+ *    wall-clock job watchdog (DetOptions::wallDeadlineSeconds); an
+ *    expired job gets a 504 receipt. Shutdown raises the shared cancel
+ *    flag so in-flight jobs stop at the next round boundary.
+ *  - **Retry.** Transient failures (injected faults, allocation
+ *    failure) are retried with deterministic exponential backoff up to
+ *    the configured budget; the receipt reports the attempt count.
+ *  - **Degradation.** Lane parallelism clamps to the pool's real width
+ *    (ThreadPool::maxThreads()); on a degraded pool jobs re-admit at
+ *    reduced parallelism and — because det digests are schedule-pure —
+ *    their receipts still verify.
+ */
+
+#ifndef DETGALOIS_SERVICE_SERVER_H
+#define DETGALOIS_SERVICE_SERVER_H
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "service/app_registry.h"
+#include "service/job.h"
+
+namespace galois::service {
+
+/** Service-wide policy knobs (per-job fields in JobSpec override). */
+struct ServiceConfig
+{
+    unsigned lanes = 4;            //!< concurrent job lanes
+    std::size_t queueCapacity = 16; //!< pending jobs before 429
+    std::uint64_t defaultDeadlineMs = 0; //!< 0: no deadline
+    unsigned maxRetries = 2;       //!< transient-fault retry budget
+    std::uint64_t retryBackoffMs = 1; //!< base backoff (doubles/attempt)
+};
+
+/** Monotonic counters of a running service (all since start). */
+struct ServiceStats
+{
+    std::uint64_t submitted = 0; //!< submit() calls
+    std::uint64_t admitted = 0;  //!< entered the queue
+    std::uint64_t rejected = 0;  //!< 429 at admission
+    std::uint64_t completed = 0; //!< ok receipts
+    std::uint64_t failed = 0;    //!< error/timeout receipts
+    std::uint64_t retries = 0;   //!< extra attempts beyond the first
+    std::size_t queued = 0;      //!< pending right now
+    std::size_t running = 0;     //!< on a lane right now
+};
+
+/**
+ * Resident job service: N lane threads draining a bounded queue.
+ * Thread-safe: submit() may be called from any thread, including
+ * concurrently with shutdown().
+ */
+class DetService
+{
+  public:
+    using Callback = std::function<void(Receipt)>;
+
+    explicit DetService(ServiceConfig cfg = {});
+    ~DetService();
+
+    DetService(const DetService&) = delete;
+    DetService& operator=(const DetService&) = delete;
+
+    /**
+     * Submit one job. Exactly one of:
+     *  - the job is admitted and `cb` fires later from a lane thread
+     *    with its receipt;
+     *  - admission control rejects it (queue full, shutting down, or an
+     *    injected "service.admit" fault) and `cb` fires *before submit
+     *    returns* with a Rejected receipt.
+     * @return true when admitted.
+     */
+    bool submit(JobSpec spec, Callback cb);
+
+    /** submit() + wait for the receipt (test/tool convenience). */
+    Receipt submitAndWait(JobSpec spec);
+
+    /**
+     * Run one job to a receipt on the calling thread, bypassing queue
+     * and lanes but applying the same deadline/retry/scoping policy.
+     * This is the one-shot reference path receipts are verified
+     * against: for a deterministic job, runInline() and a lane must
+     * produce byte-identical digests.
+     */
+    static Receipt runInline(const JobSpec& spec,
+                             const ServiceConfig& cfg = {});
+
+    /**
+     * Pause/resume lane pickup (jobs already running finish). Tests use
+     * this to make queue occupancy at submit time deterministic.
+     */
+    void suspendLanes();
+    void resumeLanes();
+
+    /** Stop admitting, cancel in-flight work at the next round
+     *  boundary, drain callbacks for queued jobs (as Rejected), and
+     *  join the lanes. Idempotent; the destructor calls it. */
+    void shutdown();
+
+    ServiceStats stats() const;
+    const ServiceConfig& config() const { return cfg_; }
+
+    /** Serialize stats as one line of JSON (protocol "stats" op). */
+    static std::string statsJson(const ServiceStats& s);
+
+  private:
+    struct Pending
+    {
+        JobSpec spec;
+        Callback cb;
+        double submitSeconds = 0; //!< clock() at admission
+    };
+
+    void laneLoop();
+    double clockSeconds() const;
+
+    /** Execute one attempt loop under the job's scope; fills receipt
+     *  status/digest/record/attempts. Shared by lanes and runInline. */
+    static void executeJob(const JobSpec& spec, const ServiceConfig& cfg,
+                           const std::atomic<bool>& cancel, Receipt& r);
+
+    ServiceConfig cfg_;
+    mutable std::mutex lock_;
+    std::condition_variable workAvailable_;
+    std::condition_variable idle_;
+    std::deque<Pending> queue_;
+    std::vector<std::thread> lanes_;
+    bool suspended_ = false;
+    bool stopping_ = false;
+    std::atomic<bool> cancelAll_{false};
+    ServiceStats stats_;
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+} // namespace galois::service
+
+#endif // DETGALOIS_SERVICE_SERVER_H

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Minimal JSON reader for the service wire protocol.
+ *
+ * The resident service speaks line-delimited JSON (one request or
+ * receipt object per line). Receipts are *emitted* by the existing
+ * report_io serializers; this header adds the other direction — a
+ * small, dependency-free parser good enough for the flat request
+ * objects of the protocol (and strict enough to reject anything else
+ * with a useful error). Numbers keep an exact 64-bit integer view when
+ * the literal is integral, because job seeds and digests do not
+ * survive a double round-trip.
+ */
+
+#ifndef DETGALOIS_SERVICE_WIRE_H
+#define DETGALOIS_SERVICE_WIRE_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace galois::service::wire {
+
+/** One parsed JSON value (object members keep insertion order). */
+class Value
+{
+  public:
+    enum class Type
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object
+    };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;          //!< numeric view of a Number
+    std::int64_t integer = 0;   //!< exact view when isInteger
+    bool isInteger = false;     //!< literal was integral and fits i64
+    std::string string;         //!< contents of a String
+    std::vector<Value> array;   //!< elements of an Array
+    std::vector<std::pair<std::string, Value>> members; //!< of an Object
+
+    bool isNull() const { return type == Type::Null; }
+    bool isObject() const { return type == Type::Object; }
+
+    /** Member of an object (null when absent or not an object). */
+    const Value* find(const std::string& key) const;
+
+    // Typed accessors with defaults: the tolerant getters the protocol
+    // layer uses for optional request fields.
+    std::string asString(const std::string& dflt = "") const;
+    std::uint64_t asU64(std::uint64_t dflt = 0) const;
+    std::int64_t asI64(std::int64_t dflt = 0) const;
+    double asDouble(double dflt = 0) const;
+    bool asBool(bool dflt = false) const;
+};
+
+/**
+ * Parse one JSON document.
+ * @param text  the document (a full line of the protocol).
+ * @param err   set to a one-line diagnostic (with byte offset) on
+ *              failure, cleared on success.
+ * @return the value, or Null type with err set.
+ */
+Value parse(const std::string& text, std::string& err);
+
+/** Serialize a string as a JSON string literal (with quotes). */
+std::string quote(const std::string& s);
+
+} // namespace galois::service::wire
+
+#endif // DETGALOIS_SERVICE_WIRE_H

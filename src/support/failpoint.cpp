@@ -1,5 +1,6 @@
 #include "support/failpoint.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
@@ -17,6 +18,27 @@ struct Entry
     FailPlan plan;
     std::atomic<std::uint64_t> triggered{0};
 };
+
+/**
+ * Fire accounting shared by the registry and job scopes: bump the
+ * trigger counter unless the plan's limit is exhausted. Returns whether
+ * the plan fires for this evaluation. The CAS loop makes the counter
+ * count *firings* exactly — a limited plan never over-counts, so
+ * "fired limit times" is an invariant the service's retry logic (and
+ * the tests) can rely on.
+ */
+bool
+consumeTrigger(Entry& e)
+{
+    for (;;) {
+        std::uint64_t c = e.triggered.load(std::memory_order_relaxed);
+        if (e.plan.limit != 0 && c >= e.plan.limit)
+            return false;
+        if (e.triggered.compare_exchange_weak(c, c + 1,
+                                              std::memory_order_relaxed))
+            return true;
+    }
+}
 
 struct Registry
 {
@@ -54,67 +76,122 @@ setImpl(const std::string& site, const FailPlan& plan)
     publishActiveCountLocked(r);
 }
 
-/** Parse one "site=action@match" clause; returns false on malformed. */
+/**
+ * Every FAILPOINT() site compiled into the runtime. Spec parsing
+ * rejects names outside this list (plus the "test." namespace): a
+ * typo'd site would otherwise arm a plan that can never fire and read
+ * as "my fault was survived".
+ */
+constexpr const char* kKnownSites[] = {
+    "arena.chunk",     "barrier.reinit",     "det.commit",
+    "det.idsort",      "det.inspect",        "det.merge",
+    "graph.readDimacs", "graph.readEdgeList", "nondet.abort",
+    "nondet.commit",   "nondet.task",        "serial.task",
+    "service.admit",   "service.lane",       "threadpool.run",
+    "threadpool.spawn",
+};
+
 bool
+isKnownSite(const std::string& site)
+{
+    if (site.rfind("test.", 0) == 0)
+        return true;
+    for (const char* s : kKnownSites)
+        if (site == s)
+            return true;
+    return false;
+}
+
+/** Parse an unsigned decimal; the whole string must be consumed. */
+bool
+parseNumber(const std::string& s, std::uint64_t& out)
+{
+    if (s.empty())
+        return false;
+    char* end = nullptr;
+    out = std::strtoull(s.c_str(), &end, 10);
+    return end == s.c_str() + s.size();
+}
+
+/**
+ * Parse one "site=action@match[^limit]" clause. Returns "" on success,
+ * else the reason the clause is malformed (without the clause text —
+ * the caller prefixes it).
+ */
+std::string
 parseClause(const std::string& clause, std::string& site, FailPlan& plan)
 {
     const std::size_t eq = clause.find('=');
-    const std::size_t at = clause.find('@');
-    if (eq == std::string::npos || at == std::string::npos || at < eq ||
-        eq == 0) {
-        return false;
-    }
+    if (eq == std::string::npos || eq == 0)
+        return "want site=action@match";
+    const std::size_t at = clause.find('@', eq);
+    if (at == std::string::npos)
+        return "want site=action@match";
     site = clause.substr(0, eq);
+    if (!isKnownSite(site))
+        return "unknown failpoint site '" + site + "'";
     const std::string action = clause.substr(eq + 1, at - eq - 1);
-    const std::string match = clause.substr(at + 1);
+    std::string match = clause.substr(at + 1);
 
     if (action == "throw")
         plan.action = FailPlan::Action::Throw;
     else if (action == "badalloc")
         plan.action = FailPlan::Action::BadAlloc;
     else
-        return false;
+        return "unknown action '" + action + "' (want throw|badalloc)";
 
-    auto number = [](const std::string& s, std::uint64_t& out) {
-        if (s.empty())
-            return false;
-        char* end = nullptr;
-        out = std::strtoull(s.c_str(), &end, 10);
-        return end == s.c_str() + s.size();
-    };
+    const std::size_t caret = match.find('^');
+    if (caret != std::string::npos) {
+        const std::string limit = match.substr(caret + 1);
+        if (!parseNumber(limit, plan.limit) || plan.limit == 0)
+            return "bad trigger limit '" + limit +
+                   "' (want a positive count)";
+        match = match.substr(0, caret);
+    }
 
     if (match == "always") {
         plan.match = FailPlan::Match::Always;
-        return true;
+        return "";
     }
     if (match.rfind("eq:", 0) == 0) {
         plan.match = FailPlan::Match::Eq;
-        return number(match.substr(3), plan.a);
+        if (!parseNumber(match.substr(3), plan.a))
+            return "bad key '" + match.substr(3) + "' in eq match";
+        return "";
     }
     if (match.rfind("ge:", 0) == 0) {
         plan.match = FailPlan::Match::Ge;
-        return number(match.substr(3), plan.a);
+        if (!parseNumber(match.substr(3), plan.a))
+            return "bad key '" + match.substr(3) + "' in ge match";
+        return "";
     }
     if (match.rfind("mod:", 0) == 0) {
         plan.match = FailPlan::Match::Mod;
         const std::string rest = match.substr(4);
         const std::size_t colon = rest.find(':');
         if (colon == std::string::npos)
-            return false;
-        return number(rest.substr(0, colon), plan.a) &&
-               number(rest.substr(colon + 1), plan.b) && plan.a != 0;
+            return "mod match wants mod:M:R";
+        if (!parseNumber(rest.substr(0, colon), plan.a))
+            return "bad modulus '" + rest.substr(0, colon) + "'";
+        if (plan.a == 0)
+            return "modulus must be non-zero";
+        if (!parseNumber(rest.substr(colon + 1), plan.b))
+            return "bad residue '" + rest.substr(colon + 1) + "'";
+        return "";
     }
-    return false;
+    return "unknown match '" + match +
+           "' (want always|eq:K|ge:K|mod:M:R)";
 }
 
 /**
- * Validate the whole spec before arming anything: a malformed clause
- * must not leave a half-armed configuration behind.
+ * Strictly parse the whole spec into (site, plan) pairs. Returns "" and
+ * fills `parsed` on success; on failure returns a one-line diagnostic
+ * naming the offending clause and arms/fills nothing.
  */
-bool
-parseSpecImpl(const std::string& spec)
+std::string
+parseSpecInto(const std::string& spec,
+              std::vector<std::pair<std::string, FailPlan>>& parsed)
 {
-    std::vector<std::pair<std::string, FailPlan>> parsed;
     std::size_t pos = 0;
     while (pos <= spec.size()) {
         std::size_t semi = spec.find(';', pos);
@@ -126,10 +203,24 @@ parseSpecImpl(const std::string& spec)
             continue;
         std::string site;
         FailPlan plan;
-        if (!parseClause(clause, site, plan))
-            return false;
+        const std::string err = parseClause(clause, site, plan);
+        if (!err.empty())
+            return "bad failpoint clause \"" + clause + "\": " + err;
         parsed.emplace_back(std::move(site), plan);
     }
+    return "";
+}
+
+/**
+ * Validate the whole spec before arming anything: a malformed clause
+ * must not leave a half-armed configuration behind.
+ */
+bool
+parseSpecImpl(const std::string& spec)
+{
+    std::vector<std::pair<std::string, FailPlan>> parsed;
+    if (!parseSpecInto(spec, parsed).empty())
+        return false;
     for (auto& [site, plan] : parsed)
         setImpl(site, plan);
     return true;
@@ -145,15 +236,21 @@ ensureEnvLoaded()
 {
     std::call_once(g_envOnce, [] {
         if (const char* env = std::getenv("DETGALOIS_FAILPOINTS")) {
-            if (!parseSpecImpl(env)) {
+            std::vector<std::pair<std::string, FailPlan>> parsed;
+            const std::string err = parseSpecInto(env, parsed);
+            if (!err.empty()) {
                 // A silently ignored typo would read as "my fault never
-                // fired"; say so instead (arming nothing).
-                std::fprintf(
-                    stderr,
-                    "detgalois: malformed DETGALOIS_FAILPOINTS spec "
-                    "\"%s\" ignored (want site=action@match;...)\n",
-                    env);
+                // fired" — and an experiment run under a fault plan that
+                // is not actually armed is worse than no experiment.
+                // Fail the process with the diagnostic instead.
+                std::fprintf(stderr,
+                             "detgalois: malformed DETGALOIS_FAILPOINTS: "
+                             "%s\n",
+                             err.c_str());
+                std::exit(2);
             }
+            for (auto& [site, plan] : parsed)
+                setImpl(site, plan);
         }
         // Make "no plans" sticky so the fast path stops calling us.
         Registry& r = registry();
@@ -166,7 +263,52 @@ ensureEnvLoaded()
 
 namespace detail {
 
+/**
+ * Plan set of one JobScope. Filled on the owning thread before the job
+ * runs; parallel evaluations only read the map (the per-entry trigger
+ * counters are atomic), so no lock is needed on the hot path.
+ */
+class ScopeState
+{
+  public:
+    void
+    set(const std::string& site, const FailPlan& plan)
+    {
+        Entry& e = plans_[site];
+        e.plan = plan;
+        e.triggered.store(0, std::memory_order_relaxed);
+    }
+
+    /** Evaluate `site` against this scope only; throws per the plan. */
+    void
+    evaluate(const char* site, std::uint64_t key)
+    {
+        auto it = plans_.find(site);
+        if (it == plans_.end() || !it->second.plan.triggers(key) ||
+            !consumeTrigger(it->second))
+            return;
+        if (it->second.plan.action == FailPlan::Action::BadAlloc)
+            throw std::bad_alloc();
+        throw FailpointError(site, key);
+    }
+
+    std::uint64_t
+    triggerCount(const std::string& site) const
+    {
+        auto it = plans_.find(site);
+        return it == plans_.end()
+                   ? 0
+                   : it->second.triggered.load(std::memory_order_relaxed);
+    }
+
+    std::size_t size() const { return plans_.size(); }
+
+  private:
+    std::unordered_map<std::string, Entry> plans_;
+};
+
 std::atomic<int> g_active{-1};
+thread_local ScopeState* g_scope = nullptr;
 
 bool
 initFromEnv()
@@ -178,14 +320,21 @@ initFromEnv()
 void
 evaluate(const char* site, std::uint64_t key)
 {
+    // An installed job scope fully shadows the process-wide registry:
+    // the job sees exactly its own fault plan, concurrent jobs see
+    // theirs, and a process-wide plan never leaks into a scoped job.
+    if (g_scope != nullptr) {
+        g_scope->evaluate(site, key);
+        return;
+    }
     FailPlan::Action action;
     {
         Registry& r = registry();
         std::shared_lock<std::shared_mutex> guard(r.lock);
         auto it = r.plans.find(site);
-        if (it == r.plans.end() || !it->second.plan.triggers(key))
+        if (it == r.plans.end() || !it->second.plan.triggers(key) ||
+            !consumeTrigger(it->second))
             return;
-        it->second.triggered.fetch_add(1, std::memory_order_relaxed);
         action = it->second.plan.action;
     }
     if (action == FailPlan::Action::BadAlloc)
@@ -250,6 +399,62 @@ parseSpec(const std::string& spec)
 {
     ensureEnvLoaded();
     return parseSpecImpl(spec);
+}
+
+std::string
+parseSpecError(const std::string& spec)
+{
+    std::vector<std::pair<std::string, FailPlan>> parsed;
+    return parseSpecInto(spec, parsed);
+}
+
+std::vector<std::string>
+knownSites()
+{
+    return {std::begin(kKnownSites), std::end(kKnownSites)};
+}
+
+JobScope::JobScope()
+    : state_(new detail::ScopeState), prev_(detail::g_scope)
+{
+    detail::g_scope = state_;
+}
+
+JobScope::JobScope(const std::string& spec) : JobScope()
+{
+    std::vector<std::pair<std::string, FailPlan>> parsed;
+    const std::string err = parseSpecInto(spec, parsed);
+    // Throwing from a delegating constructor runs ~JobScope() on the
+    // already-constructed object, which restores g_scope and frees
+    // state_ — no manual cleanup here (it would double free).
+    if (!err.empty())
+        throw std::invalid_argument(err);
+    for (auto& [site, plan] : parsed)
+        state_->set(site, plan);
+}
+
+JobScope::~JobScope()
+{
+    detail::g_scope = prev_;
+    delete state_;
+}
+
+void
+JobScope::set(const std::string& site, const FailPlan& plan)
+{
+    state_->set(site, plan);
+}
+
+std::uint64_t
+JobScope::triggerCount(const std::string& site) const
+{
+    return state_->triggerCount(site);
+}
+
+std::size_t
+JobScope::planCount() const
+{
+    return state_->size();
 }
 
 } // namespace galois::support::failpoints

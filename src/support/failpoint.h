@@ -19,9 +19,25 @@
  *
  *   DETGALOIS_FAILPOINTS="det.inspect=throw@eq:17;graph.io=badalloc@ge:3"
  *
- *   spec    := site '=' action '@' match (';' spec)*
+ *   spec    := site '=' action '@' match [ '^' limit ] (';' spec)*
  *   action  := 'throw' | 'badalloc'
  *   match   := 'always' | 'eq:K' | 'ge:K' | 'mod:M:R'
+ *   limit   := maximum number of firings (a *transient* fault: the plan
+ *              goes quiet after `limit` triggers; omitted = unlimited)
+ *
+ * Spec parsing is strict: a malformed clause or an unknown site name
+ * produces a one-line diagnostic (parseSpecError) and arms nothing —
+ * and a malformed DETGALOIS_FAILPOINTS terminates the process with
+ * that diagnostic on stderr (exit code 2) rather than silently running
+ * an experiment whose faults never fire. Programmatic set() accepts
+ * any site name (tests use private sites).
+ *
+ * Plans can also be scoped to a *job* instead of the process: a
+ * JobScope installed on a thread shadows the global registry for that
+ * thread — and for every pool worker participating in a parallel
+ * region launched from it (the thread pool propagates the scope). The
+ * resident service uses this to give each job its own fault plan
+ * without cross-talk between concurrent jobs.
  *
  * Cost model: with DETGALOIS_DISABLE_FAILPOINTS defined the FAILPOINT()
  * macro expands to nothing. In the default build the macro is a single
@@ -94,6 +110,15 @@ struct FailPlan
     Match match = Match::Always;
     std::uint64_t a = 0;
     std::uint64_t b = 0;
+    /**
+     * Maximum number of firings (0 = unlimited). A limited plan models a
+     * *transient* fault: it fires for the first `limit` matching
+     * evaluations and then goes quiet — the shape the service's
+     * deterministic retry-with-backoff is built to ride out. With an
+     * Eq match (one unique key per schedule) the n-th attempt that
+     * stops failing is a pure function of the plan, never of timing.
+     */
+    std::uint64_t limit = 0;
 
     bool
     triggers(std::uint64_t key) const
@@ -124,14 +149,33 @@ struct FailPlan
     {
         return FailPlan{Action::BadAlloc, Match::Eq, k, 0};
     }
+
+    /** Transient fault: throw when key == k, at most n times. */
+    static FailPlan
+    transientAt(std::uint64_t k, std::uint64_t n = 1)
+    {
+        return FailPlan{Action::Throw, Match::Eq, k, 0, n};
+    }
 };
 
 namespace failpoints {
 
 namespace detail {
 
+/** Plan set of one JobScope (opaque outside failpoint.cpp). */
+class ScopeState;
+
 /** Number of armed plans; -1 until DETGALOIS_FAILPOINTS has been read. */
 extern std::atomic<int> g_active;
+
+/**
+ * Job scope shadowing the global registry on this thread (null: none).
+ * Installed by JobScope on the thread that runs a job; the thread pool
+ * re-installs it on every worker participating in a parallel region
+ * launched while it is set, so a job's plan follows the job across the
+ * shared pool.
+ */
+extern thread_local ScopeState* g_scope;
 
 /** Cold path of anyActive(): load env plans once, then re-check. */
 bool initFromEnv();
@@ -139,15 +183,34 @@ bool initFromEnv();
 /** Slow path of FAILPOINT(): look up the site's plan and maybe throw. */
 void evaluate(const char* site, std::uint64_t key);
 
-/** True when at least one plan is armed (fast path of FAILPOINT()). */
+/** True when a plan may be armed (fast path of FAILPOINT()): a job
+ *  scope is installed, or the global registry is non-empty. */
 inline bool
 anyActive()
 {
+    if (g_scope != nullptr)
+        return true;
     const int v = g_active.load(std::memory_order_relaxed);
     if (v >= 0)
         return v > 0;
     return initFromEnv();
 }
+
+/** RAII adoption of a job scope on a pool worker (thread_pool.cpp). */
+class AdoptScope
+{
+  public:
+    explicit AdoptScope(ScopeState* scope) : prev_(g_scope)
+    {
+        g_scope = scope;
+    }
+    ~AdoptScope() { g_scope = prev_; }
+    AdoptScope(const AdoptScope&) = delete;
+    AdoptScope& operator=(const AdoptScope&) = delete;
+
+  private:
+    ScopeState* prev_;
+};
 
 } // namespace detail
 
@@ -171,6 +234,62 @@ std::vector<std::string> armedSites();
  * @return false (arming nothing) if the spec is malformed.
  */
 bool parseSpec(const std::string& spec);
+
+/**
+ * Strictly validate a spec without arming anything.
+ * @return "" when well-formed, else a one-line diagnostic naming the
+ *         offending clause and the reason (bad action, bad match, bad
+ *         count, trailing garbage, unknown site). Site names are
+ *         checked against the registered FAILPOINT() sites of the
+ *         runtime; names starting with "test." are always accepted.
+ */
+std::string parseSpecError(const std::string& spec);
+
+/** The registered FAILPOINT() site names accepted by spec parsing. */
+std::vector<std::string> knownSites();
+
+/**
+ * A per-job fault plan: while installed on a thread (and, transitively,
+ * on every pool worker running a parallel region launched from it), it
+ * *shadows* the process-wide registry — only the scope's own plans can
+ * fire, and their trigger counts are scope-local. Concurrent jobs armed
+ * with different scopes therefore never observe each other's faults.
+ *
+ * Arm plans in the constructor or with set() *before* running the job;
+ * the plan set is deliberately unsynchronized against concurrent
+ * evaluation (evaluations during a parallel region only read it).
+ * Scopes nest per thread (the previous scope is restored on
+ * destruction) and must be destroyed on the thread that created them.
+ */
+class JobScope
+{
+  public:
+    /** Empty scope: shadows (suppresses) every process-wide plan. */
+    JobScope();
+    /**
+     * Scope armed from a spec string (same grammar as
+     * DETGALOIS_FAILPOINTS). @throws std::invalid_argument with the
+     * parseSpecError() diagnostic when the spec is malformed.
+     */
+    explicit JobScope(const std::string& spec);
+    ~JobScope();
+
+    JobScope(const JobScope&) = delete;
+    JobScope& operator=(const JobScope&) = delete;
+
+    /** Arm (or replace) one plan in this scope. */
+    void set(const std::string& site, const FailPlan& plan);
+
+    /** Times the given site's plan fired within this scope. */
+    std::uint64_t triggerCount(const std::string& site) const;
+
+    /** Number of plans armed in this scope. */
+    std::size_t planCount() const;
+
+  private:
+    detail::ScopeState* state_;
+    detail::ScopeState* prev_;
+};
 
 /**
  * Failpoint key of a task value: the value itself when it is integral

@@ -79,6 +79,9 @@ ThreadPool::runJob(unsigned tid)
 {
     tid_ = tid;
     activeThreads_ = jobThreads_.load(std::memory_order_relaxed);
+    // Carry the launching thread's job-scoped fault plan onto this
+    // worker: a per-job failpoint follows the job through the pool.
+    failpoints::detail::AdoptScope scope(jobScope_);
     try {
         (*job_)(tid);
     } catch (...) {
@@ -118,7 +121,7 @@ ThreadPool::workerLoop(unsigned tid)
 void
 ThreadPool::run(unsigned active_threads, const std::function<void(unsigned)>& fn)
 {
-    assert(tid_ == 0 && job_ == nullptr && "parallel regions cannot nest");
+    assert(tid_ == 0 && "parallel regions cannot nest on a pool worker");
     FAILPOINT("threadpool.run", active_threads);
     if (active_threads < 1)
         active_threads = 1;
@@ -126,23 +129,24 @@ ThreadPool::run(unsigned active_threads, const std::function<void(unsigned)>& fn
         active_threads = maxThreads_;
 
     if (active_threads == 1) {
-        // Lock-free fast path; jobThreads_ is atomic because idle
-        // workers read it in their wait predicate (see thread_pool.h).
-        jobThreads_.store(1, std::memory_order_relaxed);
-        job_ = &fn;
-        runJob(0);
-        job_ = nullptr;
-        if (firstError_) {
-            std::exception_ptr e = firstError_;
-            firstError_ = nullptr;
-            std::rethrow_exception(e);
-        }
+        // Fully local fast path: no shared pool state at all, so any
+        // number of single-thread regions (the service's serial jobs)
+        // run concurrently with each other and with a multi-thread
+        // region. tid/activeThreads are already 0/1 on a non-worker
+        // thread; exceptions propagate directly.
+        fn(0);
         return;
     }
+
+    // One multi-thread region at a time: the handshake below has a
+    // single job slot. Concurrent clients queue here; workers are
+    // never oversubscribed.
+    std::lock_guard<std::mutex> region(regionLock_);
 
     {
         std::lock_guard<std::mutex> guard(lock_);
         job_ = &fn;
+        jobScope_ = failpoints::detail::g_scope;
         jobThreads_.store(active_threads, std::memory_order_relaxed);
         jobRemaining_ = active_threads - 1;
         ++jobEpoch_;
@@ -155,6 +159,7 @@ ThreadPool::run(unsigned active_threads, const std::function<void(unsigned)>& fn
         std::unique_lock<std::mutex> guard(lock_);
         workDone_.wait(guard, [&] { return jobRemaining_ == 0; });
         job_ = nullptr;
+        jobScope_ = nullptr;
         if (firstError_) {
             std::exception_ptr e = firstError_;
             firstError_ = nullptr;

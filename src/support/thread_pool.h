@@ -8,6 +8,17 @@
  * DIG, the CoreDet-style runtime and the PBBS baselines) launch their
  * parallel regions through this pool so that thread identity, affinity and
  * lifetime are handled in exactly one place.
+ *
+ * The pool arbitrates between concurrent *clients*: run() may be called
+ * from any number of application threads at once (the resident service
+ * runs one job per lane thread). Multi-thread regions serialize on an
+ * internal region lock — at most one occupies the workers at a time,
+ * the rest queue on the mutex — while single-thread regions execute
+ * entirely on the calling thread, touch no shared pool state, and
+ * therefore run genuinely concurrently with everything else. A caller's
+ * job-scoped failpoint plan (failpoints::JobScope) is re-installed on
+ * every worker for the duration of its region, so per-job fault
+ * injection follows the job across the shared pool.
  */
 
 #ifndef DETGALOIS_SUPPORT_THREAD_POOL_H
@@ -20,14 +31,18 @@
 #include <thread>
 #include <vector>
 
+#include "support/failpoint.h"
+
 namespace galois::support {
 
 /**
  * Singleton pool of persistent worker threads.
  *
- * Parallel regions are not reentrant: run() must not be called from inside
- * a function executing under run(). Executors are flat, so this never
- * happens in practice; it is asserted in debug builds.
+ * Parallel regions are not reentrant: run() must not be called from
+ * inside a function executing under run() on a pool worker. Executors
+ * are flat, so this never happens in practice; it is asserted in debug
+ * builds. Distinct application threads may each call run() concurrently
+ * (see the file comment for the arbitration rules).
  */
 class ThreadPool
 {
@@ -52,6 +67,11 @@ class ThreadPool
      *
      * fn(0) runs on the calling thread. Exceptions thrown by fn propagate
      * out of run() (the first one wins; others are dropped).
+     *
+     * Safe to call from multiple application threads concurrently:
+     * multi-thread regions serialize on the region lock; a
+     * single-thread region runs fn(0) directly on the caller and never
+     * waits for (or disturbs) other regions.
      *
      * @param active_threads number of threads to use (clamped to
      *                       [1, maxThreads()]).
@@ -85,6 +105,14 @@ class ThreadPool
     bool degraded_{false};
     std::vector<std::thread> workers_;
 
+    /**
+     * Serializes multi-thread regions from concurrent clients: the job
+     * handshake below supports exactly one region at a time, so a
+     * second client queues here until the workers are free.
+     * Single-thread regions bypass it entirely.
+     */
+    std::mutex regionLock_;
+
     std::mutex lock_;
     std::condition_variable workReady_;
     std::condition_variable workDone_;
@@ -106,6 +134,9 @@ class ThreadPool
     unsigned jobRemaining_{0};
     bool shutdown_{false};
     std::exception_ptr firstError_;
+    /** Job-scoped failpoint plan of the region's launching thread;
+     *  adopted by every worker for the duration of the job. */
+    failpoints::detail::ScopeState* jobScope_{nullptr};
 };
 
 } // namespace galois::support

@@ -10,11 +10,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <new>
 #include <sstream>
 
 #include "graph/io.h"
 #include "support/failpoint.h"
+#include "support/thread_pool.h"
 
 using galois::support::FailPlan;
 using galois::support::FailpointError;
@@ -144,12 +147,12 @@ TEST_F(FailpointTest, ScopedArmsAndDisarms)
 TEST_F(FailpointTest, ParseSpecArmsEveryClause)
 {
     ASSERT_TRUE(failpoints::parseSpec(
-        "det.inspect=throw@eq:17;graph.io=badalloc@ge:3;"
-        "nondet.task=throw@mod:5:2;x=throw@always"));
+        "det.inspect=throw@eq:17;graph.readEdgeList=badalloc@ge:3;"
+        "nondet.task=throw@mod:5:2;test.x=throw@always"));
     EXPECT_EQ(failpoints::armedSites().size(), 4u);
     EXPECT_EQ(sweep("det.inspect", 20),
               (std::vector<std::uint64_t>{17}));
-    EXPECT_THROW(FAILPOINT("graph.io", 3), std::bad_alloc);
+    EXPECT_THROW(FAILPOINT("graph.readEdgeList", 3), std::bad_alloc);
     EXPECT_EQ(sweep("nondet.task", 10),
               (std::vector<std::uint64_t>{2, 7}));
 }
@@ -166,6 +169,120 @@ TEST_F(FailpointTest, MalformedSpecArmsNothing)
     // Empty clauses are tolerated (trailing semicolons etc).
     EXPECT_TRUE(failpoints::parseSpec(";;"));
     EXPECT_TRUE(failpoints::armedSites().empty());
+}
+
+TEST_F(FailpointTest, ParseErrorsAreOneLineDiagnostics)
+{
+    // Each malformed spec maps to a diagnostic naming the clause and
+    // the reason — the string a mistyped DETGALOIS_FAILPOINTS prints
+    // before the process exits (never silent truncation).
+    const std::pair<const char*, const char*> cases[] = {
+        {"graph.io=throw@always", "unknown failpoint site"},
+        {"frobnicate=throw@always", "unknown failpoint site"},
+        {"test.x=explode@always", "unknown action"},
+        {"test.x=throw@near:4", "unknown match"},
+        {"test.x=throw@eq:12x", "bad key"},
+        {"test.x=throw@mod:5", "mod match wants"},
+        {"test.x=throw@always^", "bad trigger limit"},
+        {"test.x=throw@always^0", "bad trigger limit"},
+        {"test.x=throw@always^2x", "bad trigger limit"},
+        {"nosigns", ""},
+    };
+    for (const auto& [spec, want] : cases) {
+        const std::string err = failpoints::parseSpecError(spec);
+        EXPECT_FALSE(err.empty()) << spec;
+        EXPECT_NE(err.find("\"" + std::string(spec) + "\""),
+                  std::string::npos)
+            << spec << " -> " << err;
+        if (*want)
+            EXPECT_NE(err.find(want), std::string::npos)
+                << spec << " -> " << err;
+        EXPECT_EQ(err.find('\n'), std::string::npos) << err;
+    }
+    EXPECT_EQ(failpoints::parseSpecError(
+                  "det.inspect=throw@eq:1;test.x=badalloc@ge:2^3"),
+              "");
+}
+
+TEST_F(FailpointTest, KnownSitesIncludeRuntimeAndService)
+{
+    const auto sites = failpoints::knownSites();
+    for (const char* site :
+         {"det.inspect", "det.merge", "arena.chunk", "threadpool.spawn",
+          "service.admit", "service.lane"}) {
+        EXPECT_NE(std::find(sites.begin(), sites.end(), site),
+                  sites.end())
+            << site;
+    }
+}
+
+TEST_F(FailpointTest, TriggerLimitMakesFaultTransient)
+{
+    ASSERT_TRUE(failpoints::parseSpec("test.site=throw@always^2"));
+    EXPECT_EQ(sweep("test.site", 10).size(), 2u); // quiet after 2
+    EXPECT_EQ(failpoints::triggerCount("test.site"), 2u);
+}
+
+TEST_F(FailpointTest, TransientAtHelperFiresOnce)
+{
+    failpoints::set("test.site", FailPlan::transientAt(5));
+    EXPECT_EQ(sweep("test.site", 10), (std::vector<std::uint64_t>{5}));
+    EXPECT_TRUE(sweep("test.site", 10).empty());
+    EXPECT_EQ(failpoints::triggerCount("test.site"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Job scoping
+// ---------------------------------------------------------------------
+
+TEST_F(FailpointTest, JobScopeShadowsProcessRegistry)
+{
+    failpoints::set("test.site", FailPlan{FailPlan::Action::Throw,
+                                          FailPlan::Match::Always, 0, 0});
+    {
+        failpoints::JobScope quiet; // empty scope: all plans suppressed
+        EXPECT_TRUE(sweep("test.site", 5).empty());
+        EXPECT_EQ(quiet.planCount(), 0u);
+    }
+    EXPECT_EQ(sweep("test.site", 5).size(), 5u); // registry restored
+}
+
+TEST_F(FailpointTest, JobScopePlansAndCountsAreScopeLocal)
+{
+    failpoints::JobScope scope("test.site=throw@eq:3");
+    EXPECT_EQ(scope.planCount(), 1u);
+    EXPECT_EQ(sweep("test.site", 10), (std::vector<std::uint64_t>{3}));
+    EXPECT_EQ(scope.triggerCount("test.site"), 1u);
+    // The process-wide counter never saw the scoped firing.
+    EXPECT_EQ(failpoints::triggerCount("test.site"), 0u);
+}
+
+TEST_F(FailpointTest, JobScopeRejectsMalformedSpec)
+{
+    EXPECT_THROW(failpoints::JobScope("bogus.site=throw@always"),
+                 std::invalid_argument);
+    EXPECT_THROW(failpoints::JobScope("test.x=throw@always^0"),
+                 std::invalid_argument);
+    // A failed constructor must not leave a scope installed.
+    failpoints::set("test.site", FailPlan::throwAt(0));
+    EXPECT_EQ(sweep("test.site", 1).size(), 1u);
+}
+
+TEST_F(FailpointTest, JobScopeFollowsJobOntoPoolWorkers)
+{
+    auto& pool = galois::support::ThreadPool::get();
+    const unsigned width = std::min(2u, pool.maxThreads());
+    failpoints::JobScope scope("test.site=throw@always");
+    std::atomic<unsigned> fired{0};
+    pool.run(width, [&fired](unsigned tid) {
+        try {
+            FAILPOINT("test.site", tid);
+        } catch (const FailpointError&) {
+            fired.fetch_add(1);
+        }
+    });
+    EXPECT_EQ(fired.load(), width);
+    EXPECT_EQ(scope.triggerCount("test.site"), width);
 }
 
 TEST_F(FailpointTest, SetResetsTriggerCount)

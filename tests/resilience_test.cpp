@@ -23,6 +23,7 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <new>
 #include <stdexcept>
@@ -443,6 +444,83 @@ TEST_F(ResilienceTest, AllAbortLivelockTripsAtSameRoundOnEveryThreadCount)
     EXPECT_NE(oracle.find("round " + std::to_string(kWatchdog)),
               std::string::npos)
         << oracle;
+}
+
+// ---------------------------------------------------------------------
+// Wall-clock job watchdog (deadlines and cancellation)
+// ---------------------------------------------------------------------
+
+TEST_F(ResilienceTest, WallDeadlineTripsAsDeadlineError)
+{
+    // An (effectively) already-expired deadline must abort the run at
+    // the first round boundary with a DeadlineError — and must not
+    // poison the pool or the arena: the same workload runs clean right
+    // after, producing its usual digest.
+    CellWorkload w(16, 200);
+    Config cfg;
+    cfg.exec = Exec::Det;
+    cfg.threads = 4;
+    cfg.det.wallDeadlineSeconds = 1e-12;
+    std::string error;
+    try {
+        galois::forEach(w.initialTasks(), w.op(), cfg);
+    } catch (const galois::DeadlineError& e) {
+        error = e.what();
+    }
+    ASSERT_FALSE(error.empty()) << "deadline did not fire";
+    EXPECT_NE(error.find("wall-clock deadline"), std::string::npos);
+    EXPECT_NE(error.find("job watchdog"), std::string::npos);
+
+    CellWorkload clean1(16, 200), clean2(16, 200);
+    cfg.det.wallDeadlineSeconds = 0;
+    auto ref = galois::forEach(clean1.initialTasks(), clean1.op(), cfg);
+    cfg.det.wallDeadlineSeconds = 3600; // generous: must not trip
+    auto timed =
+        galois::forEach(clean2.initialTasks(), clean2.op(), cfg);
+    EXPECT_EQ(timed.committed, 200u);
+    EXPECT_EQ(timed.traceDigest, ref.traceDigest);
+    EXPECT_EQ(clean1.values, clean2.values);
+}
+
+TEST_F(ResilienceTest, CancelFlagAbortsAtRoundBoundary)
+{
+    // A raised cancel flag (the service's shutdown path) aborts the
+    // run exactly like an expired deadline, with a diagnostic naming
+    // the cancellation rather than a deadline.
+    CellWorkload w(16, 200);
+    std::atomic<bool> cancel{true};
+    Config cfg;
+    cfg.exec = Exec::Det;
+    cfg.threads = 2;
+    cfg.det.cancelFlag = &cancel;
+    std::string error;
+    try {
+        galois::forEach(w.initialTasks(), w.op(), cfg);
+    } catch (const galois::DeadlineError& e) {
+        error = e.what();
+    }
+    ASSERT_FALSE(error.empty()) << "cancellation did not fire";
+    EXPECT_NE(error.find("cancelled"), std::string::npos);
+
+    // An unraised flag is free: the run completes and matches the
+    // no-flag digest.
+    cancel.store(false);
+    CellWorkload w2(16, 200), ref(16, 200);
+    auto flagged = galois::forEach(w2.initialTasks(), w2.op(), cfg);
+    cfg.det.cancelFlag = nullptr;
+    auto plain = galois::forEach(ref.initialTasks(), ref.op(), cfg);
+    EXPECT_EQ(flagged.committed, 200u);
+    EXPECT_EQ(flagged.traceDigest, plain.traceDigest);
+}
+
+TEST_F(ResilienceTest, NegativeWallDeadlineIsRejected)
+{
+    CellWorkload w(4, 8);
+    Config cfg;
+    cfg.exec = Exec::Det;
+    cfg.det.wallDeadlineSeconds = -1;
+    EXPECT_THROW(galois::forEach(w.initialTasks(), w.op(), cfg),
+                 std::invalid_argument);
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Wire-protocol tests (service/protocol.h): the line-delimited JSON
+ * loop over an in-memory stream, and the Unix-domain-socket transport
+ * end to end — a real client socket submitting jobs to a listening
+ * service and reading receipts back.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "service/protocol.h"
+#include "service/wire.h"
+
+using galois::service::DetService;
+using galois::service::ServiceConfig;
+namespace wire = galois::service::wire;
+
+namespace {
+
+/** Run the stream loop over a canned request script. */
+std::vector<std::string>
+runScript(const std::string& script, ServiceConfig cfg = {})
+{
+    DetService svc(cfg);
+    std::istringstream in(script);
+    std::ostringstream out;
+    galois::service::serveStream(svc, in, out);
+    std::vector<std::string> lines;
+    std::istringstream split(out.str());
+    std::string line;
+    while (std::getline(split, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** Parse a reply line and return the object (fails the test on error). */
+wire::Value
+reply(const std::string& line)
+{
+    std::string err;
+    wire::Value v = wire::parse(line, err);
+    EXPECT_EQ(err, "") << line;
+    return v;
+}
+
+/** Index reply lines that carry an "id" by that id. */
+std::map<std::string, wire::Value>
+byId(const std::vector<std::string>& lines)
+{
+    std::map<std::string, wire::Value> m;
+    for (const auto& line : lines) {
+        wire::Value v = reply(line);
+        if (const wire::Value* id = v.find("id"))
+            m[id->asString()] = std::move(v);
+    }
+    return m;
+}
+
+TEST(Protocol, PingStatsAndShutdownOps)
+{
+    const auto lines = runScript("{\"op\":\"ping\"}\n"
+                                 "{\"op\":\"stats\"}\n"
+                                 "{\"op\":\"shutdown\"}\n"
+                                 "{\"op\":\"ping\"}\n"); // after bye: unread
+    ASSERT_EQ(lines.size(), 3u);
+    EXPECT_EQ(lines[0], "{\"op\":\"pong\"}");
+    EXPECT_NE(lines[1].find("detgalois-svcstats/1"), std::string::npos);
+    EXPECT_EQ(lines[2], "{\"op\":\"bye\"}");
+}
+
+TEST(Protocol, SubmitReturnsReceiptOnItsOwnLine)
+{
+    const auto lines = runScript(
+        "{\"id\":\"p1\",\"app\":\"bfs\",\"n\":3000,\"seed\":3}\n");
+    ASSERT_EQ(lines.size(), 1u);
+    const wire::Value r = reply(lines[0]);
+    EXPECT_EQ(r.find("schema")->asString(), "detgalois-receipt/1");
+    EXPECT_EQ(r.find("id")->asString(), "p1");
+    EXPECT_EQ(r.find("status")->asString(), "ok");
+    EXPECT_EQ(r.find("code")->asU64(), 200u);
+    EXPECT_EQ(r.find("digest")->asString().size(), 16u);
+    ASSERT_NE(r.find("record"), nullptr);
+    EXPECT_EQ(r.find("record")->find("app")->asString(), "bfs");
+}
+
+TEST(Protocol, MalformedLinesGet400sAndTheLoopSurvives)
+{
+    const auto lines = runScript(
+        "this is not json\n"
+        "{\"op\":\"frobnicate\"}\n"
+        "{\"id\":\"\",\"app\":\"bfs\"}\n"
+        "{\"id\":\"v1\",\"app\":\"nosuch\"}\n"
+        "{\"id\":\"ok1\",\"app\":\"cc\",\"n\":2000,\"seed\":2}\n");
+    ASSERT_EQ(lines.size(), 5u);
+    for (int i = 0; i < 4; ++i) {
+        const wire::Value r = reply(lines[i]);
+        EXPECT_EQ(r.find("status")->asString(), "badrequest") << i;
+        EXPECT_EQ(r.find("code")->asU64(), 400u) << i;
+        EXPECT_FALSE(r.find("error")->asString().empty()) << i;
+    }
+    // The real job after four garbage lines still ran to a receipt.
+    const auto m = byId(lines);
+    ASSERT_TRUE(m.count("ok1"));
+    EXPECT_EQ(m.at("ok1").find("status")->asString(), "ok");
+}
+
+TEST(Protocol, ConcurrentSubmitsAllGetReceipts)
+{
+    ServiceConfig cfg;
+    cfg.lanes = 4;
+    cfg.queueCapacity = 16;
+    std::string script;
+    for (int i = 0; i < 8; ++i)
+        script += "{\"id\":\"c" + std::to_string(i) +
+                  "\",\"app\":\"mis\",\"n\":2000,\"seed\":" +
+                  std::to_string(i) + "}\n";
+    const auto lines = runScript(script, cfg);
+    const auto m = byId(lines);
+    ASSERT_EQ(m.size(), 8u); // every job answered exactly once
+    for (const auto& [id, r] : m)
+        EXPECT_EQ(r.find("status")->asString(), "ok") << id;
+}
+
+// ---------------------------------------------------------------------
+// Unix-domain socket transport
+// ---------------------------------------------------------------------
+
+class UdsClient
+{
+  public:
+    explicit UdsClient(const std::string& path)
+    {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+        // The listener may not be up yet: retry briefly.
+        for (int i = 0; i < 100; ++i) {
+            if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                          sizeof addr) == 0)
+                return;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+        ADD_FAILURE() << "could not connect to " << path;
+    }
+
+    ~UdsClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    void
+    send(const std::string& line)
+    {
+        const std::string framed = line + "\n";
+        ASSERT_EQ(::write(fd_, framed.data(), framed.size()),
+                  static_cast<ssize_t>(framed.size()));
+    }
+
+    std::string
+    readLine()
+    {
+        std::string line;
+        char c;
+        while (::read(fd_, &c, 1) == 1) {
+            if (c == '\n')
+                return line;
+            line += c;
+        }
+        return line;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+TEST(ProtocolUds, SubmitAndShutdownOverSocket)
+{
+    const std::string path = "/tmp/detgalois-test-" +
+                             std::to_string(::getpid()) + ".sock";
+    ServiceConfig cfg;
+    cfg.lanes = 2;
+    DetService svc(cfg);
+    std::string serveErr;
+    std::thread server([&] {
+        serveErr = galois::service::serveUds(svc, path);
+    });
+
+    {
+        UdsClient client(path);
+        client.send("{\"op\":\"ping\"}");
+        EXPECT_EQ(client.readLine(), "{\"op\":\"pong\"}");
+        client.send(
+            "{\"id\":\"u1\",\"app\":\"sssp\",\"n\":2500,\"seed\":4}");
+        const wire::Value r = reply(client.readLine());
+        EXPECT_EQ(r.find("id")->asString(), "u1");
+        EXPECT_EQ(r.find("status")->asString(), "ok");
+
+        // A second concurrent connection shares the same service.
+        UdsClient other(path);
+        other.send("{\"op\":\"stats\"}");
+        const wire::Value st = reply(other.readLine());
+        EXPECT_GE(st.find("completed")->asU64(), 1u);
+
+        client.send("{\"op\":\"shutdown\"}");
+        EXPECT_EQ(client.readLine(), "{\"op\":\"bye\"}");
+    }
+    server.join();
+    EXPECT_EQ(serveErr, "");
+    // The socket file is gone: a stale path never shadows a new server.
+    EXPECT_NE(::access(path.c_str(), F_OK), 0);
+}
+
+TEST(ProtocolUds, BindFailureIsDiagnosedNotFatal)
+{
+    DetService svc{ServiceConfig{}};
+    const std::string err =
+        galois::service::serveUds(svc, "/nonexistent-dir/x.sock");
+    EXPECT_NE(err.find("bind"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Concurrent-job soak: the service's isolation oracle.
+ *
+ * Drives waves of mixed jobs (all four service apps, varied sizes,
+ * seeds and widths) through a small-laned service for ~20 seconds,
+ * with per-job fault injection riding along: transient faults that
+ * must be retried to success, permanent faults that must abort their
+ * job — and *only* their job. The oracle: every receipt of a job that
+ * ran to completion carries a digest byte-identical to the one-shot
+ * reference run of the same (app, params, seed, config), no matter
+ * what was failing, aborting or timing out on the other lanes at the
+ * time. Afterwards the service must still be admitting (a fresh wave
+ * completes), which is the "stays up" half of the robustness story.
+ */
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.h"
+#include "support/timer.h"
+
+using galois::service::DetService;
+using galois::service::JobSpec;
+using galois::service::JobStatus;
+using galois::service::Receipt;
+using galois::service::ServiceConfig;
+
+namespace {
+
+constexpr unsigned kWave = 72;       // jobs per wave (>= 64)
+constexpr double kSoakSeconds = 20;  // keep submitting this long
+
+/** Fault roles woven through a wave. */
+enum class Role
+{
+    Clean,     //!< no injection: must succeed first try
+    Transient, //!< fires once, retried: must still succeed + verify
+    Abort,     //!< permanent fault, no retries: must fail alone
+    Deadline   //!< 1 ms deadline on a big job: must time out alone
+};
+
+Role
+roleOf(unsigned i)
+{
+    if (i % 9 == 3)
+        return Role::Transient;
+    if (i % 9 == 6)
+        return Role::Abort;
+    if (i % 24 == 10)
+        return Role::Deadline;
+    return Role::Clean;
+}
+
+/** Clean parameters of job i — the replayable identity. */
+JobSpec
+cleanSpec(unsigned i)
+{
+    static const char* kApps[] = {"bfs", "sssp", "cc", "mis"};
+    JobSpec spec;
+    spec.app = kApps[i % 4];
+    spec.n = 2000 + 1100 * (i % 5);
+    spec.k = 3 + i % 3;
+    spec.seed = 5 + i % 6;
+    spec.exec = galois::Exec::Det;
+    spec.threads = 1u << (i % 3);
+    return spec;
+}
+
+/** Job i of a wave, with its fault role applied. */
+JobSpec
+soakJob(unsigned wave, unsigned i)
+{
+    JobSpec spec = cleanSpec(i);
+    spec.id = "w" + std::to_string(wave) + "-" + std::to_string(i);
+    switch (roleOf(i)) {
+      case Role::Clean:
+        break;
+      case Role::Transient:
+        spec.failpoints =
+            "det.inspect=throw@eq:" + std::to_string(1 + i % 4) + "^1";
+        break;
+      case Role::Abort:
+        spec.failpoints = "det.merge=throw@always";
+        spec.retries = 0;
+        break;
+      case Role::Deadline:
+        spec.n = 60000; // big enough to outlive a 1 ms budget
+        spec.deadlineMs = 1;
+        spec.retries = 0;
+        break;
+    }
+    return spec;
+}
+
+TEST(ServiceSoak, ConcurrentFaultedJobsNeverPerturbEachOther)
+{
+    // One-shot reference digests for every distinct clean cell, before
+    // the service exists: the oracle is computed in isolation.
+    std::map<std::string, std::uint64_t> oracle;
+    for (unsigned i = 0; i < kWave; ++i) {
+        JobSpec ref = cleanSpec(i);
+        ref.id = "ref";
+        const std::string cell = ref.describe();
+        if (oracle.count(cell))
+            continue;
+        const Receipt r = DetService::runInline(ref);
+        ASSERT_EQ(r.status, JobStatus::Ok)
+            << cell << ": " << r.error;
+        oracle[cell] = r.digest;
+    }
+
+    ServiceConfig cfg;
+    cfg.lanes = 4;
+    cfg.queueCapacity = 16;
+    cfg.retryBackoffMs = 0;
+    DetService svc(cfg);
+
+    std::mutex lock;
+    std::condition_variable done;
+    unsigned terminal = 0, submitted = 0;
+    std::vector<std::string> problems;
+
+    auto checkReceipt = [&](unsigned i, Receipt r) {
+        std::lock_guard<std::mutex> guard(lock);
+        const Role role = roleOf(i);
+        const std::string cell = cleanSpec(i).describe();
+        switch (role) {
+          case Role::Clean:
+          case Role::Transient:
+            if (r.status != JobStatus::Ok)
+                problems.push_back(r.id + " [" + cell +
+                                   "]: " + r.error);
+            else if (r.digest != oracle.at(cell))
+                problems.push_back(r.id + " [" + cell +
+                                   "]: digest mismatch");
+            else if (role == Role::Transient && r.attempts < 2)
+                problems.push_back(r.id + ": transient fault never fired");
+            break;
+          case Role::Abort:
+            if (r.status != JobStatus::Error)
+                problems.push_back(r.id + ": abort job ended as " +
+                                   galois::service::jobStatusName(
+                                       r.status));
+            break;
+          case Role::Deadline:
+            if (r.status != JobStatus::Timeout &&
+                r.status != JobStatus::Error)
+                problems.push_back(r.id + ": deadline job ended as " +
+                                   galois::service::jobStatusName(
+                                       r.status));
+            break;
+        }
+        ++terminal;
+        done.notify_all();
+    };
+
+    // Soak: submit full waves (with client-side backpressure retry on
+    // 429) until the clock runs out, then drain.
+    galois::support::Timer wall;
+    wall.start();
+    unsigned wave = 0;
+    do {
+        for (unsigned i = 0; i < kWave; ++i) {
+            const JobSpec spec = soakJob(wave, i);
+            for (;;) {
+                // A refused submit still calls the callback (with the
+                // 429 receipt) before returning false; the job is
+                // resubmitted below, so only terminal receipts count.
+                const bool admitted = svc.submit(
+                    spec, [&checkReceipt, i](Receipt r) {
+                        if (r.status != JobStatus::Rejected)
+                            checkReceipt(i, std::move(r));
+                    });
+                if (admitted)
+                    break;
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(1));
+            }
+            ++submitted;
+        }
+        ++wave;
+    } while (wall.seconds() < kSoakSeconds);
+    {
+        std::unique_lock<std::mutex> guard(lock);
+        done.wait(guard, [&] { return terminal == submitted; });
+    }
+    ASSERT_GE(submitted, 64u);
+    EXPECT_TRUE(problems.empty())
+        << problems.size() << " violations, first: " << problems[0];
+
+    // The service must still be admitting after all that: a fresh
+    // clean wave runs end to end.
+    unsigned okAfter = 0;
+    for (unsigned i = 0; i < 8; ++i) {
+        JobSpec spec = cleanSpec(i);
+        spec.id = "after-" + std::to_string(i);
+        const Receipt r = svc.submitAndWait(spec);
+        okAfter += r.status == JobStatus::Ok;
+        EXPECT_EQ(r.digest, oracle.at(cleanSpec(i).describe()))
+            << spec.id;
+    }
+    EXPECT_EQ(okAfter, 8u);
+
+    const auto st = svc.stats();
+    EXPECT_EQ(st.completed + st.failed, submitted + 8u);
+    EXPECT_GT(st.retries, 0u); // the transient faults really retried
+}
+
+} // namespace

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for the service's minimal JSON layer (service/wire.h): the
+ * request parser (exact integers, escapes, error offsets) and the
+ * string serializer, plus JobSpec request validation (service/job.h).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/job.h"
+#include "service/wire.h"
+
+namespace wire = galois::service::wire;
+using galois::service::JobSpec;
+
+namespace {
+
+wire::Value
+parseOk(const std::string& text)
+{
+    std::string err;
+    wire::Value v = wire::parse(text, err);
+    EXPECT_EQ(err, "") << text;
+    return v;
+}
+
+std::string
+parseErr(const std::string& text)
+{
+    std::string err;
+    (void)wire::parse(text, err);
+    EXPECT_FALSE(err.empty()) << text;
+    return err;
+}
+
+TEST(Wire, ParsesFlatRequestObject)
+{
+    const wire::Value v = parseOk(
+        R"({"op":"submit","id":"j1","n":20000,"seed":7,"deep":false})");
+    ASSERT_TRUE(v.isObject());
+    EXPECT_EQ(v.find("op")->asString(), "submit");
+    EXPECT_EQ(v.find("id")->asString(), "j1");
+    EXPECT_EQ(v.find("n")->asU64(), 20000u);
+    EXPECT_EQ(v.find("seed")->asU64(), 7u);
+    EXPECT_FALSE(v.find("deep")->asBool(true));
+    EXPECT_EQ(v.find("absent"), nullptr);
+}
+
+TEST(Wire, IntegersSurviveExactly)
+{
+    // Digests and seeds are 64-bit; a double round-trip would corrupt
+    // them above 2^53.
+    const wire::Value v =
+        parseOk(R"({"seed":9007199254740993,"f":1.5,"neg":-12})");
+    EXPECT_TRUE(v.find("seed")->isInteger);
+    EXPECT_EQ(v.find("seed")->asU64(), 9007199254740993ull);
+    EXPECT_FALSE(v.find("f")->isInteger);
+    EXPECT_DOUBLE_EQ(v.find("f")->asDouble(), 1.5);
+    EXPECT_EQ(v.find("neg")->asI64(), -12);
+}
+
+TEST(Wire, StringEscapesDecode)
+{
+    const wire::Value v =
+        parseOk(R"({"s":"a\"b\\c\ndAé"})");
+    EXPECT_EQ(v.find("s")->string, "a\"b\\c\nd"
+                                   "A\xc3\xa9");
+}
+
+TEST(Wire, ArraysAndNestingParse)
+{
+    const wire::Value v = parseOk(R"({"a":[1,[2,3],{"k":null}]})");
+    const wire::Value* a = v.find("a");
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_EQ(a->array[1].array[1].asU64(), 3u);
+    EXPECT_TRUE(a->array[2].find("k")->isNull());
+}
+
+TEST(Wire, ErrorsNameTheByteOffset)
+{
+    EXPECT_NE(parseErr("{\"a\":}").find("at byte"), std::string::npos);
+    (void)parseErr("");
+    (void)parseErr("{\"a\":1");           // truncated
+    (void)parseErr("{\"a\":1} trailing"); // garbage after document
+    (void)parseErr("{'a':1}");            // single quotes
+    (void)parseErr("{\"a\":01}");         // leading zero
+    (void)parseErr("[1,]");               // trailing comma
+}
+
+TEST(Wire, QuoteEscapesControlCharacters)
+{
+    EXPECT_EQ(wire::quote("plain"), "\"plain\"");
+    EXPECT_EQ(wire::quote("a\"b"), "\"a\\\"b\"");
+    EXPECT_EQ(wire::quote(std::string("a\nb\x01") + "c"),
+              "\"a\\nb\\u0001c\"");
+    // quote() output must parse back to the original.
+    const std::string tricky = "q\"\\\n\t\x02z";
+    const wire::Value v =
+        parseOk("{\"k\":" + wire::quote(tricky) + "}");
+    EXPECT_EQ(v.find("k")->string, tricky);
+}
+
+// ---------------------------------------------------------------------
+// JobSpec validation
+// ---------------------------------------------------------------------
+
+std::string
+specErr(const std::string& json)
+{
+    std::string err;
+    wire::Value v = wire::parse(json, err);
+    EXPECT_EQ(err, "") << json;
+    JobSpec spec;
+    return galois::service::parseJobSpec(v, spec);
+}
+
+TEST(JobSpecParse, AcceptsFullRequestAndAppliesDefaults)
+{
+    std::string err;
+    wire::Value v = wire::parse(
+        R"({"id":"j9","app":"sssp","n":5000,"k":3,"seed":11,)"
+        R"("source":4,"max_weight":50,"exec":"det","threads":8,)"
+        R"("deadline_ms":2000,"retries":1,)"
+        R"("failpoints":"det.inspect=throw@eq:2^1"})",
+        err);
+    ASSERT_EQ(err, "");
+    JobSpec spec;
+    ASSERT_EQ(galois::service::parseJobSpec(v, spec), "");
+    EXPECT_EQ(spec.app, "sssp");
+    EXPECT_EQ(spec.n, 5000u);
+    EXPECT_EQ(spec.maxWeight, 50);
+    EXPECT_EQ(spec.threads, 8u);
+    EXPECT_EQ(spec.deadlineMs, 2000u);
+    EXPECT_EQ(spec.retries, 1u);
+
+    wire::Value minimal =
+        wire::parse(R"({"id":"m","app":"cc"})", err);
+    JobSpec d;
+    ASSERT_EQ(galois::service::parseJobSpec(minimal, d), "");
+    EXPECT_EQ(d.n, 10000u); // per-app default
+    EXPECT_EQ(d.k, 3u);
+    EXPECT_EQ(d.exec, galois::Exec::Det);
+    EXPECT_EQ(d.retries, ~0u); // service default applies
+}
+
+TEST(JobSpecParse, RejectsBadRequestsWithDiagnostics)
+{
+    EXPECT_NE(specErr(R"({"app":"bfs"})").find("'id'"),
+              std::string::npos);
+    EXPECT_NE(specErr(R"({"id":"x","app":"pagerank"})")
+                  .find("unknown app"),
+              std::string::npos);
+    EXPECT_NE(specErr(R"({"id":"x","app":"bfs","n":1})")
+                  .find("'n' out of range"),
+              std::string::npos);
+    EXPECT_NE(specErr(R"({"id":"x","app":"bfs","k":99})")
+                  .find("'k' out of range"),
+              std::string::npos);
+    EXPECT_NE(specErr(R"({"id":"x","app":"bfs","source":999999})")
+                  .find("'source' out of range"),
+              std::string::npos);
+    EXPECT_NE(specErr(R"({"id":"x","app":"bfs","exec":"quantum"})")
+                  .find("unknown exec"),
+              std::string::npos);
+    EXPECT_NE(
+        specErr(R"({"id":"x","app":"bfs","failpoints":"nope=throw@always"})")
+            .find("bad 'failpoints'"),
+        std::string::npos);
+    EXPECT_NE(
+        specErr(R"({"id":"x","app":"bfs","expect_digest":"123"})")
+            .find("expect_digest"),
+        std::string::npos);
+}
+
+} // namespace

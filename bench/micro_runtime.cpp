@@ -150,6 +150,48 @@ BM_CheckedDataAccessInTask(benchmark::State& state)
 BENCHMARK(BM_CheckedDataAccessInTask);
 #endif
 
+void
+BM_DetSanValueChannel(benchmark::State& state)
+{
+    // The id-assignment value channel of the environment audit
+    // (DETSAN_VALUE in IdService::assign). In a DETGALOIS_DETSAN=OFF
+    // build the macro expands to ((void)0), so this loop must price
+    // exactly like the raw key reads — the audit's zero-overhead-
+    // when-off bar (DESIGN.md section 8). In an ON build it pays the
+    // gate load plus the taint-registry lookup per value.
+    std::vector<std::uint64_t> keys(1024);
+    for (std::size_t i = 0; i < keys.size(); ++i)
+        keys[i] = i * 0x9e3779b97f4a7c15ULL;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        for (const std::uint64_t k : keys) {
+            DETSAN_VALUE("bench.key", k);
+            sum += k;
+        }
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(keys.size()));
+}
+BENCHMARK(BM_DetSanValueChannel);
+
+#if defined(DETGALOIS_DETSAN)
+void
+BM_DetSanValueChannelTainted(benchmark::State& state)
+{
+    // Worst case in an instrumented build: every checked value IS
+    // tainted, so each iteration records (and deduplicates) an EnvLeak.
+    // Prices the violation path, not the clean path.
+    galois::analysis::configure(galois::analysis::DetSanOptions{});
+    const std::uint64_t t = DETSAN_TAINT_CLOCK(0xbadc10c5ULL);
+    for (auto _ : state)
+        DETSAN_VALUE("bench.tainted", t);
+    galois::analysis::configure(galois::analysis::DetSanOptions{});
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DetSanValueChannelTainted);
+#endif
+
 /** Per-task executor overhead: N trivial independent tasks. */
 void
 executorOverhead(benchmark::State& state, Exec exec, unsigned threads)

@@ -1,0 +1,124 @@
+#!/bin/sh
+# Perturbed-environment determinism gate (detsan v2, CI-side half).
+#
+# The static audit (detaudit.sh) bans environmental *sources* and the
+# dynamic checker flags tainted *values*, but the end-to-end claim —
+# the paper's portability property — is that the published schedule
+# digests do not move when the environment does. This script tests that
+# claim directly: it reruns the full golden-digest suite (every app
+# under Exec::Det on 1/2/4/8 threads) under a matrix of environment
+# perturbations and asserts every leg's output is byte-identical to
+# scripts/golden_digests.txt.
+#
+# Legs (each one targets a distinct leak class):
+#   baseline      control: the unperturbed environment must pass first,
+#                 so a perturbation failure is attributable.
+#   aslr          `setarch -R`: disable address-space layout
+#                 randomization. If a digest differs *here*, addresses
+#                 leak into the schedule (pointer-ordered container,
+#                 pointer hash). Skipped visibly when setarch is
+#                 unavailable or the personality syscall is blocked
+#                 (common in containers).
+#   envblock      `env -i` with a rebuilt, padded environment: the size
+#                 and order of the env block shift the initial stack
+#                 layout (another address perturbation) and catch
+#                 accidental getenv dependencies.
+#   locale        LC_ALL/LANG/TZ changed: catches locale-sensitive
+#                 formatting or collation leaking into digests.
+#   heap          MALLOC_PERTURB_, MALLOC_ARENA_MAX and glibc tunables:
+#                 different heap layout and poisoned free()d memory —
+#                 catches reads of uninitialized/freed memory and
+#                 allocation-address dependence.
+#
+# Usage: scripts/env_perturb.sh <digest_dump-binary> [golden-file]
+# Exit 0 iff every non-skipped leg matches the golden file byte for
+# byte. Wired as ctest test `env_perturb` (label: audit).
+set -u
+
+DUMP=${1:?usage: env_perturb.sh <digest_dump-binary> [golden-file]}
+GOLDEN=${2:-"$(dirname "$0")/golden_digests.txt"}
+
+if [ ! -f "$GOLDEN" ]; then
+    echo "env_perturb.sh: golden file $GOLDEN missing" >&2
+    exit 1
+fi
+case "$DUMP" in
+  /*) : ;;
+  *) DUMP=$(pwd)/$DUMP ;;
+esac
+if [ ! -x "$DUMP" ]; then
+    echo "env_perturb.sh: digest_dump binary $DUMP missing" >&2
+    exit 1
+fi
+
+FAILED=0
+RAN=0
+SKIPPED=0
+
+# run_leg <name> <cmd...>: execute, diff stdout against the golden file.
+run_leg() {
+    name=$1
+    shift
+    out=$("$@" 2>/tmp/env_perturb_err)
+    rc=$?
+    if [ $rc -ne 0 ]; then
+        echo "env_perturb.sh: leg '$name' FAILED: digest_dump exited $rc" >&2
+        sed 's/^/    /' /tmp/env_perturb_err >&2
+        FAILED=1
+        return
+    fi
+    if printf '%s\n' "$out" | diff -u "$GOLDEN" - > /tmp/env_perturb_diff; then
+        echo "env_perturb.sh: leg '$name' OK (digests byte-identical)"
+        RAN=$((RAN + 1))
+    else
+        echo "env_perturb.sh: leg '$name' FAILED: digests diverge from $GOLDEN" >&2
+        sed 's/^/    /' /tmp/env_perturb_diff >&2
+        FAILED=1
+    fi
+}
+
+# ---- baseline --------------------------------------------------------
+run_leg baseline "$DUMP"
+
+# ---- aslr: setarch -R ------------------------------------------------
+# Probe with `true` first: setarch may exist but the personality(2)
+# change can be blocked by the container's seccomp policy.
+if command -v setarch >/dev/null 2>&1 && setarch "$(uname -m)" -R true 2>/dev/null; then
+    run_leg aslr setarch "$(uname -m)" -R "$DUMP"
+else
+    echo "env_perturb.sh: leg 'aslr' SKIPPED: setarch -R unavailable" \
+         "(no setarch binary or personality() blocked)"
+    SKIPPED=$((SKIPPED + 1))
+fi
+
+# ---- envblock: rebuilt, padded environment block ---------------------
+# A fat filler variable and a reshuffled variable order move the
+# initial stack/environ layout; `env -i` additionally drops every
+# inherited variable, so any getenv dependency outside the sanctioned
+# knobs surfaces as a digest change or a crash.
+PAD=$(printf 'x%.0s' $(seq 1 4096))
+run_leg envblock env -i \
+    ZZ_DETGALOIS_PAD="$PAD" \
+    AA_DETGALOIS_PAD="$PAD" \
+    PATH="${PATH:-/usr/bin:/bin}" \
+    HOME=/nonexistent \
+    "$DUMP"
+
+# ---- locale: collation/formatting/timezone --------------------------
+run_leg locale env LC_ALL=C.UTF-8 LANG=C.UTF-8 TZ=Pacific/Kiritimati \
+    "$DUMP"
+
+# ---- heap: allocator layout + freed-memory poisoning ----------------
+run_leg heap env \
+    MALLOC_PERTURB_=165 \
+    MALLOC_ARENA_MAX=1 \
+    GLIBC_TUNABLES=glibc.malloc.tcache_count=0:glibc.malloc.mmap_threshold=65536 \
+    "$DUMP"
+
+echo "env_perturb.sh: $RAN legs identical, $SKIPPED skipped, failed=$FAILED"
+[ "$FAILED" -eq 0 ] || exit 1
+if [ "$RAN" -lt 1 ]; then
+    echo "env_perturb.sh: no leg actually ran" >&2
+    exit 1
+fi
+exit 0

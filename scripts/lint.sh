@@ -9,15 +9,21 @@
 # missing-include rot at lint time rather than at the first unlucky
 # include-order change. Needs only the C++ compiler, so it always runs.
 #
-# Pass 2 — clang-tidy (config: .clang-tidy at the repo root) over the
+# Pass 2 — environment-determinism audit (scripts/detaudit.sh): grep
+# rules banning addresses, clocks, stateful RNGs and getenv outside the
+# allowlisted, justified sites. Needs only POSIX tools, so it always
+# runs and fails the lint on any non-allowlisted hit.
+#
+# Pass 3 — clang-tidy (config: .clang-tidy at the repo root) over the
 # sources, using the compile database of an existing build directory.
-# If clang-tidy is not installed, pass 2 reports and is skipped — the
-# tool is optional in the minimal toolchain image; the CMake `lint`
-# target is only generated when it is present.
+# The tool is optional in the minimal toolchain image: when it is
+# absent, pass 3 emits a visible SKIPPED line and the script exits with
+# the distinct code 3 (passes 1-2 clean, tidy not run) so CI logs and
+# gates can tell a skip from a clean full run.
 #
 # Usage: scripts/lint.sh [clang-tidy-binary] [build-dir]
-# Defaults: clang-tidy, build/. Exits non-zero on any finding, so it
-# can gate CI.
+# Defaults: clang-tidy, build/. Exit codes: 0 all passes clean, 3 tidy
+# skipped (passes 1-2 clean), anything else a finding or error.
 set -eu
 
 TIDY=${1:-clang-tidy}
@@ -43,11 +49,17 @@ fi
 echo "lint.sh: include hygiene OK"
 
 # ----------------------------------------------------------------------
-# Pass 2: clang-tidy.
+# Pass 2: environment-determinism audit.
+# ----------------------------------------------------------------------
+echo "lint.sh: running environment-determinism audit (detaudit.sh)"
+sh "$(dirname "$0")/detaudit.sh"
+
+# ----------------------------------------------------------------------
+# Pass 3: clang-tidy.
 # ----------------------------------------------------------------------
 if ! command -v "$TIDY" >/dev/null 2>&1; then
-    echo "lint.sh: $TIDY not installed; skipping tidy pass (install clang-tidy to lint)"
-    exit 0
+    echo "lint.sh: SKIPPED: clang-tidy not found ($TIDY); passes 1-2 clean, tidy pass not run"
+    exit 3
 fi
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
     echo "lint.sh: $BUILD_DIR/compile_commands.json missing;" \

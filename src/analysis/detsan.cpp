@@ -5,6 +5,7 @@
 #include <mutex>
 #include <string_view>
 #include <tuple>
+#include <unordered_map>
 
 namespace galois::analysis {
 
@@ -53,21 +54,67 @@ collector()
     return c;
 }
 
+/** One registered environment-derived value. */
+struct TaintRecord
+{
+    TaintSource source = TaintSource::Address;
+    const char* file = "";
+    int line = 0;
+};
+
+/**
+ * Process-wide taint registry: exact 64-bit value -> provenance.
+ * Bounded (a checking-mode memory guard); overflow drops further
+ * registrations and flags the report. Guarded by its own mutex so the
+ * violation collector's lock stays uncontended on the access fast path.
+ */
+struct TaintRegistry
+{
+    static constexpr std::size_t kCap = 1 << 16;
+    std::mutex lock;
+    std::unordered_map<std::uint64_t, TaintRecord> values;
+    bool overflowed = false;
+};
+
+TaintRegistry&
+taints()
+{
+    static TaintRegistry t;
+    return t;
+}
+
 // Boolean knobs mirrored into one lock-free word so hook fast paths
 // (every checked access) never touch the collector mutex.
 constexpr std::uint32_t kGateEnabled = 1u << 0;
 constexpr std::uint32_t kGateAccess = 1u << 1;
 constexpr std::uint32_t kGateCautious = 1u << 2;
 constexpr std::uint32_t kGateFailFast = 1u << 3;
+constexpr std::uint32_t kGateValues = 1u << 4;
 
-std::atomic<std::uint32_t> gate{kGateEnabled | kGateAccess | kGateCautious};
+std::atomic<std::uint32_t> gate{kGateEnabled | kGateAccess | kGateCautious |
+                                kGateValues};
 
 std::uint32_t
 gateOf(const DetSanOptions& o)
 {
     return (o.enabled ? kGateEnabled : 0) | (o.checkAccess ? kGateAccess : 0) |
            (o.checkCautious ? kGateCautious : 0) |
-           (o.failFast ? kGateFailFast : 0);
+           (o.failFast ? kGateFailFast : 0) |
+           (o.checkValues ? kGateValues : 0);
+}
+
+void
+push(const Violation& v)
+{
+    if (gate.load(std::memory_order_relaxed) & kGateFailFast)
+        throw DetSanError("detsan: " + v.toString());
+
+    Collector& c = collector();
+    std::lock_guard<std::mutex> guard(c.lock);
+    if (c.raw.size() >= c.opts.maxViolations)
+        c.truncated = true;
+    else
+        c.raw.push_back(v);
 }
 
 void
@@ -83,16 +130,7 @@ record(ViolationKind kind, const char* file, int line)
     v.file = file;
     v.line = line;
     v.count = 1;
-
-    if (gate.load(std::memory_order_relaxed) & kGateFailFast)
-        throw DetSanError("detsan: " + v.toString());
-
-    Collector& c = collector();
-    std::lock_guard<std::mutex> guard(c.lock);
-    if (c.raw.size() >= c.opts.maxViolations)
-        c.truncated = true;
-    else
-        c.raw.push_back(v);
+    push(v);
 }
 
 /** Order for sorting/merging: every field except count. */
@@ -102,7 +140,9 @@ violationKey(const Violation& v)
     return std::make_tuple(v.taskId, v.generation, v.round,
                            static_cast<unsigned>(v.kind),
                            std::string_view(v.file), v.line,
-                           std::string_view(v.phase));
+                           std::string_view(v.phase),
+                           std::string_view(v.channel),
+                           std::string_view(v.source));
 }
 
 } // namespace
@@ -121,6 +161,24 @@ kindName(ViolationKind k) noexcept
         return "acquire-after-write";
       case ViolationKind::AcquireAfterFailsafe:
         return "acquire-after-failsafe";
+      case ViolationKind::EnvLeak:
+        return "env-leak";
+    }
+    return "unknown";
+}
+
+const char*
+taintSourceName(TaintSource s) noexcept
+{
+    switch (s) {
+      case TaintSource::Address:
+        return "address";
+      case TaintSource::Clock:
+        return "clock";
+      case TaintSource::HashSeed:
+        return "hash-seed";
+      case TaintSource::Env:
+        return "env";
     }
     return "unknown";
 }
@@ -143,6 +201,14 @@ Violation::toString() const
     }
     s += ", ";
     s += phase;
+    if (channel[0] != '\0') {
+        s += ", channel ";
+        s += channel;
+    }
+    if (source[0] != '\0') {
+        s += ", source ";
+        s += source;
+    }
     s += ")";
     if (count > 1) {
         s += " x";
@@ -160,6 +226,8 @@ DetSanReport::toString() const
                     " violation(s)";
     if (truncated)
         s += " [TRUNCATED]";
+    if (taintOverflow)
+        s += " [TAINT-OVERFLOW]";
     for (const Violation& v : violations) {
         s += "\n  ";
         s += v.toString();
@@ -170,12 +238,15 @@ DetSanReport::toString() const
 void
 configure(const DetSanOptions& opts)
 {
-    Collector& c = collector();
-    std::lock_guard<std::mutex> guard(c.lock);
-    c.opts = opts;
-    c.raw.clear();
-    c.truncated = false;
-    gate.store(gateOf(opts), std::memory_order_relaxed);
+    {
+        Collector& c = collector();
+        std::lock_guard<std::mutex> guard(c.lock);
+        c.opts = opts;
+        c.raw.clear();
+        c.truncated = false;
+        gate.store(gateOf(opts), std::memory_order_relaxed);
+    }
+    clearTaints();
 }
 
 DetSanOptions
@@ -206,6 +277,11 @@ takeReport()
         report.truncated = c.truncated;
         c.raw.clear();
         c.truncated = false;
+    }
+    {
+        TaintRegistry& t = taints();
+        std::lock_guard<std::mutex> guard(t.lock);
+        report.taintOverflow = t.overflowed;
     }
     std::sort(report.violations.begin(), report.violations.end(),
               [](const Violation& a, const Violation& b) {
@@ -317,6 +393,79 @@ taskHolds(const runtime::Lockable* l) noexcept
     const TaskScope& t = tlsScope;
     return t.active &&
            std::find(t.held.begin(), t.held.end(), l) != t.held.end();
+}
+
+std::uint64_t
+taintValue(TaintSource source, std::uint64_t v, const char* file, int line)
+{
+    const std::uint32_t g = gate.load(std::memory_order_relaxed);
+    if (!(g & kGateEnabled) || !(g & kGateValues))
+        return v;
+    TaintRegistry& t = taints();
+    std::lock_guard<std::mutex> guard(t.lock);
+    if (t.values.size() >= TaintRegistry::kCap) {
+        if (t.values.find(v) == t.values.end())
+            t.overflowed = true;
+        return v;
+    }
+    // First registration wins: the earliest provenance is the most
+    // useful one to report, and keeping it makes re-taints idempotent.
+    t.values.emplace(v, TaintRecord{source, file, line});
+    return v;
+}
+
+bool
+valueTainted(std::uint64_t v) noexcept
+{
+    TaintRegistry& t = taints();
+    std::lock_guard<std::mutex> guard(t.lock);
+    return t.values.find(v) != t.values.end();
+}
+
+void
+clearTaints() noexcept
+{
+    TaintRegistry& t = taints();
+    std::lock_guard<std::mutex> guard(t.lock);
+    t.values.clear();
+    t.overflowed = false;
+}
+
+void
+noteValue(const char* channel, std::uint64_t v, const char* file, int line)
+{
+    const std::uint32_t g = gate.load(std::memory_order_relaxed);
+    if (!(g & kGateEnabled) || !(g & kGateValues))
+        return;
+    TaintSource source;
+    {
+        TaintRegistry& t = taints();
+        std::lock_guard<std::mutex> guard(t.lock);
+        auto it = t.values.find(v);
+        if (it == t.values.end())
+            return;
+        source = it->second.source;
+    }
+    // Channel checks are valid outside task scope (ordering code runs
+    // between tasks, possibly on thread 0 only): the violation identity
+    // is the channel site + source, with task labels when a task is
+    // active — both pure functions of the schedule, so the sorted
+    // report stays byte-identical across thread counts.
+    const TaskScope& t = tlsScope;
+    Violation viol;
+    viol.kind = ViolationKind::EnvLeak;
+    if (t.active) {
+        viol.taskId = t.taskId;
+        viol.generation = t.generation;
+        viol.round = t.round;
+        viol.phase = t.phase;
+    }
+    viol.file = file;
+    viol.line = line;
+    viol.count = 1;
+    viol.channel = channel;
+    viol.source = taintSourceName(source);
+    push(viol);
 }
 
 } // namespace galois::analysis

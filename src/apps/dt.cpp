@@ -56,11 +56,14 @@ placePoint(const geom::Mesh& mesh, const std::vector<TriId>& created,
 std::vector<Point>
 randomPoints(std::size_t n, std::uint64_t seed)
 {
-    support::Prng rng(seed);
     std::vector<Point> pts;
     pts.reserve(n);
-    for (std::size_t i = 0; i < n; ++i)
-        pts.push_back(Point{rng.nextDouble(), rng.nextDouble()});
+    // One counter-based stream per point: point i is a pure function of
+    // (seed, i), so subsets and supersets of the same seed agree.
+    for (std::size_t i = 0; i < n; ++i) {
+        const support::CounterPrng rng(seed, i);
+        pts.push_back(Point{rng.peekDouble(0), rng.peekDouble(1)});
+    }
     return pts;
 }
 
@@ -92,9 +95,12 @@ makeProblem(const std::vector<Point>& points, std::uint64_t seed,
     prob.pointLocks.resize(prob.mesh.numVertices());
     prob.pointTri.assign(prob.mesh.numVertices(), root);
 
-    // Offline random insertion order (Fisher-Yates with the portable
-    // PRNG).
-    support::Prng rng(seed);
+    // Offline random insertion order. Fisher-Yates is inherently
+    // sequential, but drawing from a dedicated counter-based stream
+    // keeps each swap index a pure function of (seed, step) — the
+    // shuffle cannot be perturbed by any other consumer of the seed.
+    constexpr std::uint64_t kShuffleStream = 0x73687566666c65ULL; // "shuffle"
+    support::CounterPrng rng(seed, kShuffleStream);
     for (std::size_t i = prob.insertOrder.size(); i > 1; --i)
         std::swap(prob.insertOrder[i - 1],
                   prob.insertOrder[rng.nextBounded(i)]);

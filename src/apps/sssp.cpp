@@ -14,10 +14,14 @@ randomWeightedGraph(graph::Node num_nodes, unsigned k, std::int64_t max_w,
                     std::uint64_t seed)
 {
     // Symmetric: each undirected edge appears in both directions with
-    // the same weight.
-    support::Prng rng(seed);
+    // the same weight. Weights come from a counter-based stream keyed
+    // by the undirected pair index, so each weight is a pure function
+    // of (seed, pair) — independent of how many draws the adjacency
+    // generation consumed.
     auto edges = graph::randomKOut(num_nodes, k, seed, /*symmetric=*/true);
+    constexpr std::uint64_t kWeightStream = 0x77656967687473ULL; // "weights"
     for (std::size_t i = 0; i + 1 < edges.size(); i += 2) {
+        support::CounterPrng rng(seed ^ kWeightStream, i / 2);
         const std::int64_t w =
             1 + static_cast<std::int64_t>(
                     rng.nextBounded(static_cast<std::uint64_t>(max_w)));

@@ -8,9 +8,18 @@ namespace galois::graph {
 
 namespace {
 
-/** Pick k distinct neighbors != u. */
+/**
+ * Pick k distinct neighbors != u from node u's own counter-based
+ * stream. Keying the stream by u makes each node's adjacency a pure
+ * function of (seed, u): nodes can be generated in any order, in
+ * parallel, or alone, and the edge list is bit-identical — the
+ * environment-determinism requirement for inputs (DESIGN.md section
+ * 12). The rejection loop consumes a variable number of draws, but
+ * only from u's private stream, so no node's picks depend on another
+ * node's rejections.
+ */
 void
-pickNeighbors(support::Prng& rng, Node u, Node n, unsigned k,
+pickNeighbors(support::CounterPrng& rng, Node u, Node n, unsigned k,
               std::vector<Node>& out)
 {
     out.clear();
@@ -24,17 +33,21 @@ pickNeighbors(support::Prng& rng, Node u, Node n, unsigned k,
     }
 }
 
+/** Stream tag for the source/sink fan arcs of randomFlowNetwork: node
+ *  streams use op_id = u < 2^32, so this can never collide. */
+constexpr std::uint64_t kFanStream = 1ULL << 32;
+
 } // namespace
 
 std::vector<Edge>
 randomKOut(Node num_nodes, unsigned k, std::uint64_t seed, bool symmetric)
 {
-    support::Prng rng(seed);
     std::vector<Edge> edges;
     edges.reserve(static_cast<std::size_t>(num_nodes) * k *
                   (symmetric ? 2 : 1));
     std::vector<Node> picks;
     for (Node u = 0; u < num_nodes; ++u) {
+        support::CounterPrng rng(seed, u);
         pickNeighbors(rng, u, num_nodes, k, picks);
         for (Node v : picks) {
             edges.push_back(Edge{u, v, 0});
@@ -49,11 +62,11 @@ std::vector<Edge>
 randomFlowNetwork(Node num_nodes, unsigned k, std::int64_t max_capacity,
                   std::uint64_t seed)
 {
-    support::Prng rng(seed);
     std::vector<Edge> edges;
     edges.reserve(static_cast<std::size_t>(num_nodes) * k * 2);
     std::vector<Node> picks;
     for (Node u = 0; u < num_nodes; ++u) {
+        support::CounterPrng rng(seed, u);
         pickNeighbors(rng, u, num_nodes, k, picks);
         for (Node v : picks) {
             const std::int64_t cap =
@@ -79,6 +92,7 @@ randomFlowNetwork(Node num_nodes, unsigned k, std::int64_t max_capacity,
         fan = std::min<Node>(fan * 4, num_nodes / 2);
         const std::int64_t big = 4 * max_capacity;
         for (Node i = 0; i < fan; ++i) {
+            support::CounterPrng rng(seed, kFanStream + i);
             const Node a = 1 + static_cast<Node>(
                                    rng.nextBounded(num_nodes - 2));
             const Node b = 1 + static_cast<Node>(
@@ -98,4 +112,4 @@ randomFlowNetwork(Node num_nodes, unsigned k, std::int64_t max_capacity,
     return edges;
 }
 
-} // namespace graph
+} // namespace galois::graph

@@ -9,8 +9,12 @@
  *    random neighbors", with random capacities, plus designated source
  *    and sink.
  *
- * All generation is driven by the portable PRNG, so every run — on any
- * machine — sees bit-identical inputs.
+ * All generation is driven by the counter-based PRNG
+ * (support::CounterPrng) with one stream per node: every node's
+ * adjacency is a pure function of (seed, node id), independent of
+ * generation order and execution history, so every run — on any
+ * machine — sees bit-identical inputs. The per-generator golden
+ * fixtures in tests/counter_prng_test.cpp pin the exact output.
  */
 
 #ifndef DETGALOIS_GRAPH_GENERATORS_H

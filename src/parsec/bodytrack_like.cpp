@@ -5,15 +5,21 @@ namespace galois::parsec {
 TrackingProblem
 makeTrackingProblem(std::size_t frames, std::uint64_t seed)
 {
-    support::Prng rng(seed);
     TrackingProblem prob;
     prob.observations.reserve(frames);
     std::array<double, TrackingProblem::kDims> truth{};
+    // The trajectory is a random walk — accumulation is inherently
+    // sequential — but every increment is a pure function of
+    // (seed, frame, dim) via one counter-based stream per frame.
     for (std::size_t f = 0; f < frames; ++f) {
+        const support::CounterPrng rng(seed, f);
         std::array<double, TrackingProblem::kDims> obs{};
         for (int d = 0; d < TrackingProblem::kDims; ++d) {
-            truth[d] += rng.nextDouble(-0.02, 0.02); // smooth motion
-            obs[d] = truth[d] + rng.nextDouble(-0.01, 0.01); // sensor noise
+            const auto step = static_cast<std::uint64_t>(d);
+            truth[d] += rng.peekDouble(step, -0.02, 0.02); // smooth motion
+            obs[d] = truth[d] +
+                     rng.peekDouble(TrackingProblem::kDims + step, -0.01,
+                                    0.01); // sensor noise
         }
         prob.observations.push_back(obs);
     }

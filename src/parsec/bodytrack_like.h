@@ -63,15 +63,22 @@ trackBody(Sched& sched, const TrackingProblem& prob, std::size_t particles,
     std::vector<std::array<double, kD>> next_state(particles);
     std::vector<double> weight(particles, 1.0);
 
-    // Deterministic per-particle noise streams.
-    std::vector<support::Prng> noise;
-    noise.reserve(particles);
-    for (std::size_t p = 0; p < particles; ++p)
-        noise.emplace_back(seed ^ (0x9e3779b97f4a7c15ULL * (p + 1)));
-    for (std::size_t p = 0; p < particles; ++p)
+    // Counter-based per-particle noise: the draw for (particle, frame,
+    // dim) is a pure function of (seed, p, frame, dim) — no stream
+    // state to advance, so the noise a particle sees cannot depend on
+    // resampling history, block partitioning or thread count.
+    const auto noiseAt = [seed](std::size_t p, std::size_t frame, int d,
+                                double lo, double hi) {
+        return support::CounterPrng(seed, p).peekDouble(
+            kD + frame * kD + static_cast<std::size_t>(d), lo, hi);
+    };
+    for (std::size_t p = 0; p < particles; ++p) {
+        const support::CounterPrng init(seed, p);
         for (int d = 0; d < kD; ++d)
-            state[p][d] = noise[p].nextDouble(-1, 1);
+            state[p][d] = init.peekDouble(static_cast<std::size_t>(d), -1, 1);
+    }
 
+    std::size_t frame = 0;
     for (const auto& obs : prob.observations) {
         std::atomic<std::size_t> cursor{0};
 
@@ -90,7 +97,7 @@ trackBody(Sched& sched, const TrackingProblem& prob, std::size_t particles,
                 for (std::size_t p = begin; p < end; ++p) {
                     double dist2 = 0;
                     for (int d = 0; d < kD; ++d) {
-                        state[p][d] += noise[p].nextDouble(-0.05, 0.05);
+                        state[p][d] += noiseAt(p, frame, d, -0.05, 0.05);
                         const double diff = state[p][d] - obs[d];
                         dist2 += diff * diff;
                     }
@@ -128,6 +135,7 @@ trackBody(Sched& sched, const TrackingProblem& prob, std::size_t particles,
             next_state[p] = state[src];
         }
         state.swap(next_state);
+        ++frame;
     }
 
     double err = 0;

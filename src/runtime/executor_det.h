@@ -179,6 +179,17 @@ struct DetOptions
      */
     std::function<void(std::uint64_t, std::uint64_t, std::uint64_t)>
         roundHook;
+    /**
+     * Test-only: seed a pointer-ordered tiebreak into the id-assignment
+     * sort — the canonical environment-determinism bug the detsan v2
+     * audit layer exists to catch (tests/envaudit_test.cpp). The
+     * tiebreak only fires on (parent id, birth rank) ties, which never
+     * occur for well-formed pushes, so the schedule stays deterministic
+     * while the leak is structurally real and both the dynamic EnvLeak
+     * checker and scripts/detaudit.sh can observe it. Never enable
+     * outside tests.
+     */
+    bool envLeakProbe = false;
 
     /**
      * Validate and sanitize: rejects knobs that break the scheduler
@@ -273,7 +284,7 @@ class DetExecutor
           opt_(opt.validated()),
           engine_(threads, use_cache),
           idService_(opt_.localitySpread ? opt_.spreadBuckets : 1,
-                     engine_.threads()),
+                     engine_.threads(), opt_.envLeakProbe),
           window_(opt_.windowConfig()),
           outs_(engine_.threads())
     {
@@ -519,8 +530,14 @@ class DetExecutor
             // folding per-thread commit lists in thread order folds the
             // round's selected set in id order — a pure function of the
             // schedule, never of timing.
-            for (std::uint64_t id : o.committedIds)
+            for (std::uint64_t id : o.committedIds) {
+                // Environment audit: committed ids are the trace digest's
+                // input — a tainted id here means an environmental value
+                // reached the published schedule. Checked on thread 0 in
+                // id order, so the check count is schedule-invariant.
+                DETSAN_VALUE("digest.committed-id", id);
                 report_.traceDigest = fnv1aMix(report_.traceDigest, id);
+            }
             committed += o.committed;
         }
         report_.traceDigest = fnv1aMix(report_.traceDigest, committed);

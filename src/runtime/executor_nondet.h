@@ -149,7 +149,9 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
         // pathological task backs off hard without slowing its thread's
         // other work more than once. The randomness only affects
         // scheduling — this executor is non-deterministic by design.
-        support::Prng backoff_rng(0xabcd1234u + tid);
+        // Counter-based per-thread stream for audit-idiom consistency
+        // (no shared stateful PRNG anywhere in the runtime).
+        support::CounterPrng backoff_rng(0xabcd1234u, tid);
 
         for (;;) {
             std::optional<Entry> e = worklist.pop();

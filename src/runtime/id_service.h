@@ -34,6 +34,7 @@
 #include <utility>
 #include <vector>
 
+#include "analysis/detsan.h"
 #include "support/parallel_sort.h"
 
 namespace galois::runtime {
@@ -61,11 +62,15 @@ class IdService
      *                       sorted order); clamped to >= 1.
      * @param threads        workers for the ranking sort (the sort's
      *                       result does not depend on this).
+     * @param env_leak_probe test-only (DetOptions::envLeakProbe): seed a
+     *                       pointer-ordered tiebreak into the ranking —
+     *                       the canonical environment-determinism bug
+     *                       the audit layer exists to catch.
      */
     explicit IdService(std::uint64_t spread_buckets = 1,
-                       unsigned threads = 1)
+                       unsigned threads = 1, bool env_leak_probe = false)
         : buckets_(std::max<std::uint64_t>(1, spread_buckets)),
-          threads_(std::max(1u, threads))
+          threads_(std::max(1u, threads)), envLeakProbe_(env_leak_probe)
     {}
 
     /**
@@ -76,12 +81,38 @@ class IdService
     void
     assign(std::vector<PendingTask<T>>& pending, Emit&& emit) const
     {
+        // Environment audit (detsan v2): the ranking keys are exactly
+        // the values that decide the deterministic schedule, so they are
+        // checked value channels — a key derived from an address, clock,
+        // hash seed or environment variable is an EnvLeak. One check per
+        // task on thread 0, so the violation counts (and the sorted
+        // report) are pure functions of the schedule.
+        for (const PendingTask<T>& p : pending) {
+            DETSAN_VALUE("idservice.parent-id", p.parentId);
+            DETSAN_VALUE("idservice.birth-rank", p.birthRank);
+        }
+        if (envLeakProbe_) {
+            // Seeded leak (test-only): derive a tiebreak from each
+            // record's address — the pointer-ordered-worklist bug. The
+            // taint wrapper registers the address bits; the channel
+            // check below must flag every one of them. (parent, rank)
+            // pairs are unique, so the tiebreak never actually reorders
+            // anything and the schedule — hence the report — stays
+            // deterministic while the leak is still structurally real.
+            for (const PendingTask<T>& p : pending) {
+                const std::uint64_t tiebreak = DETSAN_TAINT_ADDRESS(&p);
+                DETSAN_VALUE("idservice.pointer-tiebreak", tiebreak);
+            }
+        }
         support::parallelSort(
             pending,
-            [](const PendingTask<T>& a, const PendingTask<T>& b) {
+            [probe = envLeakProbe_](const PendingTask<T>& a,
+                                    const PendingTask<T>& b) {
                 if (a.parentId != b.parentId)
                     return a.parentId < b.parentId;
-                return a.birthRank < b.birthRank;
+                if (a.birthRank != b.birthRank || !probe)
+                    return a.birthRank < b.birthRank;
+                return DETSAN_TAINT_ADDRESS(&a) < DETSAN_TAINT_ADDRESS(&b);
             },
             threads_);
 
@@ -99,6 +130,7 @@ class IdService
   private:
     std::uint64_t buckets_;
     unsigned threads_;
+    bool envLeakProbe_;
 };
 
 } // namespace galois::runtime

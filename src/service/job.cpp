@@ -180,6 +180,8 @@ Receipt::toJson() const
         if (hasVerified)
             out += std::string(",\"verified\":") +
                    (verified ? "true" : "false");
+        out += std::string(",\"env_audited\":") +
+               (envAudited ? "true" : "false");
     }
     if (!spec.app.empty()) {
         out += ",\"params\":{\"app\":" + wire::quote(spec.app);

@@ -101,6 +101,11 @@ struct Receipt
     JobSpec spec;               //!< echoed parameters
     bool verified = false;      //!< digest matched spec.expectDigest
     bool hasVerified = false;   //!< expectDigest was present
+    /** The run executed under the detsan v2 environment audit: the
+     *  service was built with DETGALOIS_DETSAN and value-taint checks
+     *  were enabled, so a digest accompanied by env_audited=true was
+     *  additionally screened for address/clock/hash-seed/env leaks. */
+    bool envAudited = false;
     double queueSeconds = 0;    //!< admission -> lane pickup
     double runSeconds = 0;      //!< lane pickup -> completion
 

@@ -4,6 +4,7 @@
 #include <future>
 #include <optional>
 
+#include "analysis/detsan.h"
 #include "support/thread_pool.h"
 #include "support/timer.h"
 
@@ -220,6 +221,15 @@ DetService::executeJob(const JobSpec& spec, const ServiceConfig& cfg,
             runtime::RunReport report = runAppJob(spec, runCfg);
             r.status = JobStatus::Ok;
             r.digest = report.traceDigest;
+#if DETGALOIS_DETSAN_INSTRUMENTED
+            // This TU was compiled with the sanitizer: the digest above
+            // went through the value-taint channels, so advertise the
+            // audit on the receipt (when the checks were actually on).
+            {
+                const analysis::DetSanOptions dso = analysis::options();
+                r.envAudited = dso.enabled && dso.checkValues;
+            }
+#endif
             r.record = runtime::makeBenchRecord(
                 spec.app, execName(runCfg.exec), runCfg.threads, report);
             r.hasRecord = true;

@@ -38,6 +38,108 @@ class SplitMix64
 };
 
 /**
+ * Counter-based PRNG: every output is a pure function of
+ * (seed, op_id, step).
+ *
+ * Unlike a stateful generator, whose n-th draw depends on who consumed
+ * the stream before you, a counter-based stream is random access: the
+ * value at any step can be computed (peek()) without generating its
+ * predecessors, and two consumers keyed by different op_ids can never
+ * perturb each other. Keying op_id by a deterministic task id makes
+ * task-level randomness bit-identical regardless of execution history,
+ * thread count or backend — which is exactly the property the input
+ * generators and any randomized operator need to keep the portability
+ * guarantee honest (the environment-determinism audit, DESIGN.md
+ * section 12, bans stateful shared streams on task paths).
+ *
+ * The word function is a three-input stateless mix: each input is
+ * folded in with its own odd multiplier (so streams that differ in any
+ * one coordinate are unrelated) with a SplitMix64-style finalizer round
+ * between foldings for avalanche. Statistical, not cryptographic,
+ * quality — same contract as Prng below, verified by
+ * tests/counter_prng_test.cpp (full 32/64-bit coverage, purity,
+ * stream independence).
+ */
+class CounterPrng
+{
+  public:
+    CounterPrng(std::uint64_t seed, std::uint64_t op_id)
+        : seed_(seed), op_(op_id)
+    {}
+
+    /** The pure word function: draw `step` of stream (seed, op_id). */
+    static std::uint64_t
+    eval(std::uint64_t seed, std::uint64_t op_id, std::uint64_t step)
+    {
+        std::uint64_t z = seed ^ 0x6a09e667f3bcc909ULL;
+        z += op_id * 0x9e3779b97f4a7c15ULL;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z += step * 0xd1342543de82ef95ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z = (z ^ (z >> 31)) * 0xff51afd7ed558ccdULL;
+        return z ^ (z >> 33);
+    }
+
+    /** Fold three identifiers into one op_id (distinct, deterministic). */
+    static std::uint64_t
+    makeOpId(std::uint64_t a, std::uint64_t b, std::uint64_t c = 0)
+    {
+        return eval(a, b, c);
+    }
+
+    /** Pure random access: the value at `step`, no state touched. */
+    std::uint64_t peek(std::uint64_t step) const { return eval(seed_, op_, step); }
+
+    /** peek() mapped to a uniform double in [0, 1). */
+    double
+    peekDouble(std::uint64_t step) const
+    {
+        return static_cast<double>(peek(step) >> 11) * 0x1.0p-53;
+    }
+
+    /** peek() mapped to a uniform double in [lo, hi). */
+    double
+    peekDouble(std::uint64_t step, double lo, double hi) const
+    {
+        return lo + (hi - lo) * peekDouble(step);
+    }
+
+    /** Sequential convenience: returns peek(step) and advances step. */
+    std::uint64_t next() { return peek(step_++); }
+
+    /** Uniform integer in [0, bound) using the multiply-shift reduction. */
+    std::uint64_t
+    nextBounded(std::uint64_t bound)
+    {
+        return static_cast<std::uint64_t>(
+            (static_cast<__uint128_t>(next()) * bound) >> 64);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    nextDouble(double lo, double hi)
+    {
+        return lo + (hi - lo) * nextDouble();
+    }
+
+    std::uint64_t seed() const { return seed_; }
+    std::uint64_t opId() const { return op_; }
+    std::uint64_t step() const { return step_; }
+
+  private:
+    std::uint64_t seed_;
+    std::uint64_t op_;
+    std::uint64_t step_ = 0;
+};
+
+/**
  * Xoshiro256** — fast, high-quality, portable PRNG.
  *
  * Deterministic across platforms given the same seed; used for all input

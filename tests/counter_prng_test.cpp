@@ -1,0 +1,249 @@
+/**
+ * @file
+ * CounterPrng purity, independence and statistical tests, plus golden
+ * fixtures pinning the counter-based generator outputs.
+ *
+ * CounterPrng (support/prng.h) is the audit-sanctioned randomness of
+ * the codebase: eval(seed, op_id, step) is a pure function, so any
+ * consumer keyed by a deterministic id draws values that are
+ * independent of execution history, thread count, and backend. These
+ * tests prove the purity claims directly, sanity-check the mixer's
+ * statistics (bit balance, bounded uniformity, full 32/64-bit reach),
+ * and pin the exact edge lists / point sets the graph and geometry
+ * generators now produce — the golden fixtures a future generator
+ * refactor must consciously regenerate (together with
+ * scripts/golden_digests.txt, see scripts/check_digests.sh).
+ */
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/dt.h"
+#include "apps/sssp.h"
+#include "graph/generators.h"
+#include "support/prng.h"
+
+namespace {
+
+using galois::support::CounterPrng;
+
+// FNV-1a 64 over a byte-decomposed u64 stream: the same fold the trace
+// digest uses, applied to generator outputs.
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t
+fold(std::uint64_t h, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (8 * i)) & 0xff;
+        h *= kFnvPrime;
+    }
+    return h;
+}
+
+std::uint64_t
+edgeDigest(const std::vector<galois::graph::Edge>& edges)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const galois::graph::Edge& e : edges) {
+        h = fold(h, e.src);
+        h = fold(h, e.dst);
+        h = fold(h, static_cast<std::uint64_t>(e.data));
+    }
+    return fold(h, edges.size());
+}
+
+std::uint64_t
+pointDigest(const std::vector<galois::geom::Point>& pts)
+{
+    std::uint64_t h = kFnvOffset;
+    for (const galois::geom::Point& p : pts) {
+        h = fold(h, std::bit_cast<std::uint64_t>(p.x));
+        h = fold(h, std::bit_cast<std::uint64_t>(p.y));
+    }
+    return fold(h, pts.size());
+}
+
+// ---------------------------------------------------------------------
+// Purity: eval is a pure function of (seed, op_id, step).
+// ---------------------------------------------------------------------
+
+TEST(CounterPrng, EvalIsPureInAllThreeInputs)
+{
+    for (std::uint64_t seed : {0ULL, 1ULL, 0x123456789abcdefULL}) {
+        for (std::uint64_t op : {0ULL, 7ULL, ~0ULL}) {
+            for (std::uint64_t step : {0ULL, 1ULL, 1000000ULL}) {
+                EXPECT_EQ(CounterPrng::eval(seed, op, step),
+                          CounterPrng::eval(seed, op, step));
+            }
+        }
+    }
+}
+
+TEST(CounterPrng, NextEqualsPeekAtTheCursor)
+{
+    CounterPrng a(42, 7);
+    CounterPrng b(42, 7);
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        EXPECT_EQ(a.peek(i), CounterPrng::eval(42, 7, i));
+        EXPECT_EQ(a.next(), b.peek(i));
+    }
+    EXPECT_EQ(a.step(), 100u);
+    // peek never advanced b's cursor.
+    EXPECT_EQ(b.step(), 0u);
+    EXPECT_EQ(b.next(), CounterPrng::eval(42, 7, 0));
+}
+
+TEST(CounterPrng, TwoInstancesWithTheSameKeysAgreeRegardlessOfHistory)
+{
+    CounterPrng fresh(9, 3);
+    CounterPrng used(9, 3);
+    for (int i = 0; i < 57; ++i)
+        (void)used.peek(static_cast<std::uint64_t>(i) * 31); // history
+    for (std::uint64_t i = 0; i < 16; ++i)
+        EXPECT_EQ(fresh.peek(i), used.peek(i));
+}
+
+TEST(CounterPrng, StreamsAreIndependentAcrossSeedAndOpId)
+{
+    // Distinct (seed, op) streams must not collide on a shared prefix.
+    const int kLen = 64;
+    std::vector<std::uint64_t> a, b, c;
+    for (int i = 0; i < kLen; ++i) {
+        a.push_back(CounterPrng::eval(1, 1, static_cast<std::uint64_t>(i)));
+        b.push_back(CounterPrng::eval(1, 2, static_cast<std::uint64_t>(i)));
+        c.push_back(CounterPrng::eval(2, 1, static_cast<std::uint64_t>(i)));
+    }
+    EXPECT_NE(a, b);
+    EXPECT_NE(a, c);
+    EXPECT_NE(b, c);
+    // ... and adjacent keys differ in every single draw (the mixer's
+    // finalizer decorrelates +1 in any input).
+    for (int i = 0; i < kLen; ++i) {
+        EXPECT_NE(a[i], b[i]);
+        EXPECT_NE(a[i], c[i]);
+    }
+}
+
+TEST(CounterPrng, MakeOpIdIsDeterministicAndSpreads)
+{
+    EXPECT_EQ(CounterPrng::makeOpId(1, 2, 3), CounterPrng::makeOpId(1, 2, 3));
+    EXPECT_NE(CounterPrng::makeOpId(1, 2, 3), CounterPrng::makeOpId(1, 2, 4));
+    EXPECT_NE(CounterPrng::makeOpId(1, 2), CounterPrng::makeOpId(2, 1));
+}
+
+// ---------------------------------------------------------------------
+// Statistics: the mixer reaches the full 32/64-bit range with balanced
+// bits and uniform bounded draws. (Sanity bars, not PractRand.)
+// ---------------------------------------------------------------------
+
+TEST(CounterPrng, BitsAreBalancedAndFullWidthIsReached)
+{
+    const int kDraws = 4096;
+    int ones[64] = {};
+    std::uint64_t accum_or = 0, accum_and = ~0ULL;
+    CounterPrng rng(0xdecafbadULL, 0);
+    for (int i = 0; i < kDraws; ++i) {
+        const std::uint64_t v = rng.next();
+        accum_or |= v;
+        accum_and &= v;
+        for (int bit = 0; bit < 64; ++bit)
+            ones[bit] += static_cast<int>((v >> bit) & 1);
+    }
+    // Every one of the 64 bits (so both 32-bit halves) takes both
+    // values across the sample...
+    EXPECT_EQ(accum_or, ~0ULL);
+    EXPECT_EQ(accum_and, 0ULL);
+    // ...and close to half the time (5-sigma band: ~32 +/- 160/2 would
+    // be far looser; 1648..2448 is ~12 sigma, catching gross bias only).
+    for (int bit = 0; bit < 64; ++bit) {
+        EXPECT_GT(ones[bit], kDraws / 2 - 400) << "bit " << bit;
+        EXPECT_LT(ones[bit], kDraws / 2 + 400) << "bit " << bit;
+    }
+}
+
+TEST(CounterPrng, BoundedDrawsAreInRangeAndRoughlyUniform)
+{
+    const std::uint64_t kBound = 10;
+    const int kDraws = 10000;
+    int buckets[10] = {};
+    CounterPrng rng(31337, 1);
+    for (int i = 0; i < kDraws; ++i) {
+        const std::uint64_t v = rng.nextBounded(kBound);
+        ASSERT_LT(v, kBound);
+        ++buckets[v];
+    }
+    for (int b = 0; b < 10; ++b) {
+        EXPECT_GT(buckets[b], 800) << "bucket " << b; // expect ~1000
+        EXPECT_LT(buckets[b], 1200) << "bucket " << b;
+    }
+    EXPECT_EQ(rng.nextBounded(1), 0u);
+}
+
+TEST(CounterPrng, DoubleDrawsRespectBoundsAndCenter)
+{
+    CounterPrng rng(777, 2);
+    double sum = 0;
+    const int kDraws = 10000;
+    for (int i = 0; i < kDraws; ++i) {
+        const double d = rng.nextDouble();
+        ASSERT_GE(d, 0.0);
+        ASSERT_LT(d, 1.0);
+        sum += d;
+    }
+    EXPECT_NEAR(sum / kDraws, 0.5, 0.02);
+    for (int i = 0; i < 100; ++i) {
+        const double d = rng.nextDouble(-3.0, 5.0);
+        ASSERT_GE(d, -3.0);
+        ASSERT_LT(d, 5.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden fixtures: the counter-based generators' outputs, pinned.
+// A change here is a deliberate input change and must also regenerate
+// scripts/golden_digests.txt and scripts/bench_baseline.json.
+// ---------------------------------------------------------------------
+
+TEST(CounterPrngGolden, RandomKOutEdgeListIsPinned)
+{
+    const auto edges = galois::graph::randomKOut(100, 4, 11, true);
+    EXPECT_EQ(edges.size(), 800u); // 100 * 4, symmetric
+    EXPECT_EQ(edgeDigest(edges), 0x6e28e678f1b60bd4ULL);
+    // Byte-identical on regeneration (no hidden state).
+    EXPECT_EQ(edgeDigest(galois::graph::randomKOut(100, 4, 11, true)),
+              edgeDigest(edges));
+}
+
+TEST(CounterPrngGolden, RandomFlowNetworkIsPinned)
+{
+    const auto edges = galois::graph::randomFlowNetwork(64, 3, 30, 31);
+    EXPECT_EQ(edgeDigest(edges), 0xcd4e370bb3f36f6cULL);
+}
+
+TEST(CounterPrngGolden, RandomWeightedGraphIsPinned)
+{
+    const auto edges = galois::apps::sssp::randomWeightedGraph(80, 3, 100, 13);
+    EXPECT_EQ(edgeDigest(edges), 0x88b29ad4a7df3a2aULL);
+}
+
+TEST(CounterPrngGolden, RandomPointsArePinned)
+{
+    const auto pts = galois::apps::dt::randomPoints(50, 41);
+    EXPECT_EQ(pts.size(), 50u);
+    EXPECT_EQ(pointDigest(pts), 0x5f17734c9aae549fULL);
+    // Every coordinate is in the unit square (peekDouble contract).
+    for (const auto& p : pts) {
+        EXPECT_GE(p.x, 0.0);
+        EXPECT_LT(p.x, 1.0);
+        EXPECT_GE(p.y, 0.0);
+        EXPECT_LT(p.y, 1.0);
+    }
+}
+
+} // namespace

@@ -60,13 +60,14 @@ sameViolation(const Violation& a, const Violation& b)
            a.generation == b.generation && a.round == b.round &&
            std::strcmp(a.phase, b.phase) == 0 &&
            std::strcmp(a.file, b.file) == 0 && a.line == b.line &&
-           a.count == b.count;
+           a.count == b.count && std::strcmp(a.channel, b.channel) == 0 &&
+           std::strcmp(a.source, b.source) == 0;
 }
 
 bool
 sameReport(const DetSanReport& a, const DetSanReport& b)
 {
-    if (a.truncated != b.truncated ||
+    if (a.truncated != b.truncated || a.taintOverflow != b.taintOverflow ||
         a.violations.size() != b.violations.size())
         return false;
     for (std::size_t i = 0; i < a.violations.size(); ++i) {
@@ -362,6 +363,119 @@ TEST_F(DetSanTest, FailFastThrowsAtTheViolatingAccess)
     detsan::beginTask(5, "test");
     EXPECT_THROW(DETSAN_WRITE(a), detsan::DetSanError);
     detsan::endTask();
+}
+
+// ---------------------------------------------------------------------
+// v2: environment-taint value channels (EnvLeak).
+// ---------------------------------------------------------------------
+
+TEST_F(DetSanTest, TaintedAddressReachingAChannelIsAnEnvLeak)
+{
+    int anchor = 0;
+    const std::uint64_t key = DETSAN_TAINT_ADDRESS(&anchor);
+    EXPECT_TRUE(detsan::valueTainted(key));
+    g_violationLine = __LINE__ + 1;
+    DETSAN_VALUE("test.sort-key", key);
+
+    const DetSanReport report = detsan::takeReport();
+    ASSERT_EQ(report.violations.size(), 1u) << report.toString();
+    const Violation& v = report.violations.front();
+    EXPECT_EQ(v.kind, ViolationKind::EnvLeak);
+    EXPECT_STREQ(v.channel, "test.sort-key");
+    EXPECT_STREQ(v.source, "address");
+    EXPECT_EQ(v.line, g_violationLine);
+    EXPECT_NE(std::strstr(v.file, "detsan_test.cpp"), nullptr) << v.file;
+    EXPECT_EQ(v.taskId, 0u); // channels are legal outside task scope
+    // The rendered line names the channel and the origin.
+    EXPECT_NE(v.toString().find("test.sort-key"), std::string::npos);
+    EXPECT_NE(v.toString().find("address"), std::string::npos);
+}
+
+TEST_F(DetSanTest, EveryTaintSourceIsNamedOnTheReport)
+{
+    DETSAN_VALUE("test.clock", DETSAN_TAINT_CLOCK(101));
+    DETSAN_VALUE("test.hash", DETSAN_TAINT_HASH_SEED(202));
+    DETSAN_VALUE("test.env", DETSAN_TAINT_ENV(303));
+
+    const DetSanReport report = detsan::takeReport();
+    ASSERT_EQ(report.violations.size(), 3u) << report.toString();
+    bool clock = false, hash = false, env = false;
+    for (const Violation& v : report.violations) {
+        EXPECT_EQ(v.kind, ViolationKind::EnvLeak);
+        clock |= std::strcmp(v.source, "clock") == 0;
+        hash |= std::strcmp(v.source, "hash-seed") == 0;
+        env |= std::strcmp(v.source, "env") == 0;
+    }
+    EXPECT_TRUE(clock && hash && env) << report.toString();
+}
+
+TEST_F(DetSanTest, UntaintedValuesPassChannelsSilently)
+{
+    for (std::uint64_t v = 0; v < 64; ++v)
+        DETSAN_VALUE("test.id", v);
+    EXPECT_TRUE(detsan::takeReport().clean());
+}
+
+TEST_F(DetSanTest, ValueChecksCarryTheActiveTaskLabels)
+{
+    const std::uint64_t t = DETSAN_TAINT_CLOCK(404);
+    detsan::setRound(2, 5);
+    detsan::beginTask(7, "commit");
+    DETSAN_VALUE("test.key", t);
+    detsan::endTask();
+
+    const DetSanReport report = detsan::takeReport();
+    ASSERT_EQ(report.violations.size(), 1u) << report.toString();
+    const Violation& v = report.violations.front();
+    EXPECT_EQ(v.taskId, 7u);
+    EXPECT_EQ(v.generation, 2u);
+    EXPECT_EQ(v.round, 5u);
+    EXPECT_STREQ(v.phase, "commit");
+}
+
+TEST_F(DetSanTest, RepeatedLeaksDeduplicateWithCounts)
+{
+    const std::uint64_t t = DETSAN_TAINT_ENV(505);
+    for (int i = 0; i < 5; ++i)
+        DETSAN_VALUE("test.repeat", t);
+
+    const DetSanReport report = detsan::takeReport();
+    ASSERT_EQ(report.violations.size(), 1u) << report.toString();
+    EXPECT_EQ(report.violations.front().count, 5u);
+}
+
+TEST_F(DetSanTest, CheckValuesKnobDisablesTheChannel)
+{
+    DetSanOptions opts;
+    opts.checkValues = false;
+    detsan::configure(opts);
+
+    const std::uint64_t t = DETSAN_TAINT_CLOCK(606);
+    EXPECT_FALSE(detsan::valueTainted(t)); // registration is off too
+    DETSAN_VALUE("test.key", t);
+    EXPECT_TRUE(detsan::takeReport().clean());
+}
+
+TEST_F(DetSanTest, ClearedTaintsAreForgotten)
+{
+    const std::uint64_t t = DETSAN_TAINT_HASH_SEED(707);
+    EXPECT_TRUE(detsan::valueTainted(t));
+    detsan::clearTaints();
+    EXPECT_FALSE(detsan::valueTainted(t));
+    DETSAN_VALUE("test.key", t);
+    EXPECT_TRUE(detsan::takeReport().clean());
+}
+
+TEST_F(DetSanTest, TaintRegistryOverflowIsFlagged)
+{
+    // The registry is a bounded checking-mode structure; exceeding the
+    // cap must degrade visibly (report not clean), never silently.
+    for (std::uint64_t i = 0; i < (1u << 16) + 8u; ++i)
+        detsan::taintValue(detsan::TaintSource::Clock,
+                           0xfeed0000'00000000ULL + i, __FILE__, __LINE__);
+    const DetSanReport report = detsan::takeReport();
+    EXPECT_TRUE(report.taintOverflow);
+    EXPECT_FALSE(report.clean());
 }
 
 TEST_F(DetSanTest, ViolationCapMarksReportTruncated)

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/detsan.h"
 #include "service/server.h"
 
 using galois::service::DetService;
@@ -245,6 +246,50 @@ TEST(ServiceDegradation, OverwideRequestClampsAndStillVerifies)
     EXPECT_LE(r.record.threads,
               galois::support::ThreadPool::get().maxThreads());
     EXPECT_EQ(r.digest, DetService::runInline(bfsJob("narrow", 1)).digest);
+}
+
+TEST(ServiceAudit, LaneReportAndDigestMatchStandalone)
+{
+    // Detsan report determinism under the service: the same job run
+    // through a 2-lane DetService and standalone (runInline) must yield
+    // a byte-identical sanitizer report and the same receipt digest.
+    // In the instrumented compilation of this file (service_audit_test)
+    // the checked value channels actually fire; uninstrumented, the
+    // reports are trivially empty and the digest check still bites.
+    namespace detsan = galois::analysis;
+    detsan::configure(detsan::DetSanOptions{});
+    const Receipt standalone = DetService::runInline(bfsJob("standalone"));
+    const std::string standaloneReport = detsan::takeReport().toString();
+    ASSERT_EQ(standalone.status, JobStatus::Ok) << standalone.error;
+
+    ServiceConfig cfg;
+    cfg.lanes = 2;
+    DetService svc(cfg);
+    detsan::configure(detsan::DetSanOptions{});
+    const Receipt lane = svc.submitAndWait(bfsJob("lane"));
+    const std::string laneReport = detsan::takeReport().toString();
+    ASSERT_EQ(lane.status, JobStatus::Ok) << lane.error;
+
+    EXPECT_EQ(lane.digest, standalone.digest);
+    EXPECT_EQ(laneReport, standaloneReport);
+}
+
+TEST(ServiceAudit, ReceiptCarriesTheEnvAuditedFlag)
+{
+    // env_audited is stamped from the service's own compilation state:
+    // true exactly when server.cpp was built with DETGALOIS_DETSAN and
+    // the value checks are on (the default), false otherwise. This test
+    // is compiled both ways (service_test / service_audit_test), so
+    // both sides of the contract are exercised by plain ctest.
+    galois::analysis::configure(galois::analysis::DetSanOptions{});
+    const Receipt r = DetService::runInline(bfsJob("audited"));
+    ASSERT_EQ(r.status, JobStatus::Ok) << r.error;
+    EXPECT_EQ(r.envAudited, DETGALOIS_DETSAN_INSTRUMENTED == 1);
+    const std::string j = r.toJson();
+    EXPECT_NE(j.find(std::string("\"env_audited\":") +
+                     (DETGALOIS_DETSAN_INSTRUMENTED ? "true" : "false")),
+              std::string::npos)
+        << j;
 }
 
 TEST(ServiceReceipt, JsonCarriesSchemaStatusAndParams)

@@ -113,6 +113,11 @@ fromPbbs(const pbbs::PbbsStats& s, bool locality)
     m.report.aborted = s.aborted;
     m.report.atomicOps = s.atomicOps;
     m.report.rounds = s.rounds;
+    // Keep the schedule fields consistent across executors: any run
+    // that executed rounds did so within (at least) one generation —
+    // matching the det/nondet emitters, where generations == 0 only for
+    // runs that executed nothing (and for serial, which has neither).
+    m.report.generations = s.rounds > 0 ? 1 : 0;
     m.report.cacheAccesses = m.cacheAccesses;
     m.report.cacheMisses = m.cacheMisses;
     return m;

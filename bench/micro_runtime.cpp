@@ -12,11 +12,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "galois/galois.h"
 #include "graph/csr_graph.h"
 #include "graph/generators.h"
+#include "runtime/conflict.h"
 #include "runtime/worklist.h"
 #include "support/barrier.h"
 #include "support/failpoint.h"
@@ -52,6 +55,90 @@ BM_MarkMax(benchmark::State& state)
     }
 }
 BENCHMARK(BM_MarkMax);
+
+/**
+ * Mark-acquisition protocols, one round of 256 tasks x 4 locations with
+ * overlap. Single: the eager protocol — one writeMarksMax CAS per
+ * acquire, losers flagged as they are displaced. Batched: the batched
+ * protocol — acquires append to a collection lane, one serial id-order
+ * fold resolves every conflict with plain stores (runtime/conflict.h),
+ * winners released with plain stores. Same interference graph, same
+ * final flags; the difference is pure protocol cost.
+ */
+constexpr int kMarkTasks = 256;
+constexpr int kMarkLocs = 4; //!< acquires per task
+constexpr int kMarkTable = 512;
+
+inline runtime::Lockable&
+markBenchLock(std::vector<runtime::Lockable>& locks, int t, int j)
+{
+    return locks[static_cast<std::size_t>(t * 7 + j * 131) % kMarkTable];
+}
+
+void
+BM_MarkAcquireSingle(benchmark::State& state)
+{
+    std::vector<runtime::Lockable> locks(kMarkTable);
+    std::vector<runtime::DetRecordBase> recs(kMarkTasks);
+    for (int t = 0; t < kMarkTasks; ++t)
+        recs[t].id = static_cast<std::uint64_t>(t) + 1;
+    for (auto _ : state) {
+        for (int t = 0; t < kMarkTasks; ++t) {
+            for (int j = 0; j < kMarkLocs; ++j) {
+                runtime::MarkOwner* displaced = nullptr;
+                runtime::Lockable& l = markBenchLock(locks, t, j);
+                if (l.markMax(&recs[t], displaced)) {
+                    if (displaced != nullptr)
+                        static_cast<runtime::DetRecordBase*>(displaced)
+                            ->notSelected.store(true,
+                                                std::memory_order_release);
+                } else {
+                    recs[t].notSelected.store(true,
+                                              std::memory_order_release);
+                }
+            }
+        }
+        for (runtime::Lockable& l : locks)
+            l.forceRelease();
+        for (runtime::DetRecordBase& r : recs)
+            r.notSelected.store(false, std::memory_order_relaxed);
+    }
+    state.SetItemsProcessed(state.iterations() * kMarkTasks * kMarkLocs);
+}
+BENCHMARK(BM_MarkAcquireSingle);
+
+void
+BM_MarkAcquireBatched(benchmark::State& state)
+{
+    std::vector<runtime::Lockable> locks(kMarkTable);
+    std::vector<runtime::DetRecordBase> recs(kMarkTasks);
+    for (int t = 0; t < kMarkTasks; ++t)
+        recs[t].id = static_cast<std::uint64_t>(t) + 1;
+    std::vector<runtime::Lockable*> lane;
+    lane.reserve(kMarkTasks * kMarkLocs);
+    std::vector<runtime::Lockable*> winners;
+    winners.reserve(kMarkTable);
+    for (auto _ : state) {
+        // Inspect: collect (what UserContext::acquire does per acquire).
+        lane.clear();
+        for (int t = 0; t < kMarkTasks; ++t)
+            for (int j = 0; j < kMarkLocs; ++j)
+                lane.push_back(&markBenchLock(locks, t, j));
+        // Fold: claim in id order with plain stores.
+        winners.clear();
+        std::size_t k = 0;
+        for (int t = 0; t < kMarkTasks; ++t)
+            for (int j = 0; j < kMarkLocs; ++j)
+                runtime::claimMarkFold(*lane[k++], &recs[t], winners);
+        // Merge: release winners, reset flags for the next round.
+        for (runtime::Lockable* l : winners)
+            l->forceRelease();
+        for (runtime::DetRecordBase& r : recs)
+            r.notSelected.store(false, std::memory_order_relaxed);
+    }
+    state.SetItemsProcessed(state.iterations() * kMarkTasks * kMarkLocs);
+}
+BENCHMARK(BM_MarkAcquireBatched);
 
 void
 BM_WorklistPushPop(benchmark::State& state)
@@ -194,7 +281,8 @@ BENCHMARK(BM_DetSanValueChannelTainted);
 
 /** Per-task executor overhead: N trivial independent tasks. */
 void
-executorOverhead(benchmark::State& state, Exec exec, unsigned threads)
+executorOverhead(benchmark::State& state, Exec exec, unsigned threads,
+                 PhaseFusion fusion = PhaseFusion::Fused)
 {
     const int n = 16384;
     std::vector<Lockable> locks(n);
@@ -204,12 +292,14 @@ executorOverhead(benchmark::State& state, Exec exec, unsigned threads)
     Config cfg;
     cfg.exec = exec;
     cfg.threads = threads;
+    cfg.det.fusion = fusion;
     for (auto _ : state) {
         auto report = forEach(
             init,
             [&](std::uint32_t& i, Context<std::uint32_t>& ctx) {
                 ctx.acquire(locks[i]);
-                ctx.cautiousPoint();
+                if (ctx.tryCautiousPoint())
+                    return;
             },
             cfg);
         benchmark::DoNotOptimize(report.committed);
@@ -239,6 +329,31 @@ BM_ExecutorDet(benchmark::State& state)
                      static_cast<unsigned>(state.range(0)));
 }
 BENCHMARK(BM_ExecutorDet)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+/**
+ * Barrier-placement A/B of the round protocol (PhaseFusion): identical
+ * schedule and work, two rendezvous per round (fused, serial steps in
+ * barrier completion sections) vs five (unfused legacy shape). The gap
+ * is the per-round synchronization cost the fusion removes — visible
+ * at multi-thread counts, where each rendezvous parks real peers.
+ */
+void
+BM_RoundFused(benchmark::State& state)
+{
+    executorOverhead(state, Exec::Det,
+                     static_cast<unsigned>(state.range(0)),
+                     PhaseFusion::Fused);
+}
+BENCHMARK(BM_RoundFused)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void
+BM_RoundUnfused(benchmark::State& state)
+{
+    executorOverhead(state, Exec::Det,
+                     static_cast<unsigned>(state.range(0)),
+                     PhaseFusion::Unfused);
+}
+BENCHMARK(BM_RoundUnfused)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -67,7 +67,8 @@ main(int argc, char** argv)
                 const int to = (i * 13 + 7) % num_cells;
                 ctx.acquire(locks[from]);
                 ctx.acquire(locks[to]);
-                ctx.cautiousPoint();
+                if (ctx.tryCautiousPoint())
+                    return;
                 // Non-commutative transfer: the final state encodes the
                 // execution order, so determinism is visible.
                 const long long amount = cells[from] / 3 + i % 10;

@@ -15,6 +15,13 @@ Failure conditions (exit 1):
   * any deterministic-executor digest differs — determinism makes this
     an exact, noise-free check: same input => same schedule => same
     digest, on every machine and thread count;
+  * an atomic_ops regression: per (app, executor, threads) record,
+    fresh atomic_ops may not exceed max(baseline * (1 + atomics
+    threshold), --min-ops). The floor keeps a zero-ops deterministic
+    baseline gateable (the batched mark protocol performs no atomic
+    RMWs) without tripping over trivial counts; the generous default
+    ratio (+50%) absorbs the speculative executor's timing-dependent
+    CAS jitter;
   * a timing regression beyond the threshold (default +25%), measured
     on min-over-reps (min_s) when both documents carry it, falling back
     to median_s.
@@ -66,7 +73,8 @@ def by_key(doc, path):
 
 
 def check(baseline_path, fresh_path, threshold=0.25, min_time=0.002,
-          time_threads=None, out=sys.stdout):
+          time_threads=None, atomics_threshold=0.5, min_ops=1000,
+          out=sys.stdout):
     """Return a list of failure strings (empty = gate passes)."""
     base_doc = load(baseline_path)
     fresh_doc = load(fresh_path)
@@ -102,6 +110,25 @@ def check(baseline_path, fresh_path, threshold=0.25, min_time=0.002,
                 failures.append(
                     f"{name}: {field} {f.get(field)} != baseline "
                     f"{b.get(field)}")
+
+    # Atomic-operation gate (all executors): the batched mark protocol's
+    # headline win, locked in as a ratio against the baseline. The
+    # min_ops floor keeps a zero-ops deterministic baseline enforceable
+    # while ignoring trivial fluctuations; the ratio absorbs the
+    # speculative executor's timing-dependent CAS jitter.
+    for k in sorted(base):
+        if k not in fresh:
+            continue
+        b_ops = base[k].get("atomic_ops")
+        f_ops = fresh[k].get("atomic_ops")
+        if b_ops is None or f_ops is None:
+            continue
+        allowed = max(b_ops * (1.0 + atomics_threshold), float(min_ops))
+        if f_ops > allowed:
+            failures.append(
+                f"{'/'.join(map(str, k))}: atomic_ops {f_ops} > allowed "
+                f"{allowed:.0f} (baseline {b_ops}, "
+                f"+{atomics_threshold:.0%} / floor {min_ops})")
 
     # Normalized timing check. Prefer min-over-reps when both documents
     # carry it: the fastest rep is the one least disturbed by scheduling
@@ -155,14 +182,16 @@ def self_test():
     bad_failures = check(baseline, regress, out=sink)
     perf = [f for f in bad_failures if "regressed" in f]
     digest = [f for f in bad_failures if "digest" in f]
-    if not perf or not digest:
+    atomics = [f for f in bad_failures if "atomic_ops" in f]
+    if not perf or not digest or not atomics:
         print("self-test FAILED: regressing fixture was not caught "
               f"(failures: {bad_failures})")
         return 1
 
     print("self-test passed: within-noise fixture accepted, regressing "
           "fixture rejected "
-          f"({len(perf)} perf, {len(digest)} digest findings)")
+          f"({len(perf)} perf, {len(digest)} digest, {len(atomics)} "
+          "atomic_ops findings)")
     return 0
 
 
@@ -175,6 +204,12 @@ def main(argv):
     ap.add_argument("--min-time", type=float, default=0.002,
                     help="skip records with baseline median below this "
                          "many seconds (default 0.002)")
+    ap.add_argument("--atomics-threshold", type=float, default=0.5,
+                    help="allowed atomic_ops growth over baseline "
+                         "(default 0.5 = +50%%)")
+    ap.add_argument("--min-ops", type=int, default=1000,
+                    help="atomic_ops gate floor: counts up to this are "
+                         "never a failure (default 1000)")
     ap.add_argument("--time-threads", default=None,
                     help="comma list of thread counts whose timings are "
                          "gated (default: all). Digest/schedule checks "
@@ -195,7 +230,8 @@ def main(argv):
         time_threads = {int(t) for t in args.time_threads.split(",")}
 
     failures = check(args.baseline, args.fresh, args.threshold,
-                     args.min_time, time_threads)
+                     args.min_time, time_threads, args.atomics_threshold,
+                     args.min_ops)
     if failures:
         print(f"\nbench_check: FAIL ({len(failures)} finding(s)):")
         for f in failures:

@@ -1,0 +1,71 @@
+#!/bin/sh
+# Perf smoke: the deterministic executor's relative overhead, gated.
+#
+#   perf_smoke.sh SWEEP_BIN BASELINE_JSON [TOLERANCE]
+#
+# Runs the sweep at a tiny scale (0.05) on one thread and compares the
+# bfs det-vs-serial min-time ratio against the ratio implied by the
+# committed baseline (scripts/bench_baseline.json, recorded at scale
+# 0.2). A ratio is self-normalizing — a uniformly faster or slower
+# machine cancels out of det/serial — so unlike the timing half of
+# bench_gate this check needs no machine-speed calibration, only a
+# generous tolerance (default 2.5x) for the smaller scale's higher
+# per-task overhead share and for timing noise at sub-second runtimes.
+#
+# The point of the gate: the batched mark-acquisition protocol bought a
+# concrete det-vs-serial improvement; a change that quietly gives it
+# back (ratio blowing past baseline * tolerance) fails this test even
+# when digests and outputs stay correct.
+
+set -u
+
+SWEEP=$1
+BASELINE=$2
+TOL=${3:-2.5}
+
+OUT="${TMPDIR:-/tmp}/perf_smoke.$$.json"
+trap 'rm -f "$OUT"' EXIT
+
+run_once() {
+    REPRO_SCALE=0.05 REPRO_REPS=3 REPRO_THREADS=1 \
+        "$SWEEP" --json "$OUT" > /dev/null || return 1
+    python3 - "$BASELINE" "$OUT" "$TOL" <<'EOF'
+import json
+import sys
+
+baseline_path, fresh_path, tol = sys.argv[1], sys.argv[2], float(sys.argv[3])
+
+
+def ratio(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    times = {}
+    for rec in doc["records"]:
+        if rec["app"] == "bfs" and rec["threads"] == 1:
+            times[rec["executor"]] = rec.get("min_s", rec["median_s"])
+    if "det" not in times or "serial" not in times:
+        raise SystemExit(f"{path}: missing bfs det/serial t=1 records")
+    if times["serial"] <= 0:
+        raise SystemExit(f"{path}: nonpositive serial time")
+    return times["det"] / times["serial"]
+
+
+base = ratio(baseline_path)
+fresh = ratio(fresh_path)
+allowed = base * tol
+verdict = "PASS" if fresh <= allowed else "FAIL"
+print(f"perf_smoke: bfs det/serial t=1 ratio {fresh:.2f}x "
+      f"(baseline {base:.2f}x, allowed {allowed:.2f}x): {verdict}")
+sys.exit(0 if fresh <= allowed else 1)
+EOF
+}
+
+if run_once; then
+    exit 0
+fi
+
+# One retry: a sub-second smoke is the kind of measurement a transient
+# host-load spike can distort, while a real overhead regression
+# reproduces. The retry's exit code is the gate's exit code.
+echo "perf_smoke: first attempt failed; retrying once" >&2
+run_once

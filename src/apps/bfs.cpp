@@ -36,7 +36,8 @@ galoisBfs(Graph& g, graph::Node source, const Config& cfg)
         ctx.acquire(g.lock(n));
         for (graph::Node m : g.neighbors(n))
             ctx.acquire(g.lock(m));
-        ctx.cautiousPoint();
+        if (ctx.tryCautiousPoint())
+            return;
         // Write phase: relax out-edges; improved neighbors become tasks.
         const std::uint32_t d = g.data(n).dist;
         if (d == kInf)

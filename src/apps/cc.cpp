@@ -43,7 +43,8 @@ galoisComponents(Graph& g, const Config& cfg)
         ctx.acquire(g.lock(u));
         for (graph::Node v : g.neighbors(u))
             ctx.acquire(g.lock(v));
-        ctx.cautiousPoint();
+        if (ctx.tryCautiousPoint())
+            return;
         // Propagate the minimum label in both directions.
         std::uint32_t lo = g.data(u).label;
         for (graph::Node v : g.neighbors(u))

@@ -101,7 +101,8 @@ refine(Problem& prob, const Config& cfg)
                 s = &ctx.saveState<DmrState>(std::move(fresh));
             }
         }
-        ctx.cautiousPoint();
+        if (ctx.tryCautiousPoint())
+            return;
         if (s->noop)
             return;
 

@@ -137,7 +137,8 @@ insertRange(Problem& prob, std::size_t begin, std::size_t end,
             }
             s = &ctx.saveState<DtState>(std::move(fresh));
         }
-        ctx.cautiousPoint();
+        if (ctx.tryCautiousPoint())
+            return;
 
         std::vector<TriId> created;
         geom::retriangulate(mesh, s->cav, p, created);

@@ -26,7 +26,8 @@ galoisMis(Graph& g, const Config& cfg)
         ctx.acquire(g.lock(n));
         for (graph::Node m : g.neighbors(n))
             ctx.acquire(g.lock(m));
-        ctx.cautiousPoint();
+        if (ctx.tryCautiousPoint())
+            return;
         if (g.data(n).flag != Flag::Undecided)
             return;
         bool blocked = false;

@@ -45,7 +45,8 @@ galoisMatch(Problem& prob, const Config& cfg)
         const auto [u, v] = prob.edges[i];
         ctx.acquire(prob.nodeLocks[u]);
         ctx.acquire(prob.nodeLocks[v]);
-        ctx.cautiousPoint();
+        if (ctx.tryCautiousPoint())
+            return;
         if (!prob.matched[u] && !prob.matched[v] && u != v) {
             prob.matched[u] = prob.matched[v] = 1;
             prob.inMatching[i] = 1;

@@ -195,7 +195,8 @@ galoisPfp(Graph& g, graph::Node source, graph::Node sink, const Config& cfg)
         ctx.acquire(g.lock(u));
         for (graph::Node v : g.neighbors(u))
             ctx.acquire(g.lock(v));
-        ctx.cautiousPoint();
+        if (ctx.tryCautiousPoint())
+            return;
         g.data(u).queued = false;
         const std::uint32_t hu = g.data(u).height;
         for (std::uint64_t e = g.edgeBegin(u);

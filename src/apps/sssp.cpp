@@ -65,7 +65,8 @@ galoisSssp(Graph& g, graph::Node source, const Config& cfg)
         ctx.acquire(g.lock(u));
         for (graph::Node v : g.neighbors(u))
             ctx.acquire(g.lock(v));
-        ctx.cautiousPoint();
+        if (ctx.tryCautiousPoint())
+            return;
         const std::int64_t d = g.data(u).dist;
         if (d >= kInf)
             return;

@@ -13,7 +13,8 @@
  *           ctx.acquire(n.lock());            // declare neighborhood
  *           for (auto e : g.edges(n))
  *               ctx.acquire(g.dst(e).lock());
- *           ctx.cautiousPoint();              // failsafe point
+ *           if (ctx.tryCautiousPoint())       // failsafe point
+ *               return;
  *           ...writes...; ctx.push(child);    // create new tasks
  *       }, cfg);
  * @endcode
@@ -65,6 +66,10 @@ using runtime::BenchRecord;
 using runtime::RoundSample;
 using runtime::TraceEvent;
 using DetOptions = runtime::DetOptions;
+/** Barrier placement of the deterministic round protocol (A/B knob —
+ *  Config::det.fusion; Fused is the default, Unfused the legacy
+ *  five-barrier shape). The schedule and digest are identical in both. */
+using runtime::PhaseFusion;
 /** Thrown by the deterministic executor's progress watchdog. */
 using runtime::LivelockError;
 /** Thrown by the wall-clock job watchdog / external cancellation
@@ -149,7 +154,8 @@ parseExec(const std::string& name)
  * @tparam T  task value type (copyable).
  * @tparam F  callable void(T&, Context<T>&); must follow the cautious-task
  *            discipline (acquire everything before the first write, and
- *            mark the boundary with ctx.cautiousPoint()).
+ *            mark the boundary with `if (ctx.tryCautiousPoint()) return;`
+ *            or the throwing ctx.cautiousPoint()).
  * @return aggregate statistics of the run.
  */
 template <typename T, typename F>

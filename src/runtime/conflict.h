@@ -12,6 +12,11 @@
 #ifndef DETGALOIS_RUNTIME_CONFLICT_H
 #define DETGALOIS_RUNTIME_CONFLICT_H
 
+#include <atomic>
+#include <vector>
+
+#include "runtime/lockable.h"
+
 namespace galois::runtime {
 
 /**
@@ -30,6 +35,54 @@ struct ConflictSignal
  */
 struct FailsafeSignal
 {};
+
+// ----------------------------------------------------------------------
+// Batched mark claims (serial fold of the collected acquire sets).
+//
+// Under the batched DIG protocol the inspect phase does not touch mark
+// words at all: each task merely appends the Lockables it acquires to a
+// per-thread collection lane. Between inspect and select a *serial* fold
+// — run by the last thread into the mid-round barrier, while every peer
+// is parked — replays the collected claims in ascending task-id order
+// and resolves conflicts with plain stores. writeMarksMax is a max over
+// a totally ordered id set, so it is order-insensitive: replaying the
+// claims in any fixed order yields the same final marks and the same
+// loser-flag set as the CAS-racing eager protocol, hence an identical
+// selection and trace digest — at zero atomic read-modify-writes.
+// ----------------------------------------------------------------------
+
+/**
+ * Fold one collected claim of location l by task `me` into the marks.
+ *
+ * Must be called from a single-writer serial section, with tasks
+ * processed in ascending id order (so a displaced owner always has the
+ * smaller id; the symmetric branch keeps the primitive order-robust).
+ * The first claim of a location appends it to `winners` — the
+ * executor's release list — *before* installing the mark, so an
+ * allocation failure in the push leaves no mark behind.
+ */
+inline void
+claimMarkFold(Lockable& l, DetRecordBase* me, std::vector<Lockable*>& winners)
+{
+    MarkOwner* cur = l.owner(std::memory_order_relaxed);
+    if (cur == nullptr) {
+        winners.push_back(&l);
+        l.forceOwner(me);
+        return;
+    }
+    if (cur->id == me->id)
+        return; // duplicate acquire of the same location by one task
+    auto* other = static_cast<DetRecordBase*>(cur);
+    if (other->id < me->id) {
+        // We displace the current owner: flag it so it skips its commit
+        // (the Section 3.3 flag protocol, now applied serially). The
+        // location is already on the winners list from its first claim.
+        other->notSelected.store(true, std::memory_order_relaxed);
+        l.forceOwner(me);
+    } else {
+        me->notSelected.store(true, std::memory_order_relaxed);
+    }
+}
 
 } // namespace galois::runtime
 

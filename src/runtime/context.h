@@ -38,21 +38,6 @@
 namespace galois::runtime {
 
 /**
- * Non-template part of a deterministic task record.
- *
- * Lives here (rather than in the executor) because UserContext must be
- * able to flip the notSelected flag of a *displaced* task when the
- * continuation optimization's flag protocol is active: when task t
- * overwrites the mark of a smaller-id task u during inspect, t becomes
- * responsible for preventing u from committing (Section 3.3).
- */
-struct DetRecordBase : MarkOwner
-{
-    /** Set when some other task stole one of our neighborhood marks. */
-    std::atomic<bool> notSelected{false};
-};
-
-/**
  * Operator-facing context. One instance per executing thread; the
  * executor re-points it at the current task before each execution.
  */
@@ -65,9 +50,17 @@ class UserContext
     {
         Serial,     //!< reference sequential execution
         NonDet,     //!< speculative execution with CAS-acquired marks
-        DetInspect, //!< DIG inspect phase: writeMarksMax, stop at failsafe
+        /** DIG inspect, batched protocol: collect the acquire set into a
+         *  per-thread lane (no mark traffic — the serial fold between
+         *  inspect and select resolves conflicts), stop at failsafe. */
+        DetInspect,
+        /** DIG inspect, eager protocol: writeMarksMax per acquire, flag
+         *  displaced losers immediately. Kept as an independent protocol
+         *  for the serial reference oracle (Exec::DetRef), so the
+         *  differential tests compare two different mark protocols. */
+        DetInspectEager,
         DetCheck,   //!< DIG select phase, baseline: re-execute, verify marks
-        DetCommit   //!< DIG select phase, continuation opt: resume and run
+        DetCommit   //!< DIG select phase: selection already decided, run
     };
 
     UserContext() = default;
@@ -107,6 +100,12 @@ class UserContext
             acquireNonDet(l);
             return;
           case Mode::DetInspect:
+            // Batched protocol: just append to the collection lane. No
+            // atomic traffic, no dedup — the serial fold resolves both
+            // duplicates and conflicts in id order (runtime/conflict.h).
+            collect_->push_back(&l);
+            return;
+          case Mode::DetInspectEager:
             acquireInspect(l);
             return;
           case Mode::DetCheck:
@@ -114,9 +113,8 @@ class UserContext
                 throw ConflictSignal{};
             return;
           case Mode::DetCommit:
-            // Selection was already decided by the notSelected flag; the
-            // marks are guaranteed to still carry our id (see DESIGN.md).
-            assert(l.owner() == owner_);
+            // Selection was already decided by the notSelected flag
+            // before the operator ran; nothing to check per acquire.
             return;
         }
     }
@@ -134,15 +132,36 @@ class UserContext
 #if defined(DETGALOIS_DETSAN)
         analysis::noteCautiousPoint();
 #endif
-        if (mode_ == Mode::DetInspect)
+        if (mode_ == Mode::DetInspect || mode_ == Mode::DetInspectEager)
             throw FailsafeSignal{};
+    }
+
+    /**
+     * Throw-free failsafe-point annotation: returns true when the
+     * operator should stop here (DIG inspect — the executor treats the
+     * return as "stopped at the failsafe point"), false when it should
+     * continue into its write suffix. Operators use it as
+     *
+     *   if (ctx.tryCautiousPoint()) return;
+     *
+     * Semantically identical to cautiousPoint(), minus the exception:
+     * on inspect-heavy workloads the unwind machinery dominates the
+     * 1-thread deterministic overhead, so the hot apps use this form.
+     */
+    [[nodiscard]] bool
+    tryCautiousPoint()
+    {
+#if defined(DETGALOIS_DETSAN)
+        analysis::noteCautiousPoint();
+#endif
+        return mode_ == Mode::DetInspect || mode_ == Mode::DetInspectEager;
     }
 
     /** Create a new task (must be called after the failsafe point). */
     void
     push(const T& item)
     {
-        if (mode_ == Mode::DetInspect)
+        if (inspecting())
             return; // inspect executions are discarded at the failsafe
         ++stats_->pushed;
         pushes_.push_back(item);
@@ -157,7 +176,7 @@ class UserContext
     void
     push(const T& item, std::uint64_t preassigned_id)
     {
-        if (mode_ == Mode::DetInspect)
+        if (inspecting())
             return;
         ++stats_->pushed;
         pushes_.push_back(item);
@@ -194,7 +213,7 @@ class UserContext
             s = new S(std::forward<Args>(args)...);
             deleter = [](void* p) { delete static_cast<S*>(p); };
         }
-        if (mode_ == Mode::DetInspect && localSlot_ && !*localSlot_) {
+        if (inspecting() && localSlot_ && !*localSlot_) {
             *localSlot_ = s;
             *localDeleter_ = deleter;
         } else {
@@ -238,6 +257,7 @@ class UserContext
         mode_ = mode;
         owner_ = owner;
         nbhd_ = nbhd;
+        collect_ = nullptr;
         localSlot_ = local_slot;
         localDeleter_ = local_deleter;
         pushes_.clear();
@@ -253,6 +273,60 @@ class UserContext
             for (Lockable* l : *nbhd_)
                 analysis::seedAcquire(l);
         }
+#endif
+    }
+
+    /**
+     * Start a batched-protocol inspect execution: acquires append to the
+     * given per-thread collection lane (the executor records the span
+     * this task occupies in it).
+     */
+    void
+    beginInspect(MarkOwner* owner, std::vector<Lockable*>* collect_lane,
+                 void** local_slot, void (**local_deleter)(void*))
+    {
+        mode_ = Mode::DetInspect;
+        owner_ = owner;
+        nbhd_ = nullptr;
+        collect_ = collect_lane;
+        localSlot_ = local_slot;
+        localDeleter_ = local_deleter;
+        pushes_.clear();
+        pushIds_.clear();
+        clearScratch();
+#if defined(DETGALOIS_DETSAN)
+        analysis::beginTask(owner_ != nullptr ? owner_->id : 0,
+                            detsanPhase(Mode::DetInspect));
+#endif
+    }
+
+    /**
+     * Start a commit execution of a selected task whose acquire set was
+     * collected during this round's inspect (batched protocol): the
+     * [nbhd, nbhd + n) span is the declared neighborhood, seeded into
+     * the sanitizer instead of re-derived.
+     */
+    void
+    beginResume(MarkOwner* owner, Lockable* const* nbhd, std::size_t n,
+                void** local_slot, void (**local_deleter)(void*))
+    {
+        mode_ = Mode::DetCommit;
+        owner_ = owner;
+        nbhd_ = nullptr;
+        collect_ = nullptr;
+        localSlot_ = local_slot;
+        localDeleter_ = local_deleter;
+        pushes_.clear();
+        pushIds_.clear();
+        clearScratch();
+#if defined(DETGALOIS_DETSAN)
+        analysis::beginTask(owner_ != nullptr ? owner_->id : 0,
+                            detsanPhase(Mode::DetCommit));
+        for (std::size_t i = 0; i < n; ++i)
+            analysis::seedAcquire(nbhd[i]);
+#else
+        (void)nbhd;
+        (void)n;
 #endif
     }
 
@@ -290,6 +364,7 @@ class UserContext
           case Mode::NonDet:
             return "nondet";
           case Mode::DetInspect:
+          case Mode::DetInspectEager:
             return "inspect";
           case Mode::DetCheck:
             return "check";
@@ -348,11 +423,19 @@ class UserContext
         }
     }
 
+    /** Either inspect mode (the read prefix of a cautious task). */
+    bool
+    inspecting() const
+    {
+        return mode_ == Mode::DetInspect || mode_ == Mode::DetInspectEager;
+    }
+
     Mode mode_ = Mode::Serial;
     MarkOwner* owner_ = nullptr;
     void* scratch_ = nullptr;
     void (*scratchDel_)(void*) = nullptr;
     std::vector<Lockable*>* nbhd_ = nullptr;
+    std::vector<Lockable*>* collect_ = nullptr; //!< batched-inspect lane
     void** localSlot_ = nullptr;
     void (**localDeleter_)(void*) = nullptr;
     ThreadStats* stats_ = nullptr;

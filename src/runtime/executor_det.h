@@ -10,25 +10,32 @@
  *
  *   1. takes a window-sized prefix `cur` of the remaining tasks
  *      (getWindowOfTasks),
- *   2. runs every task in `cur` up to its failsafe point, marking its
- *      neighborhood with writeMarksMax (inspect) — this implicitly builds
- *      the round's interference graph,
- *   3. commits exactly the tasks that still hold all their marks — the
- *      unique maximal-by-id independent set — and defers the rest
- *      (selectAndExec).
+ *   2. runs every task in `cur` up to its failsafe point, *collecting*
+ *      its neighborhood into a per-thread acquire lane (inspect),
+ *   3. folds the collected claims serially, in id order, into the mark
+ *      words — resolving every conflict with plain stores and flagging
+ *      losers (the batched mark protocol, runtime/conflict.h); this
+ *      materializes the round's interference graph at zero atomic
+ *      read-modify-writes,
+ *   4. commits exactly the unflagged tasks — the unique maximal-by-id
+ *      independent set — and defers the rest (selectAndExec).
  *
- * This file is deliberately thin: it is the *policy* composition of four
+ * This file is deliberately thin: it is the *policy* composition of five
  * standalone, unit-tested mechanisms —
  *
  *   - runtime/round_engine.h: the SPMD harness (thread clamp, barriers,
- *     per-thread stats/caches, the four-barrier round protocol with
- *     serial-section fault containment and per-phase timing);
+ *     per-thread stats/caches, the fused two-barrier round protocol —
+ *     serial steps ride barrier completion sections — with an unfused
+ *     A/B variant, serial-section fault containment and phase timing);
+ *   - runtime/task_store.h: struct-of-arrays task storage (id/flag,
+ *     item, acquire-span, continuation and failure lanes, generation-
+ *     scoped in an arena) plus the prefix-sum selection compactSelect;
  *   - runtime/id_service.h: deterministic (parent id, birth rank)
  *     ranking + renumbering + locality spread (Figure 2 line 5 and the
  *     interleave of Section 3.3);
  *   - runtime/window.h: the adaptive commit-ratio window
  *     (calculateWindow of Figure 2, the "parameterless" policy);
- *   - support/arena.h: generation-scoped storage for task records and
+ *   - support/arena.h: generation-scoped storage for the task lanes and
  *     round-scoped storage for continuation state, so the steady-state
  *     hot path performs no per-task heap traffic.
  *
@@ -36,15 +43,17 @@
  * end-to-end by scripts/golden_digests.txt):
  *   - ids are assigned by a deterministic sort of (parent id, birth rank),
  *   - the window is a deterministic function of per-round commit counts,
- *   - writeMarksMax computes a max over a totally ordered set, which is
- *     independent of arrival order,
- *   - therefore the selected set, the failure set, and the set of created
- *     tasks of every round are independent of thread count and timing.
+ *   - the serial fold computes, per location, the max over a totally
+ *     ordered id set — the same function writeMarksMax computed with
+ *     racing CASes, and max is independent of evaluation order — so the
+ *     final marks, the loser flags, and hence the selected set, the
+ *     failure set and the set of created tasks of every round are
+ *     independent of thread count and timing.
  *
  * The three optimizations of Section 3.3 are all implemented and can be
  * toggled independently (DetOptions): the continuation (suspend/resume
- * with the flag-stealing protocol), locality-aware spreading of the
- * iteration order across rounds, and user pre-assigned ids.
+ * with the flag protocol), locality-aware spreading of the iteration
+ * order across rounds, and user pre-assigned ids.
  */
 
 #ifndef DETGALOIS_RUNTIME_EXECUTOR_DET_H
@@ -67,6 +76,7 @@
 #include "runtime/id_service.h"
 #include "runtime/round_engine.h"
 #include "runtime/stats.h"
+#include "runtime/task_store.h"
 #include "runtime/window.h"
 #include "runtime/worklist.h" // SpinLock
 #include "support/arena.h"
@@ -99,9 +109,9 @@ class LivelockError : public std::runtime_error
  * or by external cancellation (DetOptions::cancelFlag). Where the
  * livelock watchdog bounds *rounds without progress*, this bounds the
  * *total wall time* of a run — the per-job deadline of the resident
- * service. Checked by thread 0 at round boundaries only, so a run is
- * never preempted mid-round: every effect visible at the deadline is a
- * whole number of deterministic rounds, and the executor's usual
+ * service. Checked at round boundaries only, so a run is never
+ * preempted mid-round: every effect visible at the deadline is a whole
+ * number of deterministic rounds, and the executor's usual
  * finish-the-round unwind (mark release, deterministic error
  * selection) applies. The *round* at which a wall-clock deadline trips
  * naturally depends on host speed — a deadline abort is a fault, not a
@@ -125,6 +135,15 @@ struct DetOptions
     bool continuation = true;
     /** Spread adjacent tasks across rounds (locality optimization). */
     bool localitySpread = true;
+    /**
+     * Barrier placement of the round protocol (runtime/round_engine.h):
+     * Fused (default) runs the serial fold/merge/assemble steps inside
+     * barrier completion sections — two rendezvous per round; Unfused
+     * keeps a dedicated barrier around every serial step — five. Pure
+     * A/B knob: both placements execute the identical step sequence,
+     * so the schedule and digest cannot depend on it.
+     */
+    PhaseFusion fusion = PhaseFusion::Fused;
     /** Commit-ratio target of the adaptive window policy. */
     double commitTarget = 0.95;
     /** Window never shrinks below this many tasks. */
@@ -233,42 +252,6 @@ struct DetOptions
     }
 };
 
-namespace detail {
-
-/** Full task record of the deterministic scheduler. */
-template <typename T>
-struct DetRecord : DetRecordBase
-{
-    T item{};
-    std::uint64_t parentId = 0; //!< id of creating task (0 for initial)
-    std::uint64_t birthRank = 0; //!< k-th child of its parent / preassigned
-    std::vector<Lockable*> nbhd; //!< locations marked during inspect
-    void* local = nullptr; //!< continuation state saved at the failsafe
-    void (*localDel)(void*) = nullptr;
-    /**
-     * The task raised a non-signal exception (operator bug, allocation
-     * failure, injected fault) this round. Written and read only by the
-     * thread owning the record's slice — inspect and select use the same
-     * blockRange partition — so a plain bool suffices. Such a task must
-     * not execute again: its error is already recorded and, in baseline
-     * (DetCheck) select mode, a re-execution could otherwise commit it.
-     */
-    bool injectFailed = false;
-
-    void
-    destroyLocal()
-    {
-        if (local) {
-            localDel(local);
-            local = nullptr;
-        }
-    }
-
-    ~DetRecord() { destroyLocal(); }
-};
-
-} // namespace detail
-
 /**
  * DIG executor for tasks of type T run by operator F.
  *
@@ -286,9 +269,11 @@ class DetExecutor
           idService_(opt_.localitySpread ? opt_.spreadBuckets : 1,
                      engine_.threads(), opt_.envLeakProbe),
           window_(opt_.windowConfig()),
+          lanes_(engine_.threads()),
           outs_(engine_.threads())
     {
         engine_.enableTrace(trace_rounds);
+        engine_.setFusion(opt_.fusion);
         for (unsigned t = 0; t < engine_.threads(); ++t)
             scratchArenas_.emplace_back();
     }
@@ -335,14 +320,12 @@ class DetExecutor
         if (failed_.load(std::memory_order_acquire)) {
             // A task or bookkeeping phase failed. The failing round ran
             // to completion (so the committed set and the error are
-            // deterministic — see spmd()); release every mark our
-            // records might still hold so the user's data structures
-            // stay usable, then deliver the winning exception: the one
+            // deterministic — see spmd()), and every round — including
+            // the failing one — released all of its marks at the start
+            // of its merge step, so the user's data structures are
+            // already clean. Deliver the winning exception: the one
             // recorded for the smallest task id, which is the same on
             // every thread count.
-            for (detail::DetRecord<T>* r : queue_)
-                for (Lockable* l : r->nbhd)
-                    l->releaseIfOwner(r);
             std::rethrow_exception(firstError_);
         }
 
@@ -351,10 +334,13 @@ class DetExecutor
     }
 
   private:
-    /** Per-thread output of a selectAndExec phase. */
+    /** Per-thread output of one round's select phase. */
     struct PhaseOut
     {
-        std::vector<detail::DetRecord<T>*> failed;
+        std::vector<std::uint32_t> selected; //!< compactSelect output
+        std::vector<std::uint32_t> deferred; //!< flagged/failed at select
+        std::vector<std::uint32_t> lateFailed; //!< threw in commit path
+        std::vector<std::uint32_t> failed; //!< merged deferral, slot order
         std::vector<PendingTask<T>> children;
         std::vector<std::uint64_t> committedIds; //!< id order (trace digest)
         std::uint64_t committed = 0;
@@ -366,15 +352,14 @@ class DetExecutor
 
     /**
      * SPMD round loop: DetExecutor's policies plugged into the engine's
-     * four-barrier protocol. Fault discipline: no parallel phase may
-     * throw (a throwing participant would strand its peers at the next
-     * barrier), and an error never truncates a round. A failing task is
-     * excluded and its exception recorded, but every other task of the
-     * round still inspects/commits exactly as it would have — so the
-     * final state at the error is the deterministic "all rounds up to
-     * and including the failing one, minus the failing tasks",
-     * independent of thread count. The loop then stops at the next
-     * round boundary.
+     * round protocol. Fault discipline: no parallel phase may throw (a
+     * throwing participant would strand its peers at the next barrier),
+     * and an error never truncates a round. A failing task is excluded
+     * and its exception recorded, but every other task of the round
+     * still inspects/commits exactly as it would have — so the final
+     * state at the error is the deterministic "all rounds up to and
+     * including the failing one, minus the failing tasks", independent
+     * of thread count. The loop then stops at the next round boundary.
      */
     void
     spmd(unsigned tid)
@@ -388,6 +373,7 @@ class DetExecutor
             /*assemble=*/[this] { return assembleRound(); },
             /*phase1=*/
             [this, &ctx](unsigned t) { inspectSlice(t, ctx); },
+            /*mid=*/[this] { foldRound(); },
             /*phase2=*/
             [this, &ctx](unsigned t) { selectSlice(t, ctx); },
             /*merge=*/[this] { mergeRound(); },
@@ -402,10 +388,10 @@ class DetExecutor
     static constexpr std::uint64_t kBookkeepingErrorId = 0;
 
     /**
-     * Round-boundary job watchdog (thread 0, via the engine's
-     * cancellation hook): external cancellation and the wall-clock
-     * deadline. Throws DeadlineError; the hook's containment turns
-     * that into the standard finish-the-round unwind.
+     * Round-boundary job watchdog (via the engine's cancellation hook):
+     * external cancellation and the wall-clock deadline. Throws
+     * DeadlineError; the hook's containment turns that into the
+     * standard finish-the-round unwind.
      */
     void
     checkJobWatchdog()
@@ -449,33 +435,27 @@ class DetExecutor
     }
 
     // ------------------------------------------------------------------
-    // Thread-0 bookkeeping between barriers
+    // Serial bookkeeping steps (between/inside barriers)
     // ------------------------------------------------------------------
 
     /**
-     * Turn this generation's pending children into id-ordered records:
-     * the IdService ranks them deterministically (the sort of Figure 2
-     * line 5 plus the locality spread) and this callback materializes
-     * each one in the generation arena. Resetting the arena first
-     * destroys the previous generation's records and hands their slabs
-     * straight back — steady state allocates nothing.
+     * Turn this generation's pending children into the id-ordered SoA
+     * lanes: the IdService ranks them deterministically (the sort of
+     * Figure 2 line 5 plus the locality spread) and emits ascending ids
+     * 1..n, which the TaskStore appends in order — so slot i holds the
+     * task with id i+1 and slot order IS id order. beginBuild rewinds
+     * the lane arena first, so the previous generation's lanes hand
+     * their slabs straight back — steady state allocates nothing.
      */
     void
     buildGeneration()
     {
         FAILPOINT("det.idsort", report_.generations);
-        recordArena_.reset();
-        queue_.clear();
-        queue_.reserve(children_.size());
-        idService_.assign(children_, [this](PendingTask<T>&& c,
-                                            std::uint64_t id) {
-            auto* r = recordArena_.create<detail::DetRecord<T>>();
-            r->item = std::move(c.item);
-            r->parentId = c.parentId;
-            r->birthRank = c.birthRank;
-            r->id = id;
-            queue_.push_back(r);
-        });
+        store_.beginBuild(children_.size());
+        idService_.assign(children_,
+                          [this](PendingTask<T>&& c, std::uint64_t id) {
+                              store_.emplace(std::move(c.item), id);
+                          });
     }
 
     /** getWindowOfTasks: take the id-smallest window prefix into cur_. */
@@ -483,7 +463,7 @@ class DetExecutor
     assembleRound()
     {
         const std::uint64_t remaining =
-            (carry_.size() - carryPos_) + (queue_.size() - queuePos_);
+            (carry_.size() - carryPos_) + (store_.size() - queuePos_);
         if (remaining == 0 || failed_.load(std::memory_order_acquire))
             return false;
 
@@ -494,10 +474,14 @@ class DetExecutor
         // they come first.
         while (cur_.size() < eff_window && carryPos_ < carry_.size())
             cur_.push_back(carry_[carryPos_++]);
-        while (cur_.size() < eff_window && queuePos_ < queue_.size())
-            cur_.push_back(queue_[queuePos_++]);
+        while (cur_.size() < eff_window && queuePos_ < store_.size())
+            cur_.push_back(static_cast<std::uint32_t>(queuePos_++));
 
+        roundPoisoned_ = false;
         for (PhaseOut& o : outs_) {
+            o.selected.clear();
+            o.deferred.clear();
+            o.lateFailed.clear();
             o.failed.clear();
             o.children.clear();
             o.committedIds.clear();
@@ -507,19 +491,67 @@ class DetExecutor
     }
 
     /**
-     * Deterministic merge + adaptive window update + progress watchdog
-     * (thread 0). Runs even when an error was recorded this round: the
-     * round completed in full (see spmd), so merging keeps the
-     * bookkeeping consistent and the roundHook trace deterministic.
+     * Serial mark fold (the mid step, run between inspect and select
+     * while every peer is parked in the barrier): replay the collected
+     * acquire spans in ascending id order — threads in tid order, slice
+     * positions in order, which is id order because slices partition
+     * the id-ordered cur_ contiguously — claiming each location with
+     * plain stores and flagging losers (runtime/conflict.h). Failed
+     * tasks fold too: the entries they collected before throwing are a
+     * deterministic prefix of their neighborhood and must interfere
+     * exactly like the eager protocol's marks-written-before-the-throw.
+     *
+     * Fault containment: ~everything here is loads and plain stores;
+     * the one allocation (growing winners_) can throw. A partial fold
+     * would be a nondeterministic interference graph, so on any throw
+     * the round is *poisoned*: the select phase defers every task and
+     * commits nothing (deterministic — this round contributes zero
+     * commits and an error that ends the run), and every mark installed
+     * before the throw is on winners_ (pushed before the store), so the
+     * merge step's release sweep still leaves the marks clean.
+     */
+    void
+    foldRound()
+    {
+        try {
+            for (unsigned t = 0; t < engine_.threads(); ++t) {
+                auto [begin, end] = engine_.slice(cur_.size(), t);
+                const std::vector<Lockable*>& lane = lanes_[t];
+                for (std::size_t i = begin; i < end; ++i) {
+                    const std::uint32_t slot = cur_[i];
+                    DetRecordBase* me = store_.record(slot);
+                    const AcquireSpan s = store_.span(slot);
+                    for (std::uint32_t k = 0; k < s.len; ++k)
+                        claimMarkFold(*lane[s.off + k], me, winners_);
+                }
+            }
+        } catch (...) {
+            recordError(kBookkeepingErrorId);
+            roundPoisoned_ = true;
+        }
+    }
+
+    /**
+     * Deterministic merge + adaptive window update + progress watchdog.
+     * Runs even when an error was recorded this round: the round
+     * completed in full (see spmd), so merging keeps the bookkeeping
+     * consistent and the roundHook trace deterministic. The release of
+     * this round's marks comes FIRST — before anything that can throw
+     * (failpoint, allocation, watchdog) — so every exit path of a
+     * round, normal or failing, leaves all marks clean.
      */
     void
     mergeRound()
     {
+        for (Lockable* l : winners_)
+            l->forceRelease();
+        winners_.clear();
+
         FAILPOINT("det.merge", report_.rounds);
         // Thread t owned a contiguous, id-ordered slice of cur, so
         // concatenating per-thread failure lists in thread order
         // preserves id order.
-        std::vector<detail::DetRecord<T>*> new_carry;
+        std::vector<std::uint32_t> new_carry;
         std::uint64_t committed = 0;
         for (PhaseOut& o : outs_) {
             new_carry.insert(new_carry.end(), o.failed.begin(),
@@ -533,8 +565,8 @@ class DetExecutor
             for (std::uint64_t id : o.committedIds) {
                 // Environment audit: committed ids are the trace digest's
                 // input — a tainted id here means an environmental value
-                // reached the published schedule. Checked on thread 0 in
-                // id order, so the check count is schedule-invariant.
+                // reached the published schedule. Checked serially in id
+                // order, so the check count is schedule-invariant.
                 DETSAN_VALUE("digest.committed-id", id);
                 report_.traceDigest = fnv1aMix(report_.traceDigest, id);
             }
@@ -569,7 +601,7 @@ class DetExecutor
             for (std::size_t i = 0; i < show; ++i) {
                 if (i != 0)
                     ids += ", ";
-                ids += std::to_string(cur_[i]->id);
+                ids += std::to_string(store_.id(cur_[i]));
             }
             if (cur_.size() > show)
                 ids += ", ...";
@@ -580,8 +612,8 @@ class DetExecutor
                 std::to_string(report_.generations) + ", round " +
                 std::to_string(report_.rounds) + ", window " +
                 std::to_string(window_.size()) + ", " +
-                std::to_string(carry_.size() +
-                               (queue_.size() - queuePos_)) +
+                std::to_string((carry_.size() - carryPos_) +
+                               (store_.size() - queuePos_)) +
                 " tasks pending); stuck task ids: [" + ids +
                 "]; the operator is likely not cautious (acquires after "
                 "its failsafe point)");
@@ -593,12 +625,15 @@ class DetExecutor
     // ------------------------------------------------------------------
 
     /**
-     * Inspect phase: run every task in the slice to its failsafe point.
+     * Inspect phase: run every task in the slice to its failsafe point,
+     * collecting its acquire set into this thread's lane and recording
+     * the span it occupies. No mark traffic — conflicts are resolved by
+     * the serial fold.
      *
      * A task that raises a real exception (operator bug, bad_alloc, an
      * injected fault) is excluded from this round's selection and its
-     * error recorded — but the rest of the slice still inspects. The
-     * marks the failing task wrote before throwing stand (they are a
+     * error recorded — but the rest of the slice still inspects, and
+     * the locations it collected before throwing still fold (they are a
      * deterministic prefix of its neighborhood), so the round's
      * interference graph — and hence everything downstream — remains a
      * pure function of the schedule.
@@ -607,26 +642,33 @@ class DetExecutor
     inspectSlice(unsigned tid, UserContext<T>& ctx)
     {
 #if defined(DETGALOIS_DETSAN)
-        // Thread 0 advanced the round counters before the barrier we just
+        // The round counters advanced before the barrier we just
         // crossed; label this thread's sanitizer scope with them.
         analysis::setRound(report_.generations, report_.rounds + 1);
 #endif
         auto [begin, end] = engine_.slice(cur_.size(), tid);
+        std::vector<Lockable*>& lane = lanes_[tid];
+        lane.clear();
         for (std::size_t i = begin; i < end; ++i) {
-            detail::DetRecord<T>* r = cur_[i];
+            const std::uint32_t slot = cur_[i];
+            const auto off = static_cast<std::uint32_t>(lane.size());
             try {
-                FAILPOINT("det.inspect", r->id);
-                ctx.beginTask(UserContext<T>::Mode::DetInspect, r,
-                              &r->nbhd, &r->local, &r->localDel);
-                op_(r->item, ctx);
-                // Operator returned without reaching a write: its whole
-                // body is prefix; nothing more to do.
+                FAILPOINT("det.inspect", store_.id(slot));
+                ctx.beginInspect(store_.record(slot), &lane,
+                                 &store_.local(slot),
+                                 &store_.localDeleter(slot));
+                op_(store_.item(slot), ctx);
+                // Operator returned without reaching a write (plain
+                // return or tryCautiousPoint()): its whole body is
+                // prefix; nothing more to do.
             } catch (const FailsafeSignal&) {
                 // Normal: the task stopped at its failsafe point.
             } catch (...) {
-                recordError(r->id);
-                r->injectFailed = true;
+                recordError(store_.id(slot));
+                store_.setTaskFailed(slot);
             }
+            store_.span(slot) = AcquireSpan{
+                off, static_cast<std::uint32_t>(lane.size()) - off};
         }
 #if defined(DETGALOIS_DETSAN)
         analysis::endTask();
@@ -634,55 +676,70 @@ class DetExecutor
     }
 
     /**
-     * Select-and-execute phase: commit the unique independent set, defer
-     * the rest, clear marks, collect created tasks. The thread's round
-     * arena — holding every continuation object its slice saved during
-     * inspect — is rewound at the end: destroyLocal() runs on both the
-     * commit and the defer path, and inspect/select share the same
-     * slice partition, so nothing in the arena outlives this phase.
+     * Select-and-execute phase: one linear compactSelect over the flag
+     * lanes partitions the slice into the selected independent set and
+     * the deferred rest (prefix-sum selection — no per-task mark
+     * checks, no mark traffic); then only the selected tasks execute.
+     * A flagged task never runs here at all: under the eager protocol
+     * its re-execution always aborted at the first lost acquire before
+     * reading contested data, so skipping it is behavior-identical and
+     * is what removes the redundant re-acquisition work.
+     *
+     * The thread's round arena — holding every continuation object its
+     * slice saved during inspect — is rewound at the end: destroyLocal
+     * runs on both the commit and the defer path, and inspect/select
+     * share the same slice partition, so nothing in the arena outlives
+     * this phase.
      */
     void
     selectSlice(unsigned tid, UserContext<T>& ctx)
     {
         auto [begin, end] = engine_.slice(cur_.size(), tid);
         PhaseOut& out = outs_[tid];
-        for (std::size_t i = begin; i < end; ++i) {
-            detail::DetRecord<T>* r = cur_[i];
+        if (roundPoisoned_) {
+            // The fold threw: selection would be nondeterministic, so
+            // the round commits nothing — every task defers, the error
+            // already recorded against id 0 ends the run after merge.
+            for (std::size_t i = begin; i < end; ++i)
+                out.deferred.push_back(cur_[i]);
+        } else {
+            compactSelect(store_, cur_, begin, end, out.selected,
+                          out.deferred);
+        }
+
+        for (const std::uint32_t slot : out.selected) {
             bool ok;
             try {
-                if (r->injectFailed) {
-                    // Errored during inspect: already recorded, never
-                    // commits (and in baseline mode must not even
-                    // re-execute — it could pass the mark check).
-                    ok = false;
-                } else if (opt_.continuation) {
-                    // Flag protocol: any task that stole one of our
-                    // marks already flagged us, so one load decides
-                    // selection and a selected task resumes from its
-                    // saved state.
-                    ok = !r->notSelected.load(std::memory_order_acquire);
-                    if (ok) {
-                        FAILPOINT("det.commit", r->id);
-                        ctx.beginTask(UserContext<T>::Mode::DetCommit, r,
-                                      &r->nbhd, &r->local, &r->localDel);
-                        op_(r->item, ctx);
-                    }
+                FAILPOINT("det.commit", store_.id(slot));
+                if (opt_.continuation) {
+                    // Resume from the saved continuation state; the
+                    // collected span is the declared neighborhood.
+                    const AcquireSpan s = store_.span(slot);
+                    ctx.beginResume(store_.record(slot),
+                                    lanes_[tid].data() + s.off, s.len,
+                                    &store_.local(slot),
+                                    &store_.localDeleter(slot));
+                    op_(store_.item(slot), ctx);
+                    ok = true;
                 } else {
-                    // Baseline: re-execute from the beginning; acquires
-                    // verify that every mark still carries our id.
-                    FAILPOINT("det.commit", r->id);
-                    ctx.beginTask(UserContext<T>::Mode::DetCheck, r,
-                                  &r->nbhd, &r->local, &r->localDel);
+                    // Baseline ablation: re-execute from the beginning;
+                    // acquires verify that every mark still carries our
+                    // id (they do — a selected task won all of its
+                    // locations and marks release only at merge).
+                    ctx.beginTask(UserContext<T>::Mode::DetCheck,
+                                  store_.record(slot), nullptr,
+                                  &store_.local(slot),
+                                  &store_.localDeleter(slot));
                     try {
-                        op_(r->item, ctx);
+                        op_(store_.item(slot), ctx);
                         ok = true;
                     } catch (const ConflictSignal&) {
                         ok = false;
                     }
                 }
                 if (ok) {
-                    harvestChildren(ctx, r, out);
-                    out.committedIds.push_back(r->id);
+                    harvestChildren(ctx, store_.id(slot), out);
+                    out.committedIds.push_back(store_.id(slot));
                     ++out.committed;
                     ++ctx.stats().committed;
                 }
@@ -691,35 +748,33 @@ class DetExecutor
                 // allocation failure, injected fault). Record it against
                 // this task id and finish the slice: peers' commits must
                 // not depend on where this thread's slice boundary fell.
-                recordError(r->id);
-                r->injectFailed = true;
+                recordError(store_.id(slot));
+                store_.setTaskFailed(slot);
                 ok = false;
             }
-            if (!ok) {
-                out.failed.push_back(r);
-                ++ctx.stats().aborted;
-            }
-
-            // Clear our marks. Conditional release keeps this safe and
-            // deterministic: a mark we lost belongs to its winner and
-            // must survive until the winner's own check.
-            for (Lockable* l : r->nbhd)
-                l->releaseIfOwner(r);
-
             if (ok) {
-                r->destroyLocal();
+                store_.destroyLocal(slot);
             } else {
-                // Reset for the retry in a later round (with a recorded
-                // error there is no later round; the record just parks
-                // in carry_ until the loop stops).
-                r->nbhd.clear();
-                r->notSelected.store(false, std::memory_order_relaxed);
-                r->destroyLocal();
+                out.lateFailed.push_back(slot);
             }
         }
 #if defined(DETGALOIS_DETSAN)
         analysis::endTask();
 #endif
+
+        // Deferral = flagged-at-select ∪ failed-in-commit, merged back
+        // into slot (= id) order; both inputs are ascending. Reset the
+        // deferred tasks for their retry in a later round.
+        out.failed.resize(out.deferred.size() + out.lateFailed.size());
+        std::merge(out.deferred.begin(), out.deferred.end(),
+                   out.lateFailed.begin(), out.lateFailed.end(),
+                   out.failed.begin());
+        for (const std::uint32_t slot : out.failed) {
+            store_.clearForRetry(slot);
+            store_.destroyLocal(slot);
+            ++ctx.stats().aborted;
+        }
+
         // Every continuation object this thread's slice saved has been
         // destroyed above; drop the context's scratch (it lives in the
         // same arena) and rewind the arena for the next round.
@@ -729,7 +784,7 @@ class DetExecutor
 
     /** Move tasks pushed by a committed task into the next generation. */
     void
-    harvestChildren(UserContext<T>& ctx, detail::DetRecord<T>* r,
+    harvestChildren(UserContext<T>& ctx, std::uint64_t parent_id,
                     PhaseOut& out)
     {
         std::vector<T>& pushes = ctx.pendingPushes();
@@ -743,7 +798,8 @@ class DetExecutor
                 out.children.push_back(PendingTask<T>{pushes[j], ids[j], 0});
         } else {
             for (std::size_t j = 0; j < pushes.size(); ++j)
-                out.children.push_back(PendingTask<T>{pushes[j], r->id, j});
+                out.children.push_back(
+                    PendingTask<T>{pushes[j], parent_id, j});
         }
     }
 
@@ -758,17 +814,19 @@ class DetExecutor
     WindowPolicy window_;
 
     support::Timer deadlineTimer_; //!< job-watchdog clock (run() start)
-    support::Arena recordArena_; //!< generation-scoped DetRecord storage
+    TaskStore<T> store_; //!< this generation's SoA task lanes
     std::deque<support::Arena> scratchArenas_; //!< per-thread round arenas
-    std::vector<detail::DetRecord<T>*> queue_; //!< generation tasks, id order
     std::vector<PendingTask<T>> children_; //!< next generation (unordered)
 
-    // Round state shared between threads; written by thread 0 between
-    // barriers, read by everyone after.
-    std::vector<detail::DetRecord<T>*> cur_;
-    std::vector<detail::DetRecord<T>*> carry_; //!< failed, id-sorted
+    // Round state shared between threads; written in serial sections
+    // between/inside barriers, read by everyone after.
+    std::vector<std::uint32_t> cur_; //!< this round's slots, id order
+    std::vector<std::uint32_t> carry_; //!< deferred slots, id order
     std::size_t carryPos_ = 0;
-    std::size_t queuePos_ = 0;
+    std::size_t queuePos_ = 0; //!< next untried slot of the generation
+    std::vector<std::vector<Lockable*>> lanes_; //!< per-thread acquire lanes
+    std::vector<Lockable*> winners_; //!< marks held, released at merge
+    bool roundPoisoned_ = false; //!< fold threw: select defers everything
     std::vector<PhaseOut> outs_;
 
     std::atomic<bool> failed_{false};

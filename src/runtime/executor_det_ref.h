@@ -129,10 +129,15 @@ executeDetRef(const std::vector<T>& initial, F&& op,
                 cur.push_back(queue[queue_pos++]);
 
             // Inspect pass: every task runs to its failsafe point,
-            // accumulating max-id marks over its neighborhood.
+            // accumulating max-id marks over its neighborhood. The
+            // reference deliberately keeps the *eager* protocol
+            // (writeMarksMax CAS per acquire) while the production
+            // executor uses the batched collect-and-fold protocol — so
+            // the differential tests compare two independent
+            // implementations of the same interference-graph semantics.
             for (detail::RefRecord<T>* r : cur) {
                 try {
-                    ctx.beginTask(UserContext<T>::Mode::DetInspect, r,
+                    ctx.beginTask(UserContext<T>::Mode::DetInspectEager, r,
                                   &r->nbhd);
                     op(r->item, ctx);
                 } catch (const FailsafeSignal&) {

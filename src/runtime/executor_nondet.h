@@ -39,6 +39,7 @@
 #ifndef DETGALOIS_RUNTIME_EXECUTOR_NONDET_H
 #define DETGALOIS_RUNTIME_EXECUTOR_NONDET_H
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <thread>
@@ -103,6 +104,14 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
 
     support::PerThread<NdOwner> owners;
 
+    // Retry-depth "rounds": the speculative executor has no synchronous
+    // rounds, but a task that aborted k times before committing passed
+    // through k+1 executions — so 1 + max(aborts at commit) is the
+    // closest analogue of the deterministic executor's round count, and
+    // the benchmark records stop reporting 0 rounds for runs that
+    // visibly looped. Folded once per thread after its loop drains.
+    std::atomic<unsigned> max_commit_aborts{0};
+
     std::atomic<std::size_t> seed_cursor{0};
     const std::size_t seed_block = 256;
 
@@ -153,6 +162,7 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
         // (no shared stateful PRNG anywhere in the runtime).
         support::CounterPrng backoff_rng(0xabcd1234u, tid);
 
+        unsigned my_max_aborts = 0;
         for (;;) {
             std::optional<Entry> e = worklist.pop();
             if (!e) {
@@ -191,6 +201,7 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
                     for (Lockable* l : acquired)
                         l->releaseIfOwner(owner);
                     ++my_stats.committed;
+                    my_max_aborts = std::max(my_max_aborts, e->aborts);
                     term.retire();
                 } else {
                     // Abort: nothing was written (cautious task), so
@@ -225,6 +236,11 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
                 term.retire();
             }
         }
+        unsigned seen = max_commit_aborts.load(std::memory_order_relaxed);
+        while (my_max_aborts > seen &&
+               !max_commit_aborts.compare_exchange_weak(
+                   seen, my_max_aborts, std::memory_order_relaxed)) {
+        }
 #if defined(DETGALOIS_DETSAN)
         // Leave task scope so post-loop code (validation, aggregation)
         // is not access-checked against the last task's neighborhood.
@@ -237,6 +253,11 @@ executeNonDet(const std::vector<T>& initial, F&& op, unsigned threads,
 
     RunReport report;
     engine.finish(report);
+    if (report.committed > 0) {
+        report.rounds =
+            1 + max_commit_aborts.load(std::memory_order_relaxed);
+        report.generations = 1;
+    }
     return report;
 }
 

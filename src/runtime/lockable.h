@@ -48,6 +48,22 @@ struct MarkOwner
 };
 
 /**
+ * Non-template part of a deterministic task record — the owner descriptor
+ * the DIG mark protocol stores in contested mark words.
+ *
+ * Lives next to Lockable (rather than in the executor) because the mark
+ * protocol itself navigates from a mark to the losing task's record: when
+ * task t displaces a smaller-id task u on some location, t (eager
+ * protocol) or the serial fold (batched protocol) flips u's notSelected
+ * flag so u skips its commit (Section 3.3 flag protocol).
+ */
+struct DetRecordBase : MarkOwner
+{
+    /** Set when some other task stole one of our neighborhood marks. */
+    std::atomic<bool> notSelected{false};
+};
+
+/**
  * Per-abstract-location synchronization word.
  *
  * Embed one Lockable in every abstract location (graph node, triangle,
@@ -133,6 +149,20 @@ class Lockable
 
     /** Unconditional reset to unowned (single-threaded contexts only). */
     void forceRelease() { mark_.store(nullptr, std::memory_order_relaxed); }
+
+    /**
+     * Unconditional owner install with a plain relaxed store.
+     *
+     * Only legal in single-writer phases: the batched mark protocol's
+     * serial fold runs inside a barrier completion section, so exactly
+     * one thread writes marks and no thread reads them concurrently —
+     * publication to the other threads rides the barrier's sense-word
+     * release. Never call this from a parallel phase.
+     */
+    void forceOwner(MarkOwner* o)
+    {
+        mark_.store(o, std::memory_order_relaxed);
+    }
 
   private:
     std::atomic<MarkOwner*> mark_{nullptr};

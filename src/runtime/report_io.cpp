@@ -137,7 +137,8 @@ benchRecordJson(const BenchRecord& r)
        << ",\"generations\":" << r.generations << ",\"digest\":\""
        << hexDigest(r.traceDigest) << "\",\"phases\":{\"assemble_s\":"
        << jsonNumber(r.phases.assembleSeconds) << ",\"inspect_s\":"
-       << jsonNumber(r.phases.inspectSeconds) << ",\"select_s\":"
+       << jsonNumber(r.phases.inspectSeconds) << ",\"fold_s\":"
+       << jsonNumber(r.phases.foldSeconds) << ",\"select_s\":"
        << jsonNumber(r.phases.selectSeconds) << ",\"merge_s\":"
        << jsonNumber(r.phases.mergeSeconds) << "}";
     os << ",\"window_trajectory\":[";

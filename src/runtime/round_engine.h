@@ -6,19 +6,22 @@
  * thread count to the pool, keep per-thread stats, optionally hand each
  * thread a private software cache model, time the loop, and fold it all
  * into a RunReport. The deterministic executor adds a bulk-synchronous
- * round protocol on top: a serial bookkeeping step, two parallel phases
- * over id-ordered slices, and a serial merge, separated by barriers
- * (Figure 2 of the paper). RoundEngine owns both layers so that
- * executors are reduced to their scheduling policy:
+ * round protocol on top: serial bookkeeping steps (assemble, the mark
+ * fold, merge), two parallel phases over id-ordered slices, and
+ * barriers between them (Figure 2 of the paper). RoundEngine owns both
+ * layers so that executors are reduced to their scheduling policy:
  *
  *  - construction: thread clamp, barrier, per-thread stats, cache bank;
  *  - bindContext(): the per-thread UserContext wiring (stats + cache)
  *    that was previously copy-pasted across the three executors;
  *  - spmd(): dispatch a parallel region on the engine's thread count;
- *  - roundLoop(): the four-barrier round protocol with serial-section
- *    fault containment (a throwing bookkeeping step must stop the loop
- *    at a round boundary, never strand peers at a barrier) and
- *    per-phase wall-clock timing into RunReport::phases;
+ *  - roundLoop(): the round protocol — fused (two barriers per round,
+ *    serial steps riding barrier completion sections) or unfused (one
+ *    barrier around every step, for A/B comparison and debugging;
+ *    PhaseFusion) — with serial-section fault containment (a throwing
+ *    bookkeeping step must stop the loop at a round boundary, never
+ *    strand peers at a barrier) and per-phase wall-clock timing into
+ *    RunReport::phases;
  *  - finish(): stats aggregation + timing into a RunReport.
  *
  * blockRange() — the deterministic contiguous partition of n items over
@@ -45,6 +48,23 @@
 #include "support/timer.h"
 
 namespace galois::runtime {
+
+/**
+ * Barrier placement policy of the round protocol.
+ *
+ * Fused (the default): two barriers per round. Every serial step runs
+ * as a *completion section* of the barrier that ends the phase before
+ * it — executed by the last-arriving thread while all peers are still
+ * parked, which preserves exactly the quiescence a dedicated barrier
+ * pair provided (see support/barrier.h). Unfused: the legacy shape with
+ * a standalone barrier around every serial step (five rendezvous per
+ * round), kept selectable for A/B measurement and debugging.
+ */
+enum class PhaseFusion
+{
+    Fused,
+    Unfused
+};
 
 /** Contiguous [begin, end) slice of n items for thread tid of nthreads. */
 inline std::pair<std::size_t, std::size_t>
@@ -137,84 +157,99 @@ class RoundEngine
         cancelCheck_ = std::move(check);
     }
 
+    /** Select the barrier placement of roundLoop() (default: Fused). */
+    void setFusion(PhaseFusion f) { fusion_ = f; }
+    PhaseFusion fusion() const { return fusion_; }
+
     /**
-     * The deterministic round protocol, run by every region thread:
+     * The deterministic round protocol, run by every region thread.
+     * Four serial steps and two parallel phases per round:
      *
-     *   loop:
-     *     tid 0: active = assemble()     (serial; throws are contained)
-     *     barrier; if !active: return
-     *     phase1(tid)                    (parallel; must not throw)
-     *     barrier
-     *     phase2(tid)                    (parallel; must not throw)
-     *     barrier
-     *     tid 0: merge()                 (serial; throws are contained)
-     *     barrier
+     *   assemble()  serial   window prefix -> cur (false: loop ends)
+     *   phase1(tid) parallel inspect over id-ordered slices
+     *   mid()       serial   mark fold between inspect and select
+     *   phase2(tid) parallel select-and-execute
+     *   merge()     serial   deterministic merge + window update
      *
-     * A serial section that throws calls onSerialError() from inside the
-     * catch block (std::current_exception() is live) and the loop stops
-     * at the next round boundary via assemble() returning false — no
-     * thread is ever stranded at a barrier. Thread 0 accounts wall time
-     * per phase into the profile returned by finish(); each parallel
-     * phase is timed to the barrier that closes it, so stragglers are
-     * included.
+     * Fused placement (two rendezvous per round, the default):
+     *
+     *   barrier{ assemble }                     // entry, opens round 1
+     *   loop: if !active: return
+     *         phase1(tid); barrier{ mid }
+     *         phase2(tid); barrier{ merge; assemble }
+     *
+     * each serial step running as the completion section of the barrier
+     * that closes the phase before it — same quiescence as a dedicated
+     * barrier pair (support/barrier.h), two rendezvous instead of five.
+     * Unfused placement keeps every serial step between its own pair of
+     * barriers (the legacy shape, five rendezvous per round), for A/B
+     * runs; both placements execute the identical step sequence, so the
+     * schedule — and the trace digest — cannot differ between them.
+     *
+     * A serial step that throws calls on_error() from inside the catch
+     * block (std::current_exception() is live) and the loop stops at
+     * the next round boundary via assemble() returning false — no
+     * thread is ever stranded at a barrier. (mid() is expected to
+     * contain its own faults — a partial fold must be resolved by the
+     * executor's poisoning protocol, not by skipping the round — but is
+     * wrapped here as a last line of defense.) Wall time is accounted
+     * per phase into the profile returned by finish(): parallel phases
+     * span completion-to-completion (fused) or barrier-to-barrier
+     * (unfused), so stragglers are included; serial steps are timed
+     * inside their section. In fused mode the accounting runs on the
+     * last-arriving thread — serialized by the barrier itself, so the
+     * engine's phase state needs no extra synchronization.
      */
-    template <typename Assemble, typename Phase1, typename Phase2,
-              typename Merge, typename OnSerialError>
+    template <typename Assemble, typename Phase1, typename Mid,
+              typename Phase2, typename Merge, typename OnSerialError>
     void
-    roundLoop(unsigned tid, Assemble&& assemble, Phase1&& phase1,
+    roundLoop(unsigned tid, Assemble&& assemble, Phase1&& phase1, Mid&& mid,
               Phase2&& phase2, Merge&& merge, OnSerialError&& on_error)
     {
-        support::Timer clock;
-        for (;;) {
-            if (tid == 0) {
-                clock.start();
-                try {
-                    if (cancelCheck_)
-                        cancelCheck_();
-                    roundActive_ = assemble();
-                } catch (...) {
-                    on_error();
-                    roundActive_ = false;
-                }
-                clock.stop();
-                phases_.assembleSeconds += clock.seconds();
-                // The terminating assemble (empty bag) is profiled but
-                // not traced: the timeline holds exactly four spans per
-                // executed round, with no dangling span per generation.
-                if (roundActive_) {
-                    ++traceRound_;
-                    recordTrace(TraceEvent::Phase::Assemble,
-                                clock.seconds());
-                }
+        if (fusion_ == PhaseFusion::Fused) {
+            barrier_.wait([&] { openRound(assemble, on_error); });
+            for (;;) {
+                if (!roundActive_)
+                    return;
+                phase1(tid);
+                barrier_.wait([&] {
+                    stampParallel(TraceEvent::Phase::Inspect);
+                    runSerial(TraceEvent::Phase::Fold,
+                              phases_.foldSeconds, mid, on_error);
+                    phaseClock_.start();
+                });
+                phase2(tid);
+                barrier_.wait([&] {
+                    stampParallel(TraceEvent::Phase::Select);
+                    runSerial(TraceEvent::Phase::Merge,
+                              phases_.mergeSeconds, merge, on_error);
+                    openRound(assemble, on_error);
+                });
             }
+        }
+        // Unfused: every serial step on thread 0 between its own
+        // barriers.
+        for (;;) {
+            if (tid == 0)
+                openRound(assemble, on_error);
             barrier_.wait();
             if (!roundActive_)
                 return;
-            if (tid == 0)
-                clock.start();
             phase1(tid);
             barrier_.wait();
             if (tid == 0) {
-                clock.stop();
-                phases_.inspectSeconds += clock.seconds();
-                recordTrace(TraceEvent::Phase::Inspect, clock.seconds());
-                clock.start();
+                stampParallel(TraceEvent::Phase::Inspect);
+                runSerial(TraceEvent::Phase::Fold, phases_.foldSeconds,
+                          mid, on_error);
+                phaseClock_.start();
             }
+            barrier_.wait();
             phase2(tid);
             barrier_.wait();
             if (tid == 0) {
-                clock.stop();
-                phases_.selectSeconds += clock.seconds();
-                recordTrace(TraceEvent::Phase::Select, clock.seconds());
-                clock.start();
-                try {
-                    merge();
-                } catch (...) {
-                    on_error();
-                }
-                clock.stop();
-                phases_.mergeSeconds += clock.seconds();
-                recordTrace(TraceEvent::Phase::Merge, clock.seconds());
+                stampParallel(TraceEvent::Phase::Select);
+                runSerial(TraceEvent::Phase::Merge, phases_.mergeSeconds,
+                          merge, on_error);
             }
             barrier_.wait();
         }
@@ -235,9 +270,72 @@ class RoundEngine
     }
 
   private:
-    /** Append one span to the trace (thread 0 only, tracing on). The
-     *  timeline is the cumulative sum of phase durations: phases are
-     *  timed back-to-back by thread 0, so the spans tile the loop. */
+    /**
+     * Serial round opener: cancellation check + assemble, with fault
+     * containment. When the round is active, advances the trace round
+     * and opens the first parallel span (phaseClock_). The terminating
+     * assemble (empty bag) is profiled but not traced: the timeline
+     * holds exactly five spans per executed round, with no dangling
+     * span per generation.
+     */
+    template <typename Assemble, typename OnSerialError>
+    void
+    openRound(Assemble& assemble, OnSerialError& on_error)
+    {
+        support::Timer t;
+        t.start();
+        try {
+            if (cancelCheck_)
+                cancelCheck_();
+            roundActive_ = assemble();
+        } catch (...) {
+            on_error();
+            roundActive_ = false;
+        }
+        t.stop();
+        phases_.assembleSeconds += t.seconds();
+        if (roundActive_) {
+            ++traceRound_;
+            recordTrace(TraceEvent::Phase::Assemble, t.seconds());
+            phaseClock_.start();
+        }
+    }
+
+    /** Close the running parallel span and account it to `phase`. */
+    void
+    stampParallel(TraceEvent::Phase phase)
+    {
+        phaseClock_.stop();
+        const double s = phaseClock_.seconds();
+        phaseClock_.reset();
+        if (phase == TraceEvent::Phase::Inspect)
+            phases_.inspectSeconds += s;
+        else
+            phases_.selectSeconds += s;
+        recordTrace(phase, s);
+    }
+
+    /** Run one timed serial step with fault containment. */
+    template <typename Step, typename OnSerialError>
+    void
+    runSerial(TraceEvent::Phase phase, double& sink, Step& step,
+              OnSerialError& on_error)
+    {
+        support::Timer t;
+        t.start();
+        try {
+            step();
+        } catch (...) {
+            on_error();
+        }
+        t.stop();
+        sink += t.seconds();
+        recordTrace(phase, t.seconds());
+    }
+
+    /** Append one span to the trace (serialized callers only, tracing
+     *  on). The timeline is the cumulative sum of phase durations:
+     *  phases are timed back-to-back, so the spans tile the loop. */
     void
     recordTrace(TraceEvent::Phase phase, double dur)
     {
@@ -253,6 +351,8 @@ class RoundEngine
     support::PerThread<ThreadStats> stats_;
     std::vector<model::CacheModel> caches_;
     support::Timer timer_;
+    support::Timer phaseClock_; //!< open parallel span (serialized access)
+    PhaseFusion fusion_ = PhaseFusion::Fused;
     PhaseProfile phases_;
     std::vector<TraceEvent> trace_;
     double traceNow_ = 0;          //!< trace timeline cursor (seconds)

@@ -83,7 +83,10 @@ struct ThreadStats
 struct PhaseProfile
 {
     double assembleSeconds = 0; //!< window calculation + round assembly
-    double inspectSeconds = 0;  //!< parallel inspect (writeMarksMax)
+    double inspectSeconds = 0;  //!< parallel inspect (acquire-set collection)
+    /** Serial mark fold between inspect and select (fused protocol's
+     *  mid-round completion section; 0 when the executor has no fold). */
+    double foldSeconds = 0;
     double selectSeconds = 0;   //!< parallel select-and-execute
     double mergeSeconds = 0;    //!< deterministic merge + window update
 };
@@ -124,7 +127,8 @@ struct TraceEvent
         Assemble = 0,
         Inspect = 1,
         Select = 2,
-        Merge = 3
+        Merge = 3,
+        Fold = 4
     };
 
     std::uint64_t round = 0;   //!< 1-based round ordinal
@@ -146,6 +150,8 @@ traceEventPhaseName(TraceEvent::Phase p)
         return "select";
       case TraceEvent::Phase::Merge:
         return "merge";
+      case TraceEvent::Phase::Fold:
+        return "fold";
     }
     return "?";
 }

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Struct-of-arrays task storage for the deterministic executor.
+ *
+ * One generation of DIG tasks used to be an array of heap-ish structs
+ * (item, id, flags, neighborhood vector, continuation slot — all in one
+ * record, reached through a pointer per task). The inspect and select
+ * phases, however, stream over *one field at a time*: inspect reads
+ * items, select reads flags, the fold reads acquire spans. TaskStore
+ * splits the record into parallel, cache-line-aligned lanes so each
+ * phase touches only the bytes it needs, in slot order:
+ *
+ *   hot_    DetRecordBase[n]  id + notSelected flag (the mark protocol's
+ *                             owner descriptors — marks point into this
+ *                             lane)
+ *   items_  T[n]              task payloads
+ *   spans_  Span[n]           this round's acquire list, as an {offset,
+ *                             length} window into the inspecting
+ *                             thread's collection lane
+ *   locals_ void*[n] (+ deleter lane)  continuation state (Section 3.3)
+ *   failed_ uint8[n]          task raised a real exception this round
+ *
+ * All lanes live in a generation-scoped Arena owned by the store:
+ * beginBuild() rewinds it and carves fresh lanes, so steady state
+ * allocates nothing and the previous generation's lanes are reclaimed
+ * wholesale. Growth (a generation larger than the retained slabs)
+ * passes the "arena.chunk" failpoint, giving tests an exact injection
+ * point for allocation failure during lane setup.
+ *
+ * Slot/id invariant: the IdService emits ids 1..n in ascending order,
+ * and build appends in emit order, so slot == id - 1 for every task of
+ * the generation. Walking slots ascending IS walking ids ascending —
+ * the property the serial mark fold and the thread-order merge rely on.
+ */
+
+#ifndef DETGALOIS_RUNTIME_TASK_STORE_H
+#define DETGALOIS_RUNTIME_TASK_STORE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <utility>
+#include <vector>
+
+#include "runtime/lockable.h"
+#include "support/arena.h"
+
+namespace galois::runtime {
+
+/** One task's acquire list: a window into a per-thread collection lane. */
+struct AcquireSpan
+{
+    std::uint32_t off = 0; //!< first index in the collecting thread's lane
+    std::uint32_t len = 0; //!< number of collected locations
+};
+
+/**
+ * SoA storage for one generation of deterministic tasks.
+ *
+ * Single-writer during build (thread 0, between SPMD regions); during
+ * rounds each lane element is accessed only by the thread owning its
+ * slice (spans, locals, failed) or through the documented mark/fold
+ * protocol (hot lane flags).
+ */
+template <typename T>
+class TaskStore
+{
+  public:
+    TaskStore() = default;
+    TaskStore(const TaskStore&) = delete;
+    TaskStore& operator=(const TaskStore&) = delete;
+
+    ~TaskStore() { reset(); }
+
+    /**
+     * Start a new generation of exactly n tasks: destroy the previous
+     * generation's payloads, rewind the arena, and carve fresh lanes.
+     * Emplace must then be called exactly n times with ids 1..n.
+     */
+    void
+    beginBuild(std::size_t n)
+    {
+        reset();
+        if (n == 0)
+            return;
+        hot_ = lane<DetRecordBase>(n);
+        items_ = lane<T>(n);
+        spans_ = lane<AcquireSpan>(n);
+        locals_ = lane<void*>(n);
+        localDels_ = lane<void (*)(void*)>(n);
+        failed_ = lane<std::uint8_t>(n);
+        capacity_ = n;
+    }
+
+    /** Append the task with the next ascending id (slot = id - 1). */
+    void
+    emplace(T&& item, std::uint64_t id)
+    {
+        assert(size_ < capacity_ && "emplace beyond beginBuild(n)");
+        assert(id == size_ + 1 && "ids must arrive ascending from 1");
+        ::new (static_cast<void*>(hot_ + size_)) DetRecordBase{};
+        hot_[size_].id = id;
+        ::new (static_cast<void*>(items_ + size_)) T(std::move(item));
+        spans_[size_] = AcquireSpan{};
+        locals_[size_] = nullptr;
+        localDels_[size_] = nullptr;
+        failed_[size_] = 0;
+        ++size_;
+    }
+
+    /** Tasks in the current generation. */
+    std::size_t size() const { return size_; }
+
+    /** Owner descriptor of slot (what mark words point to). */
+    DetRecordBase* record(std::uint32_t slot) { return hot_ + slot; }
+    /** Deterministic id of slot (== slot + 1 within the generation). */
+    std::uint64_t id(std::uint32_t slot) const { return hot_[slot].id; }
+
+    T& item(std::uint32_t slot) { return items_[slot]; }
+    AcquireSpan& span(std::uint32_t slot) { return spans_[slot]; }
+
+    void*& local(std::uint32_t slot) { return locals_[slot]; }
+    void (*&localDeleter(std::uint32_t slot))(void*)
+    {
+        return localDels_[slot];
+    }
+
+    /** Run and clear slot's continuation-state deleter, if any. */
+    void
+    destroyLocal(std::uint32_t slot)
+    {
+        if (locals_[slot] != nullptr) {
+            localDels_[slot](locals_[slot]);
+            locals_[slot] = nullptr;
+        }
+    }
+
+    bool taskFailed(std::uint32_t slot) const { return failed_[slot] != 0; }
+    void setTaskFailed(std::uint32_t slot) { failed_[slot] = 1; }
+
+    /**
+     * Loser flag of slot, for selection. Relaxed load: the fold wrote
+     * the flags in a serial section whose writes were published by the
+     * barrier release every reader has since crossed.
+     */
+    bool
+    notSelected(std::uint32_t slot) const
+    {
+        return hot_[slot].notSelected.load(std::memory_order_relaxed);
+    }
+
+    /** Reset slot for a retry in a later round (deferred tasks). */
+    void
+    clearForRetry(std::uint32_t slot)
+    {
+        spans_[slot] = AcquireSpan{};
+        hot_[slot].notSelected.store(false, std::memory_order_relaxed);
+    }
+
+    /**
+     * Destroy the generation: payload destructors, any continuation
+     * state a fault left behind, then the arena rewind (keeping slabs).
+     */
+    void
+    reset()
+    {
+        for (std::size_t i = 0; i < size_; ++i) {
+            if (locals_[i] != nullptr)
+                localDels_[i](locals_[i]);
+            items_[i].~T();
+        }
+        size_ = 0;
+        capacity_ = 0;
+        hot_ = nullptr;
+        items_ = nullptr;
+        spans_ = nullptr;
+        locals_ = nullptr;
+        localDels_ = nullptr;
+        failed_ = nullptr;
+        arena_.reset();
+    }
+
+    /** Lane arena (exposed for tests: chunk growth, slab reuse). */
+    const support::Arena& arena() const { return arena_; }
+
+  private:
+    /** Carve one cache-line-aligned lane of n elements from the arena. */
+    template <typename U>
+    U*
+    lane(std::size_t n)
+    {
+        return static_cast<U*>(arena_.allocate(n * sizeof(U), 64));
+    }
+
+    support::Arena arena_;
+    std::size_t size_ = 0;
+    std::size_t capacity_ = 0;
+    DetRecordBase* hot_ = nullptr;
+    T* items_ = nullptr;
+    AcquireSpan* spans_ = nullptr;
+    void** locals_ = nullptr;
+    void (**localDels_)(void*) = nullptr;
+    std::uint8_t* failed_ = nullptr;
+};
+
+/**
+ * Prefix-sum selection over the SoA flag lanes: split the [begin, end)
+ * window of a round's slot list into the selected set (committable: no
+ * failure, flag clear) and the deferred set (everything else), both
+ * appended in list — hence ascending id — order. This replaces the
+ * per-task "check every mark" test of the baseline protocol with one
+ * linear stream over two small lanes: the partition position of each
+ * slot is the running count (prefix sum) of its predicate, materialized
+ * directly by the ordered appends. Pure function of the lanes, so
+ * per-thread results over a blockRange partition concatenate (in thread
+ * order) to exactly the single-threaded result — the equivalence
+ * tests/task_store_test.cpp pins at 1/2/4/8 partitions.
+ */
+template <typename T>
+inline void
+compactSelect(const TaskStore<T>& store,
+              const std::vector<std::uint32_t>& slots, std::size_t begin,
+              std::size_t end, std::vector<std::uint32_t>& selected,
+              std::vector<std::uint32_t>& deferred)
+{
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t slot = slots[i];
+        if (!store.taskFailed(slot) && !store.notSelected(slot))
+            selected.push_back(slot);
+        else
+            deferred.push_back(slot);
+    }
+}
+
+} // namespace galois::runtime
+
+#endif // DETGALOIS_RUNTIME_TASK_STORE_H

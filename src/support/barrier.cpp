@@ -15,6 +15,12 @@ Barrier::wait()
         sense_.store(my_sense + 1, std::memory_order_release);
         return;
     }
+    spinUntilFlipped(my_sense);
+}
+
+void
+Barrier::spinUntilFlipped(std::uint32_t my_sense) const
+{
     // Spin briefly, then yield: on oversubscribed machines pure spinning
     // wastes whole scheduler quanta of the threads we are waiting for.
     int spins = 0;

@@ -59,7 +59,44 @@ class Barrier
      */
     void wait();
 
+    /**
+     * Barrier with a serial completion section: the last-arriving thread
+     * runs `completion()` while every peer is still parked inside the
+     * barrier, then releases them. The completion therefore executes with
+     * exactly the quiescence guarantee a *pair* of plain barriers around
+     * a single-threaded section provides — every participant has finished
+     * the phase before it, and none starts the phase after it until it
+     * returns — at the cost of one rendezvous instead of two. This is
+     * what the fused deterministic round protocol hangs its serial
+     * bookkeeping (mark folding, merge, next-round assembly) off.
+     *
+     * `completion` must not throw: a throwing completion would strand
+     * every parked peer. Callers contain exceptions internally (see
+     * RoundEngine's serial-section fault discipline).
+     *
+     * Memory ordering: writes made inside `completion` happen-before the
+     * release of the sense word, so peers observe them after wait()
+     * returns without any extra synchronization.
+     */
+    template <typename Fn>
+    void
+    wait(Fn&& completion)
+    {
+        const std::uint32_t my_sense =
+            sense_.load(std::memory_order_acquire);
+        if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            completion();
+            remaining_.store(participants_, std::memory_order_relaxed);
+            sense_.store(my_sense + 1, std::memory_order_release);
+            return;
+        }
+        spinUntilFlipped(my_sense);
+    }
+
   private:
+    /** Park until the sense word leaves `my_sense` (spin, then yield). */
+    void spinUntilFlipped(std::uint32_t my_sense) const;
+
     unsigned participants_{1};
     alignas(cacheLineSize) std::atomic<unsigned> remaining_{1};
     alignas(cacheLineSize) std::atomic<std::uint32_t> sense_{0};

@@ -113,24 +113,25 @@ TEST(Context, NonDetAcquireThrowsOnConflict)
     EXPECT_EQ(mine.stats.atomicOps, 1u);
 }
 
-TEST(Context, InspectMarksAllAndFlagsLosers)
+TEST(Context, EagerInspectMarksAllAndFlagsLosers)
 {
-    // Task hi steals a location from task lo; lo must end up flagged,
-    // and a task that loses a markMax must flag itself.
+    // Eager protocol (DetInspectEager, the det-ref oracle's): task hi
+    // steals a location from task lo; lo must end up flagged, and a
+    // task that loses a markMax must flag itself.
     DetRecordBase lo, hi;
     lo.id = 1;
     hi.id = 2;
     Lockable l1, l2;
 
     Fixture flo;
-    flo.begin(UserContext<int>::Mode::DetInspect, &lo);
+    flo.begin(UserContext<int>::Mode::DetInspectEager, &lo);
     flo.ctx.acquire(l1);
     flo.ctx.acquire(l2);
     EXPECT_EQ(flo.nbhd.size(), 2u);
     EXPECT_FALSE(lo.notSelected.load());
 
     Fixture fhi;
-    fhi.begin(UserContext<int>::Mode::DetInspect, &hi);
+    fhi.begin(UserContext<int>::Mode::DetInspectEager, &hi);
     fhi.ctx.acquire(l1); // steals from lo -> flags lo
     EXPECT_TRUE(lo.notSelected.load());
     EXPECT_FALSE(hi.notSelected.load());
@@ -139,19 +140,117 @@ TEST(Context, InspectMarksAllAndFlagsLosers)
     // going (writeMarksMax never fails early).
     lo.notSelected.store(false);
     Fixture flo2;
-    flo2.begin(UserContext<int>::Mode::DetInspect, &lo);
+    flo2.begin(UserContext<int>::Mode::DetInspectEager, &lo);
     EXPECT_NO_THROW(flo2.ctx.acquire(l1));
     EXPECT_TRUE(lo.notSelected.load());
     EXPECT_EQ(l1.owner(), &hi);
+}
+
+TEST(Context, CollectInspectAppendsToLaneWithoutMarking)
+{
+    // Batched protocol (DetInspect): acquires only append to the
+    // per-thread collection lane — no mark traffic, no atomics, no
+    // dedup (the serial fold handles duplicates).
+    DetRecordBase r;
+    r.id = 5;
+    Lockable l1, l2;
+    std::vector<Lockable*> lane;
+    void* slot = nullptr;
+    void (*del)(void*) = nullptr;
+
+    Fixture f;
+    f.ctx.beginInspect(&r, &lane, &slot, &del);
+    f.ctx.acquire(l1);
+    f.ctx.acquire(l2);
+    f.ctx.acquire(l1); // duplicate: appended verbatim
+    ASSERT_EQ(lane.size(), 3u);
+    EXPECT_EQ(lane[0], &l1);
+    EXPECT_EQ(lane[1], &l2);
+    EXPECT_EQ(lane[2], &l1);
+    EXPECT_EQ(l1.owner(), nullptr);
+    EXPECT_EQ(l2.owner(), nullptr);
+    EXPECT_EQ(f.stats.atomicOps, 0u);
+}
+
+TEST(Context, FoldClaimsInIdOrderAndFlagsLosers)
+{
+    // The serial fold primitive (runtime/conflict.h): replaying two
+    // tasks' collected sets in ascending id order must leave the marks,
+    // flags and winner list exactly as the eager protocol would.
+    DetRecordBase lo, hi;
+    lo.id = 1;
+    hi.id = 2;
+    Lockable l1, l2, l3;
+    std::vector<Lockable*> winners;
+
+    // lo collected {l1, l2, l1 (dup)}; hi collected {l1, l3}.
+    claimMarkFold(l1, &lo, winners);
+    claimMarkFold(l2, &lo, winners);
+    claimMarkFold(l1, &lo, winners); // duplicate: no-op
+    claimMarkFold(l1, &hi, winners); // steals l1, flags lo
+    claimMarkFold(l3, &hi, winners);
+
+    EXPECT_EQ(l1.owner(), &hi);
+    EXPECT_EQ(l2.owner(), &lo);
+    EXPECT_EQ(l3.owner(), &hi);
+    EXPECT_TRUE(lo.notSelected.load());
+    EXPECT_FALSE(hi.notSelected.load());
+    // Each location entered winners exactly once, at first claim.
+    ASSERT_EQ(winners.size(), 3u);
+    EXPECT_EQ(winners[0], &l1);
+    EXPECT_EQ(winners[1], &l2);
+    EXPECT_EQ(winners[2], &l3);
+}
+
+TEST(Context, DetCommitAcquireIsNoOp)
+{
+    // Selection was decided by the flag before the operator ran; a
+    // commit-phase acquire neither checks nor writes marks.
+    DetRecordBase r;
+    r.id = 4;
+    Lockable l;
+    Fixture f;
+    f.ctx.beginResume(&r, nullptr, 0, nullptr, nullptr);
+    EXPECT_NO_THROW(f.ctx.acquire(l));
+    EXPECT_EQ(l.owner(), nullptr);
+    EXPECT_EQ(f.stats.atomicOps, 0u);
 }
 
 TEST(Context, InspectUnwindsAtCautiousPoint)
 {
     DetRecordBase r;
     r.id = 3;
+    std::vector<Lockable*> lane;
     Fixture f;
-    f.begin(UserContext<int>::Mode::DetInspect, &r);
+    f.ctx.beginInspect(&r, &lane, nullptr, nullptr);
     EXPECT_THROW(f.ctx.cautiousPoint(), FailsafeSignal);
+
+    Fixture fe;
+    fe.begin(UserContext<int>::Mode::DetInspectEager, &r);
+    EXPECT_THROW(fe.ctx.cautiousPoint(), FailsafeSignal);
+}
+
+TEST(Context, TryCautiousPointReturnsTrueOnlyDuringInspect)
+{
+    DetRecordBase r;
+    r.id = 6;
+    std::vector<Lockable*> lane;
+    Fixture f;
+
+    f.ctx.beginInspect(&r, &lane, nullptr, nullptr);
+    EXPECT_TRUE(f.ctx.tryCautiousPoint());
+
+    f.begin(UserContext<int>::Mode::DetInspectEager, &r);
+    EXPECT_TRUE(f.ctx.tryCautiousPoint());
+
+    f.begin(UserContext<int>::Mode::Serial, nullptr);
+    EXPECT_FALSE(f.ctx.tryCautiousPoint());
+    f.begin(UserContext<int>::Mode::NonDet, &r);
+    EXPECT_FALSE(f.ctx.tryCautiousPoint());
+    f.begin(UserContext<int>::Mode::DetCheck, &r);
+    EXPECT_FALSE(f.ctx.tryCautiousPoint());
+    f.ctx.beginResume(&r, nullptr, 0, nullptr, nullptr);
+    EXPECT_FALSE(f.ctx.tryCautiousPoint());
 }
 
 TEST(Context, CheckModeVerifiesMarks)
@@ -175,7 +274,12 @@ TEST(Context, PushIgnoredDuringInspect)
     DetRecordBase r;
     r.id = 7;
     Fixture f;
-    f.begin(UserContext<int>::Mode::DetInspect, &r);
+    f.begin(UserContext<int>::Mode::DetInspectEager, &r);
+    f.ctx.push(42);
+    EXPECT_TRUE(f.ctx.pendingPushes().empty());
+
+    std::vector<Lockable*> lane;
+    f.ctx.beginInspect(&r, &lane, nullptr, nullptr);
     f.ctx.push(42);
     EXPECT_TRUE(f.ctx.pendingPushes().empty());
 
@@ -196,7 +300,8 @@ TEST(Context, SaveStateGoesToRecordOnlyDuringInspect)
 
     Fixture f;
     // Inspect: saved into the record slot.
-    f.begin(UserContext<int>::Mode::DetInspect, &r, &slot, &deleter);
+    std::vector<Lockable*> lane;
+    f.ctx.beginInspect(&r, &lane, &slot, &deleter);
     f.ctx.saveState<int>(1234);
     ASSERT_NE(slot, nullptr);
     EXPECT_EQ(*static_cast<int*>(slot), 1234);

@@ -90,13 +90,18 @@ TEST(TraceRounds, OnProducesWellFormedTimeline)
 {
     const RunReport r = runDet(/*trace=*/true);
     ASSERT_GT(r.rounds, 0u);
-    // Four phase spans per round, in protocol order.
-    ASSERT_EQ(r.traceEvents.size(), 4 * r.rounds);
+    // Five phase spans per round, in protocol order: assemble, inspect,
+    // fold, select, merge.
+    ASSERT_EQ(r.traceEvents.size(), 5 * r.rounds);
+    const TraceEvent::Phase order[5] = {
+        TraceEvent::Phase::Assemble, TraceEvent::Phase::Inspect,
+        TraceEvent::Phase::Fold, TraceEvent::Phase::Select,
+        TraceEvent::Phase::Merge};
     double prev_end = 0.0;
     for (std::size_t i = 0; i < r.traceEvents.size(); ++i) {
         const TraceEvent& e = r.traceEvents[i];
-        EXPECT_EQ(e.round, i / 4 + 1) << i;
-        EXPECT_EQ(static_cast<unsigned>(e.phase), i % 4) << i;
+        EXPECT_EQ(e.round, i / 5 + 1) << i;
+        EXPECT_EQ(e.phase, order[i % 5]) << i;
         EXPECT_GE(e.startSeconds, prev_end) << i;
         EXPECT_GE(e.durationSeconds, 0.0) << i;
         prev_end = e.startSeconds;
@@ -138,8 +143,8 @@ TEST(BenchJson, RecordCarriesScheduleAndPhases)
     for (const char* key :
          {"\"median_s\"", "\"min_s\"", "\"commit_ratio\"", "\"rounds\"",
           "\"generations\"", "\"digest\"", "\"phases\"",
-          "\"assemble_s\"", "\"inspect_s\"", "\"select_s\"",
-          "\"merge_s\"", "\"window_trajectory\""})
+          "\"assemble_s\"", "\"inspect_s\"", "\"fold_s\"",
+          "\"select_s\"", "\"merge_s\"", "\"window_trajectory\""})
         EXPECT_NE(json.find(key), std::string::npos) << key;
 
     // The digest is a 16-hex-digit string (64-bit values do not survive

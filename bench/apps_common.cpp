@@ -31,6 +31,10 @@ variantName(Variant v)
         return "g-d";
       case Variant::GDNoCont:
         return "g-d/nc";
+      case Variant::DetRes:
+        return "g-dr";
+      case Variant::CoreDet:
+        return "coredet";
       case Variant::PBBS:
         return "pbbs";
     }
@@ -49,6 +53,10 @@ executorName(Variant v)
         return "det";
       case Variant::GDNoCont:
         return "det-nocont";
+      case Variant::DetRes:
+        return "detres";
+      case Variant::CoreDet:
+        return "coredet";
       case Variant::PBBS:
         return "pbbs";
     }
@@ -69,9 +77,11 @@ Config
 galoisConfig(Variant v, unsigned threads, bool locality)
 {
     Config cfg;
-    cfg.exec = (v == Variant::Serial) ? Exec::Serial
-               : (v == Variant::GN)   ? Exec::NonDet
-                                      : Exec::Det;
+    cfg.exec = (v == Variant::Serial)    ? Exec::Serial
+               : (v == Variant::GN)      ? Exec::NonDet
+               : (v == Variant::DetRes)  ? Exec::DetRes
+               : (v == Variant::CoreDet) ? Exec::CoreDet
+                                         : Exec::Det;
     cfg.threads = threads;
     cfg.det.continuation = (v != Variant::GDNoCont);
     cfg.collectLocality = locality;

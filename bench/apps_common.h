@@ -32,13 +32,15 @@ enum class Variant
     GN,       //!< non-deterministic Galois
     GD,       //!< deterministic Galois (DIG scheduling)
     GDNoCont, //!< g-d without the continuation optimization
+    DetRes,   //!< deterministic reservations (Exec::DetRes backend)
+    CoreDet,  //!< CoreDet-style DMP-O scheduling (Exec::CoreDet backend)
     PBBS      //!< handwritten deterministic program
 };
 
 const char* variantName(Variant v);
 
 /** Stable executor identifier used in BENCH_results.json ("serial",
- *  "nondet", "det", "det-nocont", "pbbs"). */
+ *  "nondet", "det", "det-nocont", "detres", "coredet", "pbbs"). */
 const char* executorName(Variant v);
 
 /** One timed execution of a variant. */

@@ -3,10 +3,11 @@
  * Canonical benchmark sweep — the input of the regression gate.
  *
  * Runs every application of the extended suite (the paper's five plus
- * the sssp/cc/mm extension workloads) under the serial, speculative
- * (nondet) and deterministic (det) executors at every configured thread
- * count, and emits the measurements as BENCH_results.json via the
- * harness recorder:
+ * the sssp/cc/mm extension workloads) under the serial executor and the
+ * paper's four-backend evaluation grid — speculative (nondet), DIG
+ * (det), deterministic reservations (detres) and CoreDet-style DMP
+ * (coredet) — at every configured thread count, and emits the
+ * measurements as BENCH_results.json via the harness recorder:
  *
  *   build/bench/sweep --json BENCH_results.json
  *   REPRO_JSON=BENCH_results.json build/bench/sweep
@@ -44,8 +45,8 @@ main(int argc, char** argv)
     applyCliOverrides(argc, argv);
     const Settings s = settings();
     banner("Sweep",
-           "Canonical 8-app sweep: serial/nondet/det at every configured "
-           "thread count, medians over REPRO_REPS.");
+           "Canonical 8-app sweep: serial/nondet/det/detres/coredet at "
+           "every configured thread count, medians over REPRO_REPS.");
     if (s.jsonPath.empty())
         std::printf("note: no --json/REPRO_JSON sink configured; results "
                     "are printed only.\n\n");
@@ -57,7 +58,8 @@ main(int argc, char** argv)
         // Untimed warm-up: touches the app's working set so the first
         // measured variant does not pay cold-start page faults.
         (void)app->baselineSeconds();
-        for (Variant v : {Variant::Serial, Variant::GN, Variant::GD}) {
+        for (Variant v : {Variant::Serial, Variant::GN, Variant::GD,
+                          Variant::DetRes, Variant::CoreDet}) {
             for (unsigned t : s.threads) {
                 // Serial ignores the thread count but is still measured
                 // per t so every (executor, threads) cell exists in the
@@ -68,13 +70,19 @@ main(int argc, char** argv)
                     m = app->run(v, t, false);
                     xs.push_back(m.seconds);
                 }
+                // Digest column: det and detres digests are portable
+                // across thread counts; coredet's is reproducible only
+                // per thread count (its documented contract) but still
+                // diffed exactly by the gate at matching settings.
+                const bool has_digest = v == Variant::GD ||
+                                        v == Variant::DetRes ||
+                                        v == Variant::CoreDet;
                 table.addRow(
                     {app->name(), executorName(v), std::to_string(t),
                      fmt(median(std::move(xs)), 4),
                      fmt(1.0 - m.abortRatio(), 3),
                      v == Variant::GN ? "-" : std::to_string(m.rounds),
-                     v == Variant::GD ? hex16(m.report.traceDigest)
-                                      : "-"});
+                     has_digest ? hex16(m.report.traceDigest) : "-"});
             }
         }
     }

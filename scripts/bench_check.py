@@ -46,7 +46,11 @@ import statistics
 import sys
 
 SCHEMA = "detgalois-bench/1"
-DET_EXECUTORS = {"det", "det-nocont", "det-ref"}
+# Executors whose schedule digest is an exact, noise-free gate. "detres"
+# (reservation-prefix DIG) is portable across thread counts like "det";
+# "coredet" is reproducible per (threads, quantum, rotation), and since
+# records are keyed by thread count its digest is exactly comparable too.
+DET_EXECUTORS = {"det", "det-nocont", "det-ref", "detres", "coredet"}
 
 
 def load(path):

@@ -31,6 +31,7 @@
 #ifndef DETGALOIS_COREDET_COREDET_H
 #define DETGALOIS_COREDET_COREDET_H
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -52,6 +53,45 @@ struct CoreDetStats
 };
 
 /**
+ * Runtime knobs of the CoreDet-style scheduler, selectable per run via
+ * galois::Config (no recompiling — the scheduler used to be frozen at
+ * compile time behind hardcoded constructor arguments).
+ *
+ * Both knobs change the *schedule*; determinism is unaffected: for any
+ * fixed (threads, quantum, rotation) the execution is reproducible.
+ * Unlike the DIG and DetRes backends, the schedule (and thus the
+ * output of order-sensitive programs) legitimately varies with the
+ * thread count — exactly CoreDet's documented contract.
+ */
+struct CoreDetOptions
+{
+    /** Token-rotation policy: the order the serial-mode token visits
+     *  the team each round. */
+    enum class Rotation : std::uint8_t
+    {
+        Forward,   //!< tid order 0,1,...,n-1 (DMP-O default)
+        Reverse,   //!< n-1,...,1,0
+        RoundRobin //!< start position advances by one each round
+    };
+
+    /** Instructions per quantum (CoreDet's tunable parameter; the
+     *  paper notes overheads vary 160%-250% with it). */
+    std::uint64_t quantum = 50000;
+    Rotation rotation = Rotation::Forward;
+
+    /** Validate and sanitize: a zero quantum would end a quantum on
+     *  every work() call; clamp to 1 (which is exactly that, but
+     *  intentionally). */
+    CoreDetOptions
+    validated() const
+    {
+        CoreDetOptions v = *this;
+        v.quantum = std::max<std::uint64_t>(1, quantum);
+        return v;
+    }
+};
+
+/**
  * Deterministic scheduler for a fixed team of threads.
  *
  * Program structure: every thread calls run-body code that reports
@@ -65,12 +105,15 @@ class DmpScheduler
   public:
     /**
      * @param threads team size.
-     * @param quantum instructions per quantum (CoreDet's tunable
-     *                parameter; the paper notes overheads vary 160%-250%
-     *                with it).
+     * @param opt     quantum size and token-rotation policy.
      */
+    DmpScheduler(unsigned threads, const CoreDetOptions& opt)
+        : threads_(threads), opt_(opt.validated()), barrier_(threads)
+    {}
+
+    /** Quantum-only convenience (rotation: Forward, the DMP-O default). */
     DmpScheduler(unsigned threads, std::uint64_t quantum)
-        : threads_(threads), quantum_(quantum), barrier_(threads)
+        : DmpScheduler(threads, withQuantum(quantum))
     {}
 
     /** Execute body(tid) on every thread of the team, deterministically. */
@@ -102,7 +145,7 @@ class DmpScheduler
     {
         Local& me = locals_.local();
         me.insns += n;
-        if (me.insns >= quantum_) {
+        if (me.insns >= opt_.quantum) {
             me.insns = 0;
             ++stats_.local().quantaEnds;
             round(support::ThreadPool::threadId(), nullptr);
@@ -167,10 +210,26 @@ class DmpScheduler
         bool done = false;
     };
 
+    static CoreDetOptions
+    withQuantum(std::uint64_t quantum)
+    {
+        CoreDetOptions o;
+        o.quantum = quantum;
+        return o;
+    }
+
     /**
      * One deterministic round: parallel-mode barrier, then the serial
-     * token passes over the threads in tid order; a thread holding the
-     * token runs its pending operation.
+     * token passes over the team in rotation order; a thread holding
+     * the token runs its pending operation.
+     *
+     * Rotation: turn_ counts serial *positions* 0..threads-1; a
+     * thread's position is a pure function of (tid, rotation, round
+     * sequence number). Every round is a full-team rendezvous (the
+     * barrier admits nobody until all threads call in), so each
+     * thread's private round counter — incremented once per call —
+     * agrees across the team at every rendezvous and serves as the
+     * shared round sequence number without any extra communication.
      *
      * @return true when every thread of the team has finished its body —
      *         read after the barrier so all threads agree and exit their
@@ -179,25 +238,36 @@ class DmpScheduler
     bool
     round(unsigned tid, std::function<void()>* pending)
     {
-        ++stats_.local().rounds;
+        const std::uint64_t seq = stats_.local().rounds++;
         barrier_.wait();
         const bool all_done =
             finished_.load(std::memory_order_acquire) == threads_;
-        // Serial mode: token = turn_ counts 0..threads-1.
-        while (turn_.load(std::memory_order_acquire) != tid)
+        unsigned pos = tid;
+        switch (opt_.rotation) {
+          case CoreDetOptions::Rotation::Forward:
+            break;
+          case CoreDetOptions::Rotation::Reverse:
+            pos = threads_ - 1 - tid;
+            break;
+          case CoreDetOptions::Rotation::RoundRobin:
+            pos = static_cast<unsigned>((tid + seq) % threads_);
+            break;
+        }
+        // Serial mode: token = turn_ counts positions 0..threads-1.
+        while (turn_.load(std::memory_order_acquire) != pos)
             std::this_thread::yield();
         if (pending)
             (*pending)();
-        if (tid + 1 == threads_)
+        if (pos + 1 == threads_)
             turn_.store(0, std::memory_order_release);
         else
-            turn_.store(tid + 1, std::memory_order_release);
+            turn_.store(pos + 1, std::memory_order_release);
         barrier_.wait();
         return all_done;
     }
 
     unsigned threads_;
-    std::uint64_t quantum_;
+    CoreDetOptions opt_;
     support::Barrier barrier_;
     alignas(support::cacheLineSize) std::atomic<unsigned> turn_{0};
     std::atomic<unsigned> finished_{0};

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * CoreDet-backed Galois executor (Exec::CoreDet) — the paper's fourth
+ * comparison point promoted from an app-level stand-in to a runtime
+ * backend that runs ordinary Galois operators.
+ *
+ * The scheduling discipline is the DMP-O algorithm of coredet.h applied
+ * to speculative task execution: threads run operator code in parallel
+ * mode, and every scheduling decision and every mark-word operation is
+ * funneled through the scheduler's serial mode (sync), where a token
+ * visits the team in deterministic rotation order. Concretely, per
+ * task attempt:
+ *
+ *   1. pop  (sync): take the front entry of a shared FIFO of
+ *      (item, slot) pairs — slots are enqueue ordinals, assigned inside
+ *      the serialized push, so the pop order is deterministic;
+ *   2. run the operator in parallel mode; each ctx.acquire() funnels
+ *      its tryAcquire through a bound serializer (Mode::CoreDet in
+ *      runtime/context.h), so lock win/lose outcomes are deterministic;
+ *   3. commit (sync): enqueue children, release the neighborhood, fold
+ *      the committed slot into the digest, retire the task — one
+ *      serialized step, so peers observe commits atomically;
+ *   3'. abort (sync): on ConflictSignal release everything and
+ *      re-enqueue with a fresh slot, then back off a tid-asymmetric
+ *      number of rounds (deterministic symmetry breaking — two
+ *      conflicting workers on a deterministic schedule would otherwise
+ *      retry in lockstep forever).
+ *
+ * Why this is race-free: all conflicting data accesses happen while
+ * holding the locations' marks, mark transfers happen only in serial
+ * mode, and serial mode is ordered by the token word + round barriers
+ * (full happens-before chain). Why it is deterministic: which round a
+ * thread's k-th sync lands in is a pure function of its task history,
+ * and every round's serialization order is a pure function of
+ * (threads, rotation, round number).
+ *
+ * The determinism CONTRACT is CoreDet's, not DIG's: for a fixed
+ * (threads, quantum, rotation) every run — schedule, digest, final
+ * state — is reproducible, but the schedule legitimately changes with
+ * the thread count, so order-sensitive programs may produce different
+ * (each individually reproducible) outputs at different thread counts.
+ * This is exactly the distinction the paper draws between CoreDet-style
+ * "same-input same-machine" determinism and DIG's portable determinism,
+ * and the differential tests pin it: Exec::Det digests are compared
+ * ACROSS thread counts, Exec::CoreDet digests only across runs at the
+ * same thread count.
+ *
+ * Fault semantics mirror the other speculative backend (nondet): a
+ * task raising a non-conflict exception is released and drained; the
+ * recorded error is the one with the smallest slot (chosen inside
+ * serial mode), so which error a faulty run reports is deterministic.
+ * Failpoint sites: coredet.task (keyed by the item), coredet.commit
+ * (keyed by the slot).
+ */
+
+#ifndef DETGALOIS_COREDET_EXECUTOR_COREDET_H
+#define DETGALOIS_COREDET_EXECUTOR_COREDET_H
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <optional>
+#include <vector>
+
+#include "analysis/detsan.h"
+#include "coredet/coredet.h"
+#include "runtime/conflict.h"
+#include "runtime/context.h"
+#include "runtime/lockable.h"
+#include "runtime/round_engine.h"
+#include "runtime/stats.h"
+#include "support/failpoint.h"
+#include "support/per_thread.h"
+
+namespace galois::coredet {
+
+/**
+ * Run all tasks under CoreDet-style deterministic scheduling.
+ *
+ * @param initial   seed tasks (enqueued in index order: slot i = task i).
+ * @param op        operator void(T&, UserContext<T>&); must be cautious.
+ * @param threads   team size (clamped to the pool).
+ * @param opt       quantum size and token-rotation policy.
+ * @param use_cache feed the software cache model (locality experiments).
+ */
+template <typename T, typename F>
+runtime::RunReport
+executeCoreDet(const std::vector<T>& initial, F&& op, unsigned threads,
+               const CoreDetOptions& opt = CoreDetOptions(),
+               bool use_cache = false)
+{
+    using runtime::Lockable;
+    using runtime::MarkOwner;
+    using runtime::UserContext;
+
+    struct CdOwner : MarkOwner
+    {};
+
+    /** Work-queue entry: the task plus its deterministic enqueue slot
+     *  and its abort count (for the deterministic backoff). */
+    struct Entry
+    {
+        T item;
+        std::uint64_t slot;
+        unsigned aborts;
+    };
+
+    // RoundEngine provides the thread clamp, per-thread stats/cache
+    // wiring and the report scaffolding; the parallel region itself is
+    // owned by the DMP scheduler (its run() wraps every body in the
+    // round-drain protocol).
+    runtime::RoundEngine engine(threads, use_cache);
+    const unsigned nthreads = engine.threads();
+    DmpScheduler sched(nthreads, opt);
+
+    // Shared scheduler state. Mutated ONLY inside sync() — serial mode
+    // is the sole synchronization of this executor.
+    std::deque<Entry> queue;
+    std::uint64_t next_slot = 0;
+    std::uint64_t pending = initial.size();
+    std::uint64_t digest = runtime::kFnv1aOffset;
+    bool have_error = false;
+    std::uint64_t error_slot = 0;
+    std::exception_ptr first_error;
+
+    for (const T& item : initial)
+        queue.push_back(Entry{item, next_slot++, 0});
+
+    // Serial-mode error recording: keep the smallest-slot error so a
+    // faulty run reports the same error on every run. Must be called
+    // from inside a sync, within a catch block.
+    auto note_error = [&]() noexcept {
+        const std::uint64_t slot = next_slot;
+        if (!have_error || slot < error_slot) {
+            have_error = true;
+            error_slot = slot;
+            first_error = std::current_exception();
+        }
+    };
+
+    support::PerThread<CdOwner> owners;
+
+    sched.run([&](unsigned tid) {
+        UserContext<T> ctx;
+        engine.bindContext(ctx, tid);
+        runtime::ThreadStats& my_stats = ctx.stats();
+        CdOwner* owner = &owners.local();
+
+        // Every mark acquisition of Mode::CoreDet goes through serial
+        // mode; the outcome (and hence the whole speculative schedule)
+        // is a pure function of the deterministic serialization order.
+        ctx.bindSerializer(
+            &sched, [](void* s, Lockable& l, MarkOwner* o) -> bool {
+                return static_cast<DmpScheduler*>(s)->sync(
+                    [&] { return l.tryAcquire(o); });
+            });
+
+        std::vector<Lockable*> acquired;
+        acquired.reserve(64);
+#if defined(DETGALOIS_DETSAN)
+        // No DIG rounds here; clear any labels a previous deterministic
+        // run left on this pool thread.
+        analysis::setRound(0, 0);
+#endif
+
+        for (;;) {
+            std::optional<Entry> cur;
+            bool done = false;
+            sched.sync([&] {
+                if (!queue.empty()) {
+                    cur = queue.front();
+                    queue.pop_front();
+                } else {
+                    done = pending == 0;
+                }
+            });
+            if (done)
+                break;
+            if (!cur)
+                continue; // empty but peers still hold tasks: next round
+            sched.work(1); // one "instruction" of quantum accounting
+            const std::uint64_t fp_key =
+                support::failpoints::keyOf(cur->item);
+            acquired.clear();
+            ctx.beginTask(UserContext<T>::Mode::CoreDet, owner, &acquired);
+            bool conflicted = false;
+            try {
+                try {
+                    FAILPOINT("coredet.task", fp_key);
+                    op(cur->item, ctx);
+                    FAILPOINT("coredet.commit", cur->slot);
+                } catch (const runtime::ConflictSignal&) {
+                    conflicted = true;
+                }
+                if (!conflicted) {
+                    // Commit, as ONE serialized step: children first,
+                    // then the releases, then the retire — peers see
+                    // either none or all of it. A failed child push
+                    // (allocation failure) loses that child but drains
+                    // nothing it already announced.
+                    sched.sync([&] {
+                        for (const T& child : ctx.pendingPushes()) {
+                            try {
+                                queue.push_back(
+                                    Entry{child, next_slot, 0});
+                                ++next_slot;
+                                ++pending;
+                            } catch (...) {
+                                note_error();
+                            }
+                        }
+                        for (Lockable* l : acquired)
+                            l->releaseIfOwner(owner);
+                        digest = runtime::fnv1aMix(digest, cur->slot);
+                        --pending;
+                    });
+                    DETSAN_VALUE("digest.committed-id", cur->slot);
+                    ++my_stats.committed;
+                } else {
+                    // Abort: cautious task, nothing written — rollback
+                    // is releasing the marks and re-enqueueing under a
+                    // fresh slot (serialized, so the retry order is
+                    // deterministic). A failed re-enqueue loses the
+                    // task: record and drain.
+                    const unsigned aborts = cur->aborts + 1;
+                    sched.sync([&] {
+                        for (Lockable* l : acquired)
+                            l->releaseIfOwner(owner);
+                        try {
+                            queue.push_back(
+                                Entry{cur->item, next_slot, aborts});
+                            ++next_slot;
+                        } catch (...) {
+                            note_error();
+                            --pending;
+                        }
+                    });
+                    ++my_stats.aborted;
+                    // Deterministic symmetry breaking: conflicting
+                    // peers (necessarily distinct tids) sit out
+                    // different round counts, so they cannot retry in
+                    // lockstep forever.
+                    const unsigned spins =
+                        1 + tid + std::min(aborts, 16u);
+                    my_stats.backoffYields += spins;
+                    sched.backoffRounds(spins);
+                }
+            } catch (...) {
+                // Task failure (operator bug, injected fault): release
+                // the marks and drain the task so the team still
+                // reaches quiescence; the error itself is recorded in
+                // serial mode keyed by the task's slot.
+                const std::uint64_t slot = cur->slot;
+                sched.sync([&] {
+                    for (Lockable* l : acquired)
+                        l->releaseIfOwner(owner);
+                    if (!have_error || slot < error_slot) {
+                        have_error = true;
+                        error_slot = slot;
+                        first_error = std::current_exception();
+                    }
+                    --pending;
+                });
+            }
+        }
+#if defined(DETGALOIS_DETSAN)
+        analysis::endTask();
+#endif
+    });
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+
+    runtime::RunReport report;
+    engine.finish(report);
+    const CoreDetStats cs = sched.stats();
+    // Every DMP round is a full-team rendezvous, counted once per
+    // thread: the global round count is the per-thread total.
+    report.rounds = nthreads == 0 ? 0 : cs.rounds / nthreads;
+    if (report.committed > 0)
+        report.generations = 1;
+    report.traceDigest = runtime::fnv1aMix(digest, report.committed);
+    return report;
+}
+
+} // namespace galois::coredet
+
+#endif // DETGALOIS_COREDET_EXECUTOR_COREDET_H

@@ -33,8 +33,10 @@
 #include <string>
 #include <vector>
 
+#include "coredet/executor_coredet.h"
 #include "runtime/executor_det.h"
 #include "runtime/executor_det_ref.h"
+#include "runtime/executor_detres.h"
 #include "runtime/executor_nondet.h"
 #include "runtime/executor_serial.h"
 
@@ -51,7 +53,20 @@ enum class Exec
      *  digest and final state as Det, produced by an independent
      *  implementation (see runtime/executor_det_ref.h). Slow; meant
      *  for tests and debugging, not production runs. */
-    DetRef
+    DetRef,
+    /** PBBS deterministic-reservations scheduling (reserve/commit/retry
+     *  over id-ordered prefixes, runtime/executor_detres.h). Output is
+     *  portable exactly like Det's — and EQUAL to Det's for the same
+     *  workload — but the round schedule (and the trace digest) is
+     *  backend-specific: result determinism without schedule identity. */
+    DetRes,
+    /** CoreDet-style DMP-O scheduling (coredet/executor_coredet.h):
+     *  speculative execution whose every scheduling decision is
+     *  serialized through a deterministic token. Reproducible for a
+     *  fixed (threads, quantum, rotation), but NOT portable across
+     *  thread counts — CoreDet's documented contract, and the paper's
+     *  fourth comparison point. */
+    CoreDet
 };
 
 /** Operator-facing context (alias of the runtime context). */
@@ -66,6 +81,13 @@ using runtime::BenchRecord;
 using runtime::RoundSample;
 using runtime::TraceEvent;
 using DetOptions = runtime::DetOptions;
+/** Deterministic-reservations tuning (Config::detres; Exec::DetRes
+ *  only). The PBBS round size is a genuine hand-tuned parameter —
+ *  changing it changes the schedule/digest but never the result. */
+using DetResOptions = runtime::DetResOptions;
+/** CoreDet scheduler tuning (Config::coredet; Exec::CoreDet only):
+ *  quantum size and token-rotation policy. */
+using CoreDetOptions = coredet::CoreDetOptions;
 /** Barrier placement of the deterministic round protocol (A/B knob —
  *  Config::det.fusion; Fused is the default, Unfused the legacy
  *  five-barrier shape). The schedule and digest are identical in both. */
@@ -104,8 +126,14 @@ struct Config
 {
     Exec exec = Exec::NonDet;
     unsigned threads = 1;
-    /** Deterministic-scheduler tuning (ignored by other executors). */
+    /** Deterministic-scheduler tuning. Shared by Exec::Det, Exec::DetRef
+     *  and Exec::DetRes (the id-assignment knobs must agree for the
+     *  backends' results to be comparable); ignored by the others. */
     runtime::DetOptions det;
+    /** Deterministic-reservations prefix tuning (Exec::DetRes only). */
+    runtime::DetResOptions detres;
+    /** CoreDet quantum/rotation tuning (Exec::CoreDet only). */
+    coredet::CoreDetOptions coredet;
     /** Worklist policy of the speculative executor. */
     NdWorklist ndWorklist = NdWorklist::ChunkedFifo;
     /**
@@ -134,8 +162,9 @@ struct Config
     }
 };
 
-/** Parse an executor name ("serial", "nondet", "det") — the command-line
- *  switch the paper describes for selecting determinism on demand. */
+/** Parse an executor name ("serial", "nondet", "det", "det-ref",
+ *  "detres", "coredet") — the command-line switch the paper describes
+ *  for selecting determinism on demand. */
 inline Exec
 parseExec(const std::string& name)
 {
@@ -145,6 +174,10 @@ parseExec(const std::string& name)
         return Exec::Det;
     if (name == "det-ref" || name == "detref")
         return Exec::DetRef;
+    if (name == "detres" || name == "det-res")
+        return Exec::DetRes;
+    if (name == "coredet")
+        return Exec::CoreDet;
     return Exec::NonDet;
 }
 
@@ -177,6 +210,14 @@ forEach(const std::vector<T>& initial, F&& op, const Config& cfg)
       case Exec::DetRef:
         return runtime::executeDetRef(initial, std::forward<F>(op),
                                       cfg.det);
+      case Exec::DetRes:
+        return runtime::executeDetRes(initial, std::forward<F>(op),
+                                      cfg.threads, cfg.det, cfg.detres,
+                                      cfg.collectLocality, cfg.traceRounds);
+      case Exec::CoreDet:
+        return coredet::executeCoreDet(initial, std::forward<F>(op),
+                                       cfg.threads, cfg.coredet,
+                                       cfg.collectLocality);
     }
     return RunReport{}; // unreachable
 }

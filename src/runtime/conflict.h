@@ -44,22 +44,32 @@ struct FailsafeSignal
 // per-thread collection lane. Between inspect and select a *serial* fold
 // — run by the last thread into the mid-round barrier, while every peer
 // is parked — replays the collected claims in ascending task-id order
-// and resolves conflicts with plain stores. writeMarksMax is a max over
-// a totally ordered id set, so it is order-insensitive: replaying the
-// claims in any fixed order yields the same final marks and the same
-// loser-flag set as the CAS-racing eager protocol, hence an identical
-// selection and trace digest — at zero atomic read-modify-writes.
+// and resolves conflicts with plain stores. The fold computes markMin —
+// a min over a totally ordered id set, so it is order-insensitive:
+// replaying the claims in any fixed order yields the same final marks
+// and the same loser-flag set as the CAS-racing eager protocol, hence
+// an identical selection and trace digest — at zero atomic
+// read-modify-writes.
+//
+// Giving every contested location to the *earliest* id is load-bearing
+// for result determinism: together with the id-prefix round schedule it
+// makes each round's committed set exactly the tasks with no pending
+// earlier conflictor, so the final state equals the serial id-order
+// execution no matter how rounds partition the work (the window/prefix
+// policy changes only the schedule, never the output — what lets
+// Exec::Det, Exec::DetRef and Exec::DetRes agree on every final state).
 // ----------------------------------------------------------------------
 
 /**
  * Fold one collected claim of location l by task `me` into the marks.
  *
  * Must be called from a single-writer serial section, with tasks
- * processed in ascending id order (so a displaced owner always has the
- * smaller id; the symmetric branch keeps the primitive order-robust).
- * The first claim of a location appends it to `winners` — the
- * executor's release list — *before* installing the mark, so an
- * allocation failure in the push leaves no mark behind.
+ * processed in ascending id order (so the first claimant of a location
+ * keeps it and later claimants flag themselves; the symmetric displace
+ * branch keeps the primitive order-robust). The first claim of a
+ * location appends it to `winners` — the executor's release list —
+ * *before* installing the mark, so an allocation failure in the push
+ * leaves no mark behind.
  */
 inline void
 claimMarkFold(Lockable& l, DetRecordBase* me, std::vector<Lockable*>& winners)
@@ -73,8 +83,8 @@ claimMarkFold(Lockable& l, DetRecordBase* me, std::vector<Lockable*>& winners)
     if (cur->id == me->id)
         return; // duplicate acquire of the same location by one task
     auto* other = static_cast<DetRecordBase*>(cur);
-    if (other->id < me->id) {
-        // We displace the current owner: flag it so it skips its commit
+    if (other->id > me->id) {
+        // We displace a later-id owner: flag it so it skips its commit
         // (the Section 3.3 flag protocol, now applied serially). The
         // location is already on the winners list from its first claim.
         other->notSelected.store(true, std::memory_order_relaxed);

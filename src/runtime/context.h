@@ -54,14 +54,26 @@ class UserContext
          *  per-thread lane (no mark traffic — the serial fold between
          *  inspect and select resolves conflicts), stop at failsafe. */
         DetInspect,
-        /** DIG inspect, eager protocol: writeMarksMax per acquire, flag
-         *  displaced losers immediately. Kept as an independent protocol
-         *  for the serial reference oracle (Exec::DetRef), so the
-         *  differential tests compare two different mark protocols. */
+        /** DIG inspect, eager protocol: one markMin CAS per acquire,
+         *  flag displaced losers immediately. Kept as an independent
+         *  protocol for the serial reference oracle (Exec::DetRef), so
+         *  the differential tests compare two different mark protocols. */
         DetInspectEager,
         DetCheck,   //!< DIG select phase, baseline: re-execute, verify marks
-        DetCommit   //!< DIG select phase: selection already decided, run
+        DetCommit,  //!< DIG select phase: selection already decided, run
+        /** CoreDet-style execution: like NonDet, but every mark
+         *  acquisition is funneled through a bound serializer (the DMP
+         *  scheduler's serial mode), so lock outcomes — and with them
+         *  the whole speculative schedule — are deterministic for a
+         *  fixed (threads, quantum, rotation). */
+        CoreDet
     };
+
+    /** Serialized mark acquisition for Mode::CoreDet: the executor
+     *  binds the scheduler (as void*) plus a trampoline that runs
+     *  tryAcquire inside the scheduler's serial mode. */
+    using SerialAcquireFn = bool (*)(void* sched, Lockable& l,
+                                     MarkOwner* owner);
 
     UserContext() = default;
 
@@ -115,6 +127,9 @@ class UserContext
           case Mode::DetCommit:
             // Selection was already decided by the notSelected flag
             // before the operator ran; nothing to check per acquire.
+            return;
+          case Mode::CoreDet:
+            acquireCoreDet(l);
             return;
         }
     }
@@ -342,6 +357,13 @@ class UserContext
 
     void bindStats(ThreadStats* stats) { stats_ = stats; }
     void bindCache(model::CacheModel* cache) { cache_ = cache; }
+    /** Bind the Mode::CoreDet acquisition serializer (see above). */
+    void
+    bindSerializer(void* sched, SerialAcquireFn fn)
+    {
+        serialSched_ = sched;
+        serialAcquire_ = fn;
+    }
     /** Route saveState() allocations to an arena (nullptr: heap). */
     void bindArena(support::Arena* arena) { arena_ = arena; }
 
@@ -370,6 +392,8 @@ class UserContext
             return "check";
           case Mode::DetCommit:
             return "commit";
+          case Mode::CoreDet:
+            return "coredet";
         }
         return "?";
     }
@@ -389,16 +413,32 @@ class UserContext
     }
 
     void
+    acquireCoreDet(Lockable& l)
+    {
+        // Fast path as in acquireNonDet: owner_ can only have been
+        // installed by our own (serialized) acquire, and owner() is an
+        // atomic load, so reading it in parallel mode is race-free.
+        if (l.owner(std::memory_order_relaxed) == owner_)
+            return;
+        ++stats_->atomicOps;
+        assert(serialAcquire_ != nullptr &&
+               "Mode::CoreDet requires a bound serializer");
+        if (!serialAcquire_(serialSched_, l, owner_))
+            throw ConflictSignal{};
+        nbhd_->push_back(&l);
+    }
+
+    void
     acquireInspect(Lockable& l)
     {
         if (l.owner(std::memory_order_relaxed) == owner_)
             return;
         ++stats_->atomicOps;
         MarkOwner* displaced = nullptr;
-        if (l.markMax(owner_, displaced)) {
+        if (l.markMin(owner_, displaced)) {
             nbhd_->push_back(&l);
             if (displaced != nullptr) {
-                // We stole the mark from a smaller-id task: flag it so it
+                // We stole the mark from a later-id task: flag it so it
                 // skips its commit (continuation-optimization protocol;
                 // harmless under baseline scheduling, where the mark check
                 // catches it anyway).
@@ -406,9 +446,9 @@ class UserContext
                     ->notSelected.store(true, std::memory_order_release);
             }
         } else {
-            // A larger id holds the location: we cannot commit this
-            // round. Unlike writeMarks (Fig. 1b), writeMarksMax must keep
-            // marking the remaining locations, so do NOT unwind here.
+            // An earlier id holds the location: we cannot commit this
+            // round. Unlike writeMarks (Fig. 1b), the id-order mark must
+            // keep marking the remaining locations, so do NOT unwind here.
             static_cast<DetRecordBase*>(owner_)->notSelected.store(
                 true, std::memory_order_release);
         }
@@ -440,6 +480,8 @@ class UserContext
     void (**localDeleter_)(void*) = nullptr;
     ThreadStats* stats_ = nullptr;
     model::CacheModel* cache_ = nullptr;
+    void* serialSched_ = nullptr; //!< Mode::CoreDet serializer state
+    SerialAcquireFn serialAcquire_ = nullptr;
     support::Arena* arena_ = nullptr;
     std::vector<T> pushes_;
     std::vector<std::uint64_t> pushIds_;

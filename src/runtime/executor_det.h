@@ -17,8 +17,9 @@
  *      losers (the batched mark protocol, runtime/conflict.h); this
  *      materializes the round's interference graph at zero atomic
  *      read-modify-writes,
- *   4. commits exactly the unflagged tasks — the unique maximal-by-id
- *      independent set — and defers the rest (selectAndExec).
+ *   4. commits exactly the unflagged tasks — those with no smaller-id
+ *      conflictor in the window, i.e. the greedy id-order independent
+ *      set — and defers the rest (selectAndExec).
  *
  * This file is deliberately thin: it is the *policy* composition of five
  * standalone, unit-tested mechanisms —
@@ -43,12 +44,23 @@
  * end-to-end by scripts/golden_digests.txt):
  *   - ids are assigned by a deterministic sort of (parent id, birth rank),
  *   - the window is a deterministic function of per-round commit counts,
- *   - the serial fold computes, per location, the max over a totally
- *     ordered id set — the same function writeMarksMax computed with
- *     racing CASes, and max is independent of evaluation order — so the
- *     final marks, the loser flags, and hence the selected set, the
- *     failure set and the set of created tasks of every round are
- *     independent of thread count and timing.
+ *   - the serial fold computes, per location, the min over a totally
+ *     ordered id set — the same function the eager markMin protocol
+ *     computes with racing CASes, and min is independent of evaluation
+ *     order — so the final marks, the loser flags, and hence the
+ *     selected set, the failure set and the set of created tasks of
+ *     every round are independent of thread count and timing.
+ *
+ * Result determinism is stronger still: because every round admits an
+ * id-*prefix* of the pending work and every contested location goes to
+ * the *earliest* claimant, a task commits exactly when no pending
+ * smaller-id task conflicts with it — so a committed later-id task can
+ * never have touched anything a pending earlier task reads, and the
+ * final state equals the serial id-order execution for ANY round
+ * partition. The window policy (adaptive, fixed-window ablation, or the
+ * DetRes reservation prefix) changes the schedule — rounds, digest,
+ * commit ratios — but never the output; tests/differential_test.cpp
+ * pins this across all three deterministic backends.
  *
  * The three optimizations of Section 3.3 are all implemented and can be
  * toggled independently (DetOptions): the continuation (suspend/resume
@@ -89,7 +101,7 @@ namespace galois::runtime {
  * Thrown by the DetExecutor progress watchdog when the scheduler stops
  * making progress: a configured number of consecutive rounds committed
  * zero tasks. With a correct cautious operator this is impossible (the
- * maximal-id task of a round always holds all its marks), so the
+ * minimal-id task of a round always holds all its marks), so the
  * watchdog converts an otherwise-infinite scheduling loop — typically
  * caused by an operator that acquires locations after its failsafe
  * point — into a fail-fast diagnostic naming the stuck task ids.
@@ -172,7 +184,7 @@ struct DetOptions
      * Progress watchdog: fail the run with a LivelockError after this
      * many *consecutive* rounds that committed zero tasks (0 disables).
      * A correct cautious operator commits at least one task per round
-     * (the maximal-id task always keeps its marks), so any value large
+     * (the minimal-id task always keeps its marks), so any value large
      * enough to ride out flukes — there are none; zero-commit rounds
      * repeat identically — detects only genuine livelock.
      */
@@ -586,7 +598,7 @@ class DetExecutor
         window_.update(cur_.size(), committed);
 
         // Progress watchdog: a correct cautious operator commits the
-        // maximal-id task of every round, so repeated zero-commit rounds
+        // minimal-id task of every round, so repeated zero-commit rounds
         // can only mean livelock (typically a non-cautious operator
         // whose select-phase re-execution conflicts forever). Fail fast
         // with a diagnostic instead of spinning; everything in the

@@ -12,7 +12,7 @@
  * partitioning. What it does share are the pure, unit-tested policy
  * components whose outputs define the schedule: IdService (deterministic
  * id assignment), WindowPolicy (adaptive round sizing) and the
- * writeMarksMax mark discipline of Lockable.
+ * id-order (markMin) mark discipline of Lockable.
  *
  * Because the committed set of every round is a pure function of the
  * schedule, the reference and the production executor must agree on
@@ -129,9 +129,9 @@ executeDetRef(const std::vector<T>& initial, F&& op,
                 cur.push_back(queue[queue_pos++]);
 
             // Inspect pass: every task runs to its failsafe point,
-            // accumulating max-id marks over its neighborhood. The
+            // accumulating min-id marks over its neighborhood. The
             // reference deliberately keeps the *eager* protocol
-            // (writeMarksMax CAS per acquire) while the production
+            // (one markMin CAS per acquire) while the production
             // executor uses the batched collect-and-fold protocol — so
             // the differential tests compare two independent
             // implementations of the same interference-graph semantics.

@@ -12,11 +12,17 @@
  *    compare-and-set of 0 -> id and released back to 0 on commit or abort.
  *
  *  - Deterministic DIG scheduling (Fig. 3): during the inspect phase the
- *    mark accumulates the *maximum* task id that touched the location
- *    (writeMarksMax); the select phase commits exactly the tasks whose
- *    marks all still carry their own id. Because max over a totally
- *    ordered id set is order-insensitive, the final marks — and hence the
- *    selected independent set — are deterministic.
+ *    mark accumulates the *smallest* task id that touched the location
+ *    (markMin — Fig. 3's writeMarks specialized to id-order priority);
+ *    the select phase commits exactly the tasks whose marks all still
+ *    carry their own id. Because min over a totally ordered id set is
+ *    order-insensitive, the final marks — and hence the selected
+ *    independent set — are deterministic. Giving every conflict to the
+ *    *earlier* id is what makes the committed state equivalent to the
+ *    serial id-order execution regardless of how rounds partition the
+ *    work (see executor_det.h) — the same priority direction PBBS
+ *    reservations encode by handing earlier items larger priorities
+ *    over markMax (src/pbbs/reservations.h).
  *
  * We store a pointer to an owner descriptor instead of a raw integer id so
  * that the deterministic executor can navigate from a mark to the losing
@@ -106,8 +112,10 @@ class Lockable
     }
 
     /**
-     * writeMarkMax (Fig. 3): install o if its id exceeds the current
-     * owner's id.
+     * writeMarkMax: install o if its id exceeds the current owner's id.
+     * Used where priorities are encoded so that larger means earlier
+     * (the PBBS reservation engine); the deterministic runtime itself
+     * resolves conflicts with markMin below.
      *
      * @param[out] displaced set to the owner whose mark was overwritten
      *             (nullptr if the location was free or o lost).
@@ -123,6 +131,34 @@ class Lockable
                 return true;
             if (cur != nullptr && cur->id >= o->id)
                 return false; // a larger id already owns the location
+            if (mark_.compare_exchange_weak(cur, o,
+                                            std::memory_order_acq_rel)) {
+                displaced = cur;
+                return true;
+            }
+            // cur reloaded by compare_exchange_weak; retry.
+        }
+    }
+
+    /**
+     * writeMarkMin — the id-order mark of the deterministic executors:
+     * install o if its id is *smaller* than the current owner's id, so
+     * every location ends up owned by the earliest task that touched it.
+     *
+     * @param[out] displaced set to the owner whose mark was overwritten
+     *             (nullptr if the location was free or o lost).
+     * @return true if o holds the mark after the call.
+     */
+    bool
+    markMin(MarkOwner* o, MarkOwner*& displaced)
+    {
+        displaced = nullptr;
+        MarkOwner* cur = mark_.load(std::memory_order_acquire);
+        for (;;) {
+            if (cur == o)
+                return true;
+            if (cur != nullptr && cur->id <= o->id)
+                return false; // an earlier id already owns the location
             if (mark_.compare_exchange_weak(cur, o,
                                             std::memory_order_acq_rel)) {
                 displaced = cur;

@@ -113,6 +113,66 @@ class WindowPolicy
     std::uint64_t window_ = 0;
 };
 
+/** Knobs of the deterministic-reservations prefix schedule (the
+ *  validated subset of DetResOptions). */
+struct ReservationConfig
+{
+    /** Hard cap on tasks per round — the PBBS round-size parameter. */
+    std::uint64_t roundSize = 4096;
+    /** Prefix floor while nothing has committed yet (BRIO warm-up). */
+    std::uint64_t initialPrefix = 32;
+};
+
+/**
+ * Deterministic-reservations prefix schedule — the round-size policy of
+ * PBBS's speculative_for (Blelloch et al.), extracted so Exec::DetRes
+ * can reuse the same round engine as the DIG executor with a different
+ * windowing discipline.
+ *
+ * Where WindowPolicy adapts on the *commit ratio*, this policy grows
+ * the prefix with the *cumulative committed count*:
+ *
+ *     prefix = min(roundSize, max(initialPrefix, total_committed))
+ *
+ * the BRIO-style doubling PBBS's incremental codes use — early
+ * dependence-heavy work runs in small rounds, bulk work in full-size
+ * ones, and the cap never adapts (the hand-tuned parameter the paper
+ * contrasts with DIG's parameterless window). Like WindowPolicy, the
+ * schedule is a pure function of per-round committed counts, so it is
+ * identical on every thread count; the cumulative count persists
+ * across generations for the same reason the adaptive window does.
+ */
+class ReservationPolicy
+{
+  public:
+    ReservationPolicy() = default;
+
+    explicit ReservationPolicy(const ReservationConfig& cfg) : cfg_(cfg)
+    {}
+
+    /** Start a generation. The committed count persists (see above). */
+    void beginGeneration() {}
+
+    /** Current prefix size (tasks per round). */
+    std::uint64_t
+    size() const
+    {
+        return std::min(cfg_.roundSize,
+                        std::max(cfg_.initialPrefix, committed_));
+    }
+
+    /** Fold one round's outcome into the cumulative committed count. */
+    void
+    update(std::uint64_t /*attempted*/, std::uint64_t committed)
+    {
+        committed_ += committed;
+    }
+
+  private:
+    ReservationConfig cfg_;
+    std::uint64_t committed_ = 0;
+};
+
 } // namespace galois::runtime
 
 #endif // DETGALOIS_RUNTIME_WINDOW_H

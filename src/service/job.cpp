@@ -21,6 +21,8 @@ execName(Exec e)
       case Exec::NonDet: return "nondet";
       case Exec::Det: return "det";
       case Exec::DetRef: return "det-ref";
+      case Exec::DetRes: return "detres";
+      case Exec::CoreDet: return "coredet";
     }
     return "?";
 }
@@ -32,6 +34,14 @@ JobSpec::config() const
     cfg.exec = exec;
     cfg.threads = threads;
     cfg.det.watchdogRounds = watchdogRounds;
+    if (roundSize != 0)
+        cfg.detres.roundSize = roundSize;
+    if (quantum != 0)
+        cfg.coredet.quantum = quantum;
+    if (rotation == "reverse")
+        cfg.coredet.rotation = CoreDetOptions::Rotation::Reverse;
+    else if (rotation == "roundrobin")
+        cfg.coredet.rotation = CoreDetOptions::Rotation::RoundRobin;
     return cfg;
 }
 
@@ -87,7 +97,7 @@ parseJobSpec(const wire::Value& v, JobSpec& out)
     if (const wire::Value* f = v.find("exec")) {
         const std::string name = f->asString("det");
         if (name != "det" && name != "nondet" && name != "serial" &&
-            name != "det-ref")
+            name != "det-ref" && name != "detres" && name != "coredet")
             return "unknown exec '" + name + "'";
         out.exec = parseExec(name);
     }
@@ -102,6 +112,25 @@ parseJobSpec(const wire::Value& v, JobSpec& out)
         out.deadlineMs = f->asU64();
     if (const wire::Value* f = v.find("retries"))
         out.retries = static_cast<unsigned>(f->asU64(0));
+    if (const wire::Value* f = v.find("round_size")) {
+        out.roundSize = f->asU64();
+        if (out.roundSize < 1 || out.roundSize > (1u << 20))
+            return "'round_size' out of range [1, 1048576]";
+    }
+    if (const wire::Value* f = v.find("quantum")) {
+        out.quantum = f->asU64();
+        if (out.quantum < 1 || out.quantum > (1u << 30))
+            return "'quantum' out of range [1, 1073741824]";
+    }
+    if (const wire::Value* f = v.find("rotation")) {
+        out.rotation = f->asString();
+        if (out.rotation != "forward" && out.rotation != "reverse" &&
+            out.rotation != "roundrobin")
+            return "unknown rotation '" + out.rotation +
+                   "' (want forward|reverse|roundrobin)";
+        if (out.rotation == "forward")
+            out.rotation.clear(); // the default, normalized
+    }
 
     if (const wire::Value* f = v.find("failpoints")) {
         out.failpoints = f->asString();

@@ -34,11 +34,17 @@ struct JobSpec
     std::uint32_t source = 0; //!< source node (bfs/sssp)
     std::int64_t maxWeight = 100; //!< max edge weight (sssp)
 
-    Exec exec = Exec::Det;  //!< executor (receipts verify only for Det)
+    /** Executor. Receipts verify across thread counts for Det and
+     *  DetRes (both have portable schedule digests); a CoreDet digest
+     *  is reproducible only at the spec's exact thread count. */
+    Exec exec = Exec::Det;
     unsigned threads = 1;   //!< requested parallelism
     std::uint64_t watchdogRounds = 64; //!< livelock watchdog setting
     std::uint64_t deadlineMs = 0;      //!< wall deadline (0: service default)
     unsigned retries = ~0u; //!< transient-fault retries (~0u: default)
+    std::uint64_t roundSize = 0;    //!< detres round size (0: default)
+    std::uint64_t quantum = 0;      //!< coredet quantum (0: default)
+    std::string rotation;           //!< coredet rotation ("" = forward)
 
     /** Per-job fault plan (DETGALOIS_FAILPOINTS grammar; "" = none).
      *  Scoped to this job alone — concurrent jobs never see it. */
@@ -77,7 +83,8 @@ const char* jobStatusName(JobStatus s);
 /** A schedule digest as the canonical 16-hex-digit receipt string. */
 std::string digestHex(std::uint64_t digest);
 
-/** Wire name of an executor ("serial"|"nondet"|"det"|"det-ref"). */
+/** Wire name of an executor
+ *  ("serial"|"nondet"|"det"|"det-ref"|"detres"|"coredet"). */
 const char* execName(Exec e);
 
 /** HTTP-flavoured status code of a receipt (200/400/429/500/504). */

@@ -83,11 +83,13 @@ setImpl(const std::string& site, const FailPlan& plan)
  * as "my fault was survived".
  */
 constexpr const char* kKnownSites[] = {
-    "arena.chunk",     "barrier.reinit",     "det.commit",
-    "det.idsort",      "det.inspect",        "det.merge",
+    "arena.chunk",      "barrier.reinit",     "coredet.commit",
+    "coredet.task",     "det.commit",         "det.idsort",
+    "det.inspect",      "det.merge",          "detres.commit",
+    "detres.idsort",    "detres.merge",       "detres.reserve",
     "graph.readDimacs", "graph.readEdgeList", "nondet.abort",
-    "nondet.commit",   "nondet.task",        "serial.task",
-    "service.admit",   "service.lane",       "threadpool.run",
+    "nondet.commit",    "nondet.task",        "serial.task",
+    "service.admit",    "service.lane",       "threadpool.run",
     "threadpool.spawn",
 };
 

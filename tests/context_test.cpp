@@ -51,6 +51,8 @@ TEST(Lockable, TryAcquireSemantics)
 
 TEST(Lockable, MarkMaxKeepsLargestId)
 {
+    // markMax: the PBBS reservation engine's primitive (priorities are
+    // encoded so larger = earlier there).
     Lockable l;
     DetRecordBase lo, mid, hi;
     lo.id = 1;
@@ -72,6 +74,34 @@ TEST(Lockable, MarkMaxKeepsLargestId)
 
     // Re-marking by the current owner is a no-op success.
     EXPECT_TRUE(l.markMax(&hi, displaced));
+    EXPECT_EQ(displaced, nullptr);
+}
+
+TEST(Lockable, MarkMinKeepsSmallestId)
+{
+    // markMin: the deterministic executors' id-order mark — every
+    // location ends up owned by the earliest task that touched it.
+    Lockable l;
+    DetRecordBase lo, mid, hi;
+    lo.id = 1;
+    mid.id = 5;
+    hi.id = 9;
+
+    MarkOwner* displaced = nullptr;
+    EXPECT_TRUE(l.markMin(&mid, displaced));
+    EXPECT_EQ(displaced, nullptr);
+
+    // Larger id loses and does not change the mark.
+    EXPECT_FALSE(l.markMin(&hi, displaced));
+    EXPECT_EQ(l.owner(), &mid);
+
+    // Smaller id wins and reports whom it displaced.
+    EXPECT_TRUE(l.markMin(&lo, displaced));
+    EXPECT_EQ(displaced, &mid);
+    EXPECT_EQ(l.owner(), &lo);
+
+    // Re-marking by the current owner is a no-op success.
+    EXPECT_TRUE(l.markMin(&lo, displaced));
     EXPECT_EQ(displaced, nullptr);
 }
 
@@ -115,35 +145,35 @@ TEST(Context, NonDetAcquireThrowsOnConflict)
 
 TEST(Context, EagerInspectMarksAllAndFlagsLosers)
 {
-    // Eager protocol (DetInspectEager, the det-ref oracle's): task hi
-    // steals a location from task lo; lo must end up flagged, and a
-    // task that loses a markMax must flag itself.
+    // Eager protocol (DetInspectEager, the det-ref oracle's): task lo
+    // steals a location from later-id task hi; hi must end up flagged,
+    // and a task that loses a markMin must flag itself.
     DetRecordBase lo, hi;
     lo.id = 1;
     hi.id = 2;
     Lockable l1, l2;
 
-    Fixture flo;
-    flo.begin(UserContext<int>::Mode::DetInspectEager, &lo);
-    flo.ctx.acquire(l1);
-    flo.ctx.acquire(l2);
-    EXPECT_EQ(flo.nbhd.size(), 2u);
-    EXPECT_FALSE(lo.notSelected.load());
-
     Fixture fhi;
     fhi.begin(UserContext<int>::Mode::DetInspectEager, &hi);
-    fhi.ctx.acquire(l1); // steals from lo -> flags lo
-    EXPECT_TRUE(lo.notSelected.load());
+    fhi.ctx.acquire(l1);
+    fhi.ctx.acquire(l2);
+    EXPECT_EQ(fhi.nbhd.size(), 2u);
     EXPECT_FALSE(hi.notSelected.load());
 
-    // Now lo re-inspects l1 (owned by hi): it must flag itself and keep
-    // going (writeMarksMax never fails early).
-    lo.notSelected.store(false);
-    Fixture flo2;
-    flo2.begin(UserContext<int>::Mode::DetInspectEager, &lo);
-    EXPECT_NO_THROW(flo2.ctx.acquire(l1));
-    EXPECT_TRUE(lo.notSelected.load());
-    EXPECT_EQ(l1.owner(), &hi);
+    Fixture flo;
+    flo.begin(UserContext<int>::Mode::DetInspectEager, &lo);
+    flo.ctx.acquire(l1); // steals from hi -> flags hi
+    EXPECT_TRUE(hi.notSelected.load());
+    EXPECT_FALSE(lo.notSelected.load());
+
+    // Now hi re-inspects l1 (owned by lo): it must flag itself and keep
+    // going (the id-order mark never fails early).
+    hi.notSelected.store(false);
+    Fixture fhi2;
+    fhi2.begin(UserContext<int>::Mode::DetInspectEager, &hi);
+    EXPECT_NO_THROW(fhi2.ctx.acquire(l1));
+    EXPECT_TRUE(hi.notSelected.load());
+    EXPECT_EQ(l1.owner(), &lo);
 }
 
 TEST(Context, CollectInspectAppendsToLaneWithoutMarking)
@@ -183,18 +213,20 @@ TEST(Context, FoldClaimsInIdOrderAndFlagsLosers)
     Lockable l1, l2, l3;
     std::vector<Lockable*> winners;
 
-    // lo collected {l1, l2, l1 (dup)}; hi collected {l1, l3}.
+    // lo collected {l1, l2, l1 (dup)}; hi collected {l1, l3}. Folded in
+    // ascending id order, the earlier task keeps every contested
+    // location and the later claimant flags itself.
     claimMarkFold(l1, &lo, winners);
     claimMarkFold(l2, &lo, winners);
     claimMarkFold(l1, &lo, winners); // duplicate: no-op
-    claimMarkFold(l1, &hi, winners); // steals l1, flags lo
+    claimMarkFold(l1, &hi, winners); // lo already owns l1: flags hi
     claimMarkFold(l3, &hi, winners);
 
-    EXPECT_EQ(l1.owner(), &hi);
+    EXPECT_EQ(l1.owner(), &lo);
     EXPECT_EQ(l2.owner(), &lo);
     EXPECT_EQ(l3.owner(), &hi);
-    EXPECT_TRUE(lo.notSelected.load());
-    EXPECT_FALSE(hi.notSelected.load());
+    EXPECT_TRUE(hi.notSelected.load());
+    EXPECT_FALSE(lo.notSelected.load());
     // Each location entered winners exactly once, at first claim.
     ASSERT_EQ(winners.size(), 3u);
     EXPECT_EQ(winners[0], &l1);

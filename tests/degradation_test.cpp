@@ -171,4 +171,17 @@ TEST(Degradation, ExecutorsStillRunAtAnyRequestedThreadCount)
     (void)runCells(Exec::NonDet, 8); // completes, serializable
 }
 
+TEST(Degradation, DetResMatchesDetOnDegradedPool)
+{
+    // The reservation backend degrades the same way: any requested
+    // width collapses to the surviving thread and the final state is
+    // unchanged — and, because both deterministic backends resolve
+    // conflicts in id order, it equals Exec::Det's final state even on
+    // this crippled host.
+    const std::uint64_t det1 = runCells(Exec::Det, 1);
+    const std::uint64_t res1 = runCells(Exec::DetRes, 1);
+    EXPECT_EQ(res1, det1);
+    EXPECT_EQ(runCells(Exec::DetRes, 8), res1);
+}
+
 } // namespace

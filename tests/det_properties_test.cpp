@@ -13,6 +13,11 @@
  *  - NonDet: every task committed exactly once (per-task commit tally),
  *    final state reachable by *some* serialization (validated through a
  *    per-location operation log replay);
+ *  - DetRes: same final state as Det (result determinism is shared by
+ *    every id-order backend regardless of round partition), and a
+ *    thread-portable schedule of its own, under prefix knobs sampled
+ *    from the case seed;
+ *  - CoreDet: reproducible under sampled quantum/rotation knobs;
  *  - Serial: reference.
  */
 
@@ -181,6 +186,83 @@ TEST_P(ExecutorFuzz, NonDetCommitsMatchDynamicTaskTree)
         EXPECT_EQ(report.committed, ref.committed)
             << threads << " threads";
         EXPECT_EQ(report.pushed, ref.pushed) << threads << " threads";
+    }
+}
+
+TEST_P(ExecutorFuzz, DetResMatchesDetAndIsPortable)
+{
+    const FuzzCase c = GetParam();
+
+    // Det reference: the id-order final state every deterministic
+    // backend must reproduce.
+    FuzzWorkload wd(c.seed, c.cells, c.tasks, c.depth);
+    Config det;
+    det.exec = Exec::Det;
+    const auto det_report =
+        galois::forEach(wd.initialTasks(), wd.op(), det);
+    const std::uint64_t det_hash = wd.hash();
+
+    // Prefix knobs sampled from the case seed: small initial prefixes
+    // and round caps exercise the reservation policy's growth path.
+    Config cfg;
+    cfg.exec = Exec::DetRes;
+    cfg.detres.initialPrefix = 8 + 8 * (c.seed % 5);
+    cfg.detres.roundSize = 256 << (c.seed % 4);
+
+    std::uint64_t ref_digest = 0;
+    bool have_ref = false;
+    for (unsigned threads : {1u, 3u, 8u}) {
+        FuzzWorkload w(c.seed, c.cells, c.tasks, c.depth);
+        cfg.threads = threads;
+        const auto report =
+            galois::forEach(w.initialTasks(), w.op(), cfg);
+        // Result determinism: DetRes partitions rounds by reservation
+        // prefix, not by adaptive window, yet must land on the same
+        // final state and committed count as Det.
+        EXPECT_EQ(w.hash(), det_hash) << threads << " threads";
+        EXPECT_EQ(report.committed, det_report.committed)
+            << threads << " threads";
+        // Schedule portability: DetRes's own schedule is a pure
+        // function of the input, not of the thread count.
+        if (!have_ref) {
+            ref_digest = report.traceDigest;
+            have_ref = true;
+        } else {
+            EXPECT_EQ(report.traceDigest, ref_digest)
+                << threads << " threads";
+        }
+    }
+}
+
+TEST_P(ExecutorFuzz, CoreDetReproducibleUnderSampledQuanta)
+{
+    const FuzzCase c = GetParam();
+
+    Config cfg;
+    cfg.exec = Exec::CoreDet;
+    cfg.threads = 4;
+    cfg.coredet.quantum = 1 + (c.seed * 37) % 200;
+    cfg.coredet.rotation = static_cast<coredet::CoreDetOptions::Rotation>(
+        c.seed % 3);
+
+    std::uint64_t ref_hash = 0;
+    std::uint64_t ref_digest = 0;
+    std::uint64_t ref_committed = 0;
+    for (int run = 0; run < 2; ++run) {
+        FuzzWorkload w(c.seed, c.cells, c.tasks, c.depth);
+        const auto report =
+            galois::forEach(w.initialTasks(), w.op(), cfg);
+        if (run == 0) {
+            ref_hash = w.hash();
+            ref_digest = report.traceDigest;
+            ref_committed = report.committed;
+        } else {
+            EXPECT_EQ(w.hash(), ref_hash)
+                << "quantum=" << cfg.coredet.quantum;
+            EXPECT_EQ(report.traceDigest, ref_digest)
+                << "quantum=" << cfg.coredet.quantum;
+            EXPECT_EQ(report.committed, ref_committed);
+        }
     }
 }
 

@@ -1,10 +1,10 @@
 /**
  * @file
- * Golden trace-digest dump: runs every application under Exec::Det on
- * fixed, generator-built inputs at 1/2/4/8 threads and prints one line
- * per run:
+ * Golden trace-digest dump: runs every application under Exec::Det and
+ * Exec::DetRes on fixed, generator-built inputs at 1/2/4/8 threads and
+ * prints one line per run:
  *
- *   <app> <threads> <traceDigest-hex>
+ *   <app>[-detres] <threads> <traceDigest-hex>
  *
  * scripts/check_digests.sh diffs this output against the committed
  * golden values (scripts/golden_digests.txt). The digest folds every
@@ -13,6 +13,12 @@
  * state — is unchanged. Refactors of the scheduler must keep this green;
  * a deliberate schedule change must regenerate the golden file and call
  * the change out in review (DESIGN.md section 9).
+ *
+ * Det and DetRes digest lines differ from each other by design: the two
+ * backends partition work into rounds differently (adaptive window vs.
+ * reservation prefix), so their schedules — though each portable across
+ * thread counts — are distinct. Their final states agree; that is
+ * asserted by tests/differential_test.cpp, not here.
  *
  * Inputs are deliberately small: the point is schedule coverage (several
  * generations and window adaptations per app), not load.
@@ -33,19 +39,31 @@
 
 namespace {
 
+struct Backend
+{
+    const char* suffix;
+    galois::Exec exec;
+};
+
+constexpr Backend kBackends[] = {
+    {"", galois::Exec::Det},
+    {"-detres", galois::Exec::DetRes},
+};
+
 galois::Config
-detCfg(unsigned threads)
+cfgFor(const Backend& b, unsigned threads)
 {
     galois::Config cfg;
-    cfg.exec = galois::Exec::Det;
+    cfg.exec = b.exec;
     cfg.threads = threads;
     return cfg;
 }
 
 void
-emit(const char* app, unsigned threads, const galois::RunReport& report)
+emit(const char* app, const Backend& b, unsigned threads,
+     const galois::RunReport& report)
 {
-    std::printf("%s %u %016" PRIx64 "\n", app, threads,
+    std::printf("%s%s %u %016" PRIx64 "\n", app, b.suffix, threads,
                 report.traceDigest);
 }
 
@@ -58,52 +76,60 @@ main()
 {
     using namespace galois;
 
-    for (unsigned t : kThreadCounts) {
-        auto edges = graph::randomKOut(1500, 5, 11, /*symmetric=*/true);
-        apps::bfs::Graph g(1500, edges);
-        emit("bfs", t, apps::bfs::galoisBfs(g, 0, detCfg(t)));
-    }
+    for (const Backend& b : kBackends) {
+        for (unsigned t : kThreadCounts) {
+            auto edges =
+                graph::randomKOut(1500, 5, 11, /*symmetric=*/true);
+            apps::bfs::Graph g(1500, edges);
+            emit("bfs", b, t, apps::bfs::galoisBfs(g, 0, cfgFor(b, t)));
+        }
 
-    for (unsigned t : kThreadCounts) {
-        auto edges = apps::sssp::randomWeightedGraph(1200, 4, 100, 13);
-        apps::sssp::Graph g(1200, edges);
-        emit("sssp", t, apps::sssp::galoisSssp(g, 0, detCfg(t)));
-    }
+        for (unsigned t : kThreadCounts) {
+            auto edges = apps::sssp::randomWeightedGraph(1200, 4, 100, 13);
+            apps::sssp::Graph g(1200, edges);
+            emit("sssp", b, t,
+                 apps::sssp::galoisSssp(g, 0, cfgFor(b, t)));
+        }
 
-    for (unsigned t : kThreadCounts) {
-        auto edges = graph::randomKOut(1500, 4, 17, /*symmetric=*/true);
-        apps::cc::Graph g(1500, edges);
-        emit("cc", t, apps::cc::galoisComponents(g, detCfg(t)));
-    }
+        for (unsigned t : kThreadCounts) {
+            auto edges =
+                graph::randomKOut(1500, 4, 17, /*symmetric=*/true);
+            apps::cc::Graph g(1500, edges);
+            emit("cc", b, t, apps::cc::galoisComponents(g, cfgFor(b, t)));
+        }
 
-    for (unsigned t : kThreadCounts) {
-        auto edges = graph::randomKOut(2000, 5, 23, /*symmetric=*/true);
-        apps::mis::Graph g(2000, edges);
-        emit("mis", t, apps::mis::galoisMis(g, detCfg(t)));
-    }
+        for (unsigned t : kThreadCounts) {
+            auto edges =
+                graph::randomKOut(2000, 5, 23, /*symmetric=*/true);
+            apps::mis::Graph g(2000, edges);
+            emit("mis", b, t, apps::mis::galoisMis(g, cfgFor(b, t)));
+        }
 
-    for (unsigned t : kThreadCounts) {
-        auto prob = apps::mm::makeProblem(1500, 4, 29);
-        emit("mm", t, apps::mm::galoisMatch(prob, detCfg(t)));
-    }
+        for (unsigned t : kThreadCounts) {
+            auto prob = apps::mm::makeProblem(1500, 4, 29);
+            emit("mm", b, t, apps::mm::galoisMatch(prob, cfgFor(b, t)));
+        }
 
-    for (unsigned t : kThreadCounts) {
-        const graph::Node n = 200;
-        auto edges = graph::randomFlowNetwork(n, 4, 30, 31);
-        apps::pfp::Graph g(n, edges, /*find_reverse=*/true);
-        emit("pfp", t, apps::pfp::galoisPfp(g, 0, n - 1, detCfg(t)).report);
-    }
+        for (unsigned t : kThreadCounts) {
+            const graph::Node n = 200;
+            auto edges = graph::randomFlowNetwork(n, 4, 30, 31);
+            apps::pfp::Graph g(n, edges, /*find_reverse=*/true);
+            emit("pfp", b, t,
+                 apps::pfp::galoisPfp(g, 0, n - 1, cfgFor(b, t)).report);
+        }
 
-    for (unsigned t : kThreadCounts) {
-        apps::dmr::Problem prob;
-        apps::dmr::makeProblem(400, 37, prob);
-        emit("dmr", t, apps::dmr::refine(prob, detCfg(t)));
-    }
+        for (unsigned t : kThreadCounts) {
+            apps::dmr::Problem prob;
+            apps::dmr::makeProblem(400, 37, prob);
+            emit("dmr", b, t, apps::dmr::refine(prob, cfgFor(b, t)));
+        }
 
-    for (unsigned t : kThreadCounts) {
-        apps::dt::Problem prob;
-        apps::dt::makeProblem(apps::dt::randomPoints(500, 41), 43, prob);
-        emit("dt", t, apps::dt::triangulate(prob, detCfg(t)));
+        for (unsigned t : kThreadCounts) {
+            apps::dt::Problem prob;
+            apps::dt::makeProblem(apps::dt::randomPoints(500, 41), 43,
+                                  prob);
+            emit("dt", b, t, apps::dt::triangulate(prob, cfgFor(b, t)));
+        }
     }
 
     return 0;

@@ -6,9 +6,16 @@
  *
  * Sixteen seeded PRNG configurations produce random graphs of varying
  * size, degree and weight range; for each, bfs/sssp/mis/cc run under
- * Exec::Det at 1/2/4/8 threads and must agree exactly — same
- * traceDigest (schedule) and same output vector (final state) — with
- * the 1-thread run. Every configuration is deterministic end to end
+ * Exec::Det AND Exec::DetRes at 1/2/4/8 threads and must agree exactly
+ * with their own 1-thread run — same traceDigest (schedule) and same
+ * output vector (final state). The reservation-prefix knobs of the
+ * DetRes leg are themselves sampled from the configuration index, so
+ * the sweep covers many (input, prefix policy) pairs.
+ *
+ * The two backends partition rounds differently, so their *schedules*
+ * differ — but both resolve conflicts in id order, so their *outputs*
+ * must be identical; the sweep asserts that cross-backend equality on
+ * every configuration. Every configuration is deterministic end to end
  * (fixed seeds), so a failure here is reproducible by seed number.
  */
 
@@ -59,23 +66,40 @@ detCfg(unsigned threads)
     return cfg;
 }
 
-/** Run one app on one configuration at every thread count and compare
- *  digest + output against the 1-thread run. makeGraph builds a fresh
- *  input (same seed) per run; run executes and returns the output. */
-template <typename MakeGraph, typename Run>
-void
-sweepConfig(const char* app, int config, MakeGraph makeGraph, Run run)
+/** DetRes configuration with prefix knobs sampled per configuration
+ *  index: small initial prefixes and varying round caps drive the
+ *  reservation policy through its growth path at different rates. */
+galois::Config
+detResCfg(int config, unsigned threads)
+{
+    galois::Config cfg;
+    cfg.exec = galois::Exec::DetRes;
+    cfg.threads = threads;
+    cfg.detres.initialPrefix = 8u << (config % 4);
+    cfg.detres.roundSize = 512u << (config % 3);
+    return cfg;
+}
+
+/** Run one app on one configuration at every thread count under the
+ *  configs produced by cfgFor and compare digest + output against the
+ *  1-thread run. makeGraph builds a fresh input (same seed) per run;
+ *  run executes and returns the output, which is also returned to the
+ *  caller for cross-backend comparison. */
+template <typename MakeGraph, typename Run, typename CfgFor>
+auto
+sweepConfig(const char* app, int config, MakeGraph makeGraph, Run run,
+            CfgFor cfgFor)
 {
     auto ref_g = makeGraph();
     galois::RunReport ref_report;
-    const auto ref_output = run(ref_g, detCfg(1), &ref_report);
-    ASSERT_NE(ref_report.traceDigest, 0u)
+    const auto ref_output = run(ref_g, cfgFor(1u), &ref_report);
+    EXPECT_NE(ref_report.traceDigest, 0u)
         << app << " config " << config << ": no digest";
 
     for (unsigned t : {2u, 4u, 8u}) {
         auto g = makeGraph();
         galois::RunReport report;
-        const auto output = run(g, detCfg(t), &report);
+        const auto output = run(g, cfgFor(t), &report);
         EXPECT_EQ(report.traceDigest, ref_report.traceDigest)
             << app << " config " << config << " t=" << t
             << ": schedule not portable";
@@ -83,13 +107,31 @@ sweepConfig(const char* app, int config, MakeGraph makeGraph, Run run)
             << app << " config " << config << " t=" << t
             << ": output not portable";
     }
+    return ref_output;
+}
+
+/** Both deterministic backends over one (app, config): each must be
+ *  portable on its own, and their final states must coincide. */
+template <typename MakeGraph, typename Run>
+void
+sweepBackends(const char* app, int config, MakeGraph makeGraph, Run run)
+{
+    const auto det_out = sweepConfig(app, config, makeGraph, run,
+                                     [](unsigned t) { return detCfg(t); });
+    const auto res_out =
+        sweepConfig(app, config, makeGraph, run, [config](unsigned t) {
+            return detResCfg(config, t);
+        });
+    EXPECT_EQ(res_out, det_out)
+        << app << " config " << config
+        << ": DetRes final state diverges from Det";
 }
 
 TEST(RandomizedPortability, Bfs)
 {
     for (int c = 0; c < kNumConfigs; ++c) {
         const Shape s = shapeFor(c);
-        sweepConfig(
+        sweepBackends(
             "bfs", c,
             [&] {
                 auto edges = graph::randomKOut(s.nodes, s.degree, s.seed,
@@ -109,7 +151,7 @@ TEST(RandomizedPortability, Sssp)
     for (int c = 0; c < kNumConfigs; ++c) {
         const Shape s = shapeFor(c);
         const std::int64_t max_w = 10 + 13 * c;
-        sweepConfig(
+        sweepBackends(
             "sssp", c,
             [&] {
                 auto edges = apps::sssp::randomWeightedGraph(
@@ -128,7 +170,7 @@ TEST(RandomizedPortability, Mis)
 {
     for (int c = 0; c < kNumConfigs; ++c) {
         const Shape s = shapeFor(c);
-        sweepConfig(
+        sweepBackends(
             "mis", c,
             [&] {
                 auto edges = graph::randomKOut(s.nodes, s.degree, s.seed,
@@ -149,7 +191,7 @@ TEST(RandomizedPortability, Cc)
 {
     for (int c = 0; c < kNumConfigs; ++c) {
         const Shape s = shapeFor(c);
-        sweepConfig(
+        sweepBackends(
             "cc", c,
             [&] {
                 auto edges = graph::randomKOut(s.nodes, s.degree, s.seed,

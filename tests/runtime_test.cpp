@@ -614,10 +614,10 @@ TEST(DetExecutor, PreassignedIds)
     // Children sort by pre-assigned id: 101(1), 100(2), 103(3), 102(4),
     // receiving generation ids 1..4 in that order. All four conflict on
     // locks[0], so exactly one commits per round — and within a window
-    // the *maximum* id wins (writeMarksMax; the paper's guarantee that
-    // each round executes at least one task). Hence the commit order is
-    // 102 (id 4), 103 (3), 100 (2), 101 (1).
-    EXPECT_EQ(order, (std::vector<int>{102, 103, 100, 101}));
+    // the *earliest* id wins (the id-order markMin discipline, which is
+    // what makes the committed state serial-order equivalent). Hence the
+    // commit order is 101 (id 1), 100 (2), 103 (3), 102 (4).
+    EXPECT_EQ(order, (std::vector<int>{101, 100, 103, 102}));
 }
 
 // ---------------------------------------------------------------------

@@ -21,7 +21,21 @@ fi
 
 ACTUAL=$("$DUMP")
 
-if ! printf '%s\n' "$ACTUAL" | diff -u "$GOLDEN" -; then
+if ! printf '%s\n' "$ACTUAL" | diff -u "$GOLDEN" - ; then
+    # Name the first divergent row ("app threads digest") so the log's
+    # one-line verdict says *which* app at *which* width moved, not just
+    # that something did. Rows are "app threads hex"; compare in file
+    # order and report the first golden/actual pair that differs.
+    first=$(printf '%s\n' "$ACTUAL" | diff "$GOLDEN" - | \
+            grep -E '^[<>]' | head -1 || true)
+    row=$(printf '%s' "$first" | cut -c3-)
+    app=$(printf '%s' "$row" | awk '{print $1}')
+    threads=$(printf '%s' "$row" | awk '{print $2}')
+    echo "check_digests.sh: FIRST DIVERGENCE: app '$app' at $threads" \
+         "thread(s) — golden vs actual:" >&2
+    grep -E "^$app[ ]+$threads " "$GOLDEN" | sed 's/^/  golden: /' >&2 || true
+    printf '%s\n' "$ACTUAL" | grep -E "^$app[ ]+$threads " | \
+        sed 's/^/  actual: /' >&2 || true
     echo "check_digests.sh: trace digests diverge from $GOLDEN" >&2
     echo "  (schedule changed; see scripts/check_digests.sh header)" >&2
     exit 1

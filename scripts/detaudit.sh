@@ -28,6 +28,15 @@
 #   R6 address-taint-use    DETSAN_TAINT_ADDRESS in production code: the
 #                           wrapper is how audited address uses announce
 #                           themselves; every site needs a justification.
+#   R7 raw-atomic           std::atomic declarations or relaxed memory
+#                           orders outside the blessed concurrency core
+#                           (src/support/, runtime/lockable.h,
+#                           runtime/round_engine.h). Ad-hoc atomics are
+#                           how racy tiebreaks and unordered folds creep
+#                           in; shared state belongs in the audited
+#                           primitives the schedule-space model checker
+#                           (detmc) certifies, and every exception must
+#                           say why its atomics cannot order anything.
 #
 # A hit is fatal unless the (rule, file) pair appears in the allowlist
 # (scripts/detaudit_allowlist.txt), where every entry carries a comment
@@ -80,6 +89,9 @@ run_rules() {
                                                                $files | sed 's/^/R4 /' || true
             grep -nE '[^a-zA-Z_]getenv[ ]*\('                  $files | sed 's/^/R5 /' || true
             grep -nE 'DETSAN_TAINT_ADDRESS'                    $files | sed 's/^/R6 /' || true
+            grep -nE 'std::atomic<|memory_order_relaxed'       $files | \
+                grep -Ev '^src/support/|^src/runtime/(lockable|round_engine)\.h:' \
+                                                                       | sed 's/^/R7 /' || true
         } | LC_ALL=C sort
     )
 }
@@ -101,14 +113,23 @@ std::mt19937 gen(std::random_device{}());
 auto key = reinterpret_cast<std::uintptr_t>(task);
 const char* home = getenv("HOME");
 const std::uint64_t tb = DETSAN_TAINT_ADDRESS(&task);
+std::atomic<unsigned> hand_rolled{0};
+x.load(std::memory_order_relaxed);
 EOF
     cat > "$tmp/src/good.h" <<'EOF'
 const std::uint64_t v = support::CounterPrng::eval(seed, op_id, step);
 timer.start(); // support::Timer wraps the blessed clock site
 EOF
+    # R7's built-in blessing: atomics inside src/support/ are the
+    # concurrency core itself and must not trip the rule.
+    mkdir -p "$tmp/src/support"
+    cat > "$tmp/src/support/blessed.h" <<'EOF'
+std::atomic<std::uint32_t> sense_{0};
+remaining_.store(n, std::memory_order_relaxed);
+EOF
     hits=$(run_rules "$tmp")
     fail=0
-    for rule in R1 R2 R3 R4 R5 R6; do
+    for rule in R1 R2 R3 R4 R5 R6 R7; do
         if ! printf '%s\n' "$hits" | grep -q "^$rule src/bad.h:"; then
             echo "detaudit.sh: SELF-TEST FAILED: rule $rule did not fire" >&2
             fail=1
@@ -118,8 +139,12 @@ EOF
         echo "detaudit.sh: SELF-TEST FAILED: false positive on clean file" >&2
         fail=1
     fi
+    if printf '%s\n' "$hits" | grep -q 'src/support/blessed.h:'; then
+        echo "detaudit.sh: SELF-TEST FAILED: R7 fired inside the blessed core" >&2
+        fail=1
+    fi
     [ "$fail" -eq 0 ] || exit 1
-    echo "detaudit.sh: self-test OK (6 rules, 0 false positives)"
+    echo "detaudit.sh: self-test OK (7 rules, 0 false positives)"
     exit 0
 fi
 

@@ -14,11 +14,18 @@
 # allowlisted, justified sites. Needs only POSIX tools, so it always
 # runs and fails the lint on any non-allowlisted hit.
 #
-# Pass 3 — clang-tidy (config: .clang-tidy at the repo root) over the
+# Pass 3 — detmc hook-site audit: the model checker's schedule points
+# (DETMC_* macros) must appear exactly in the files named by
+# scripts/detmc_hook_sites.txt — the certified barrier/mark/worklist
+# kernel. A listed file that lost its hooks means the checker silently
+# stopped seeing a primitive; an unlisted file that gained hooks means
+# the certified surface grew without a model. Both fail the lint.
+#
+# Pass 4 — clang-tidy (config: .clang-tidy at the repo root) over the
 # sources, using the compile database of an existing build directory.
 # The tool is optional in the minimal toolchain image: when it is
-# absent, pass 3 emits a visible SKIPPED line and the script exits with
-# the distinct code 3 (passes 1-2 clean, tidy not run) so CI logs and
+# absent, pass 4 emits a visible SKIPPED line and the script exits with
+# the distinct code 3 (passes 1-3 clean, tidy not run) so CI logs and
 # gates can tell a skip from a clean full run.
 #
 # Usage: scripts/lint.sh [clang-tidy-binary] [build-dir]
@@ -55,10 +62,30 @@ echo "lint.sh: running environment-determinism audit (detaudit.sh)"
 sh "$(dirname "$0")/detaudit.sh"
 
 # ----------------------------------------------------------------------
-# Pass 3: clang-tidy.
+# Pass 3: detmc hook-site audit.
+# ----------------------------------------------------------------------
+echo "lint.sh: checking detmc hook sites against scripts/detmc_hook_sites.txt"
+SITES_FILE="$(dirname "$0")/detmc_hook_sites.txt"
+expected=$(grep -v '^#' "$SITES_FILE" | grep -v '^$' | LC_ALL=C sort)
+actual=$(grep -l 'DETMC_' $(find src \( -name '*.h' -o -name '*.cpp' \) \
+             ! -path 'src/analysis/detmc*' | LC_ALL=C sort) \
+             2>/dev/null | LC_ALL=C sort || true)
+if [ "$expected" != "$actual" ]; then
+    echo "lint.sh: detmc hook sites diverge from scripts/detmc_hook_sites.txt" >&2
+    echo "  expected (table):" >&2
+    printf '%s\n' "$expected" | sed 's/^/    /' >&2
+    echo "  actual (grep -l DETMC_ over src/, hook layer excluded):" >&2
+    printf '%s\n' "$actual" | sed 's/^/    /' >&2
+    echo "lint.sh: update the table AND tests/detmc_models.h together" >&2
+    exit 1
+fi
+echo "lint.sh: detmc hook sites OK ($(printf '%s\n' "$expected" | grep -c .) files)"
+
+# ----------------------------------------------------------------------
+# Pass 4: clang-tidy.
 # ----------------------------------------------------------------------
 if ! command -v "$TIDY" >/dev/null 2>&1; then
-    echo "lint.sh: SKIPPED: clang-tidy not found ($TIDY); passes 1-2 clean, tidy pass not run"
+    echo "lint.sh: SKIPPED: clang-tidy not found ($TIDY); passes 1-3 clean, tidy pass not run"
     exit 3
 fi
 if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then

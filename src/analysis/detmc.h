@@ -1,0 +1,192 @@
+/**
+ * @file
+ * detmc — deterministic schedule-space model checker for the
+ * concurrency kernel (the third analysis subsystem, next to detsan and
+ * detaudit).
+ *
+ * The determinism claims of the runtime rest on a handful of
+ * hand-argued protocols: the fused two-rendezvous round
+ * (DESIGN.md §13 quiescence-equivalence), the min-id-wins mark
+ * discipline (§14), and the worklist/termination handoff. Dynamic
+ * testing exercises a few interleavings of each; this checker explores
+ * *all of them* (up to a bound) and turns the prose arguments into
+ * machine-checked facts.
+ *
+ * How it works:
+ *
+ *  - A model (ModelSpec) is a fixed number of *virtual threads* — real
+ *    OS threads that run the genuine primitive implementations
+ *    (compiled with -DDETGALOIS_DETMC) but park at every instrumented
+ *    shared-memory operation (analysis/detmc_hooks.h) and only proceed
+ *    when the scheduler grants them. Exactly one virtual thread runs
+ *    between schedule points, so an execution is fully determined by
+ *    the sequence of grants — the *schedule*.
+ *
+ *  - explore() enumerates schedules with a stateless depth-first
+ *    search with replay: each execution re-runs the model from
+ *    setup(), following the recorded decision prefix and extending it
+ *    at the frontier. Blocked threads (barrier spins, lock spins,
+ *    termination backoff) are modeled by pure predicates, so a thread
+ *    that cannot make progress is simply not enabled — spin loops
+ *    never inflate the schedule space, and a state where no thread is
+ *    enabled is reported as a deadlock/lost-wakeup with its schedule.
+ *
+ *  - A sleep-set pruning pass (Godefroid-style, the simple core of
+ *    DPOR) skips schedules that only commute independent operations:
+ *    after a subtree for thread t is explored, t sleeps until some
+ *    dependent operation (same object, at least one write) runs.
+ *    Pruning is sound for the safety properties checked here — it
+ *    never removes all representatives of a Mazurkiewicz trace.
+ *
+ *  - Every violation (failed check, deadlock, step-bound livelock)
+ *    carries the schedule that produced it; replay() re-runs exactly
+ *    that schedule and returns a deterministic event trace, so a
+ *    counterexample reproduces byte-identically — on any machine.
+ *
+ * The checker explores interleavings at sequential-consistency
+ * granularity (CHESS-style), which is the right level for the protocol
+ * properties certified here: every protocol in the kernel synchronizes
+ * through acquire/release pairs whose SC interleavings cover the
+ * reachable outcome set. Weak-memory reorderings are out of scope
+ * (relacy territory); the seeded bugs are therefore *protocol* bugs —
+ * ordering and atomicity mistakes visible under SC — not fence bugs.
+ */
+
+#ifndef DETGALOIS_ANALYSIS_DETMC_H
+#define DETGALOIS_ANALYSIS_DETMC_H
+
+// The API below is macro-independent; only translation units that *drive*
+// models need -DDETGALOIS_DETMC (so the primitives they pull in carry the
+// hook schedule points). Production code includes analysis/detmc_hooks.h,
+// never this header.
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/detmc_hooks.h"
+
+namespace galois::analysis::detmc {
+
+/** Exploration knobs. Defaults bound the default-suite models <60 s. */
+struct Options
+{
+    /**
+     * Stop after this many complete executions. The certification
+     * tests assert exploration *exhausted* the space (boundHit false),
+     * so the bound is a runaway guard, not a sampling knob.
+     */
+    std::uint64_t maxSchedules = 1 << 20;
+    /** Per-execution step bound; exceeding it is reported as a
+     *  livelock violation (a correct bounded model never hits it). */
+    unsigned maxSteps = 4096;
+    /** Sleep-set (DPOR) pruning. Off explores the raw tree — useful
+     *  for measuring what the pruning saves. */
+    bool sleepSets = true;
+    /** Arm one seeded protocol bug by name (see DESIGN.md §15 table);
+     *  nullptr runs the genuine protocol. */
+    const char* seedBug = nullptr;
+};
+
+/** Thrown by a model's check() (or body) to report a violated
+ *  invariant; also usable via the CHECK helpers below. */
+class CheckFailure : public std::runtime_error
+{
+  public:
+    explicit CheckFailure(const std::string& what)
+        : std::runtime_error(what)
+    {}
+};
+
+/** Internal: unwinds a virtual thread when an execution is torn down
+ *  early (violation found mid-run). Never escapes explore()/replay(). */
+struct AbortSignal
+{};
+
+/**
+ * One model: nthreads virtual threads over shared state that setup()
+ * (re)builds before every execution. body(tid) runs the protocol under
+ * test; check() runs after every complete execution, single-threaded
+ * and quiesced, and throws CheckFailure on a violated invariant.
+ * note() (below) may be used from bodies/check to append deterministic
+ * events to the execution trace.
+ */
+struct ModelSpec
+{
+    const char* name = "model";
+    unsigned nthreads = 2;
+    std::function<void()> setup;
+    std::function<void(unsigned)> body;
+    std::function<void()> check;
+};
+
+/** One counterexample: what went wrong plus the schedule to replay. */
+struct Violation
+{
+    std::string what;
+    /** Thread index granted at each step — feed to replay(). */
+    std::vector<unsigned> schedule;
+};
+
+/** Exploration statistics (what the ≥10k-interleavings gate counts). */
+struct Stats
+{
+    std::uint64_t schedules = 0;   //!< complete executions explored
+    std::uint64_t steps = 0;       //!< total operations granted
+    std::uint64_t sleepPruned = 0; //!< choices skipped by sleep sets
+    bool boundHit = false;         //!< maxSchedules reached first
+};
+
+/** Result of an exploration. */
+struct Result
+{
+    Stats stats;
+    std::vector<Violation> violations;
+
+    bool ok() const { return violations.empty(); }
+    /** "name: N schedules, M steps, K pruned, V violations" */
+    std::string summary(const char* name) const;
+};
+
+/** Result of replaying one schedule. */
+struct ReplayResult
+{
+    bool violated = false;
+    std::string what;  //!< violation message ("" when clean)
+    /** Deterministic event log: one line per granted step
+     *  ("step tid kind site obj") plus note() lines and the verdict.
+     *  Byte-identical across replays of the same schedule. */
+    std::string trace;
+};
+
+/**
+ * Exhaustively explore the model's schedule space (bounded DFS with
+ * replay + sleep-set pruning). Violations stop the *current* execution
+ * and are collected (up to an internal cap); exploration continues so
+ * a buggy model reports its earliest counterexample deterministically.
+ */
+Result explore(const ModelSpec& spec, const Options& opts = {});
+
+/**
+ * Run exactly one execution under `schedule` (as recorded in a
+ * Violation, or parsed by parseSchedule()) and return its trace.
+ * A schedule that names a disabled/finished thread at some step is
+ * reported as a violation of kind "invalid schedule".
+ */
+ReplayResult replay(const ModelSpec& spec,
+                    const std::vector<unsigned>& schedule,
+                    const Options& opts = {});
+
+/** Append a deterministic event line to the current execution trace
+ *  (valid on a virtual thread or inside setup()/check()). */
+void note(const std::string& event);
+
+/** "0,1,1,0" <-> schedule vector (for the --replay CLI). */
+std::vector<unsigned> parseSchedule(const std::string& text);
+std::string formatSchedule(const std::vector<unsigned>& schedule);
+
+} // namespace galois::analysis::detmc
+
+#endif // DETGALOIS_ANALYSIS_DETMC_H

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * detmc hook layer — compile-time interposition points for the
+ * schedule-space model checker (analysis/detmc.h).
+ *
+ * The concurrency kernel's headers (support/barrier.h, support/
+ * termination.h, runtime/lockable.h, runtime/worklist.h) include this
+ * header unconditionally and wrap every shared-memory operation of
+ * their protocols in the DETMC_* macros below. The pattern is the same
+ * one detsan uses: without -DDETGALOIS_DETMC every macro expands to
+ * nothing (or to its fallback expression) and the build is
+ * bit-identical to an uninstrumented one; with the macro defined the
+ * operations become *schedule points* — when the calling thread is a
+ * detmc virtual thread, it announces the pending operation and parks
+ * until the exhaustive scheduler grants it. Threads that are not
+ * virtual threads (the real thread pool, tests, production) fall
+ * straight through a thread-local check, so a DETGALOIS_DETMC build
+ * runs the full test suite unchanged.
+ *
+ * Hook vocabulary:
+ *
+ *   DETMC_READ(obj, site)   schedule point before an atomic load
+ *   DETMC_WRITE(obj, site)  schedule point before an atomic store
+ *   DETMC_RMW(obj, site)    schedule point before a CAS/fetch-op
+ *   DETMC_VTID(fallback)    virtual-thread id, or `fallback` off-model
+ *   DETMC_BUG(name)         seeded-protocol-bug query (constant false
+ *                           when the checker is off — the buggy branch
+ *                           is dead code the optimizer removes)
+ *
+ * Spin loops cannot be modeled by per-iteration schedule points (they
+ * would make the schedule space infinite), so the spinning sites call
+ * galois::analysis::detmc::await() directly under an #ifdef: the
+ * scheduler treats the thread as *blocked* and only re-enables it once
+ * the predicate holds. The predicate must be a pure read of shared
+ * state — the scheduler evaluates it while every virtual thread is
+ * parked.
+ *
+ * Keep this header minimal: it is included by the innermost runtime
+ * headers, so it must not drag in <functional>, <vector> or any other
+ * heavyweight dependency. The full model-checker API lives in
+ * analysis/detmc.h.
+ */
+
+#ifndef DETGALOIS_ANALYSIS_DETMC_HOOKS_H
+#define DETGALOIS_ANALYSIS_DETMC_HOOKS_H
+
+#if defined(DETGALOIS_DETMC)
+
+namespace galois::analysis::detmc {
+
+/** Kind of shared-memory operation announced at a schedule point. */
+enum class OpKind : unsigned char
+{
+    Read,          //!< atomic load
+    Write,         //!< atomic store
+    Rmw,           //!< CAS / fetch-op (read-modify-write)
+    Await,         //!< blocked on a pure predicate over one object
+    AwaitProgress, //!< blocked until any other thread writes
+    Yield          //!< pure schedule point, no shared access
+};
+
+/** True when the calling thread is a virtual thread of a live model. */
+bool onVthread() noexcept;
+
+/** Virtual-thread id of the calling thread (valid only onVthread()). */
+unsigned vthreadId() noexcept;
+
+/**
+ * Announce the operation `(kind, obj, site)` and park until the
+ * exhaustive scheduler grants it; the caller performs the real memory
+ * operation immediately after this returns. Throws detmc::AbortSignal
+ * when the current execution is being torn down (the virtual-thread
+ * trampoline catches it).
+ */
+void opPoint(OpKind kind, const void* obj, const char* site);
+
+/**
+ * Modeled spin-wait: park until `pred(ctx)` holds. `pred` must be a
+ * pure read of shared state (it is evaluated by the scheduler while
+ * all virtual threads are parked); `ctx` must stay alive while parked.
+ */
+void await(const void* obj, const char* site, bool (*pred)(const void*),
+           const void* ctx);
+
+/**
+ * Modeled backoff: park until any *other* virtual thread performs a
+ * write or read-modify-write, then return so the caller can re-check
+ * its progress condition. If every unfinished thread ends up parked
+ * here (or in an await whose predicate is false), the scheduler
+ * reports a deadlock/lost-wakeup with the schedule that produced it.
+ */
+void yieldProgress(const char* site);
+
+/** True when the named seeded protocol bug is armed for this model. */
+bool bugEnabled(const char* name) noexcept;
+
+} // namespace galois::analysis::detmc
+
+#define DETMC_OP(kind, obj, site)                                         \
+    (::galois::analysis::detmc::onVthread()                               \
+         ? ::galois::analysis::detmc::opPoint(                            \
+               ::galois::analysis::detmc::OpKind::kind, (obj), (site))    \
+         : void(0))
+#define DETMC_READ(obj, site) DETMC_OP(Read, obj, site)
+#define DETMC_WRITE(obj, site) DETMC_OP(Write, obj, site)
+#define DETMC_RMW(obj, site) DETMC_OP(Rmw, obj, site)
+#define DETMC_YIELD(site) DETMC_OP(Yield, nullptr, site)
+#define DETMC_VTID(fallback)                                              \
+    (::galois::analysis::detmc::onVthread()                               \
+         ? ::galois::analysis::detmc::vthreadId()                         \
+         : (fallback))
+#define DETMC_BUG(name) (::galois::analysis::detmc::bugEnabled(name))
+
+#else // !DETGALOIS_DETMC — every hook compiles to nothing.
+
+#define DETMC_OP(kind, obj, site) ((void)0)
+#define DETMC_READ(obj, site) ((void)0)
+#define DETMC_WRITE(obj, site) ((void)0)
+#define DETMC_RMW(obj, site) ((void)0)
+#define DETMC_YIELD(site) ((void)0)
+#define DETMC_VTID(fallback) (fallback)
+#define DETMC_BUG(name) (false)
+
+#endif // DETGALOIS_DETMC
+
+#endif // DETGALOIS_ANALYSIS_DETMC_HOOKS_H

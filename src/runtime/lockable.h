@@ -36,6 +36,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "analysis/detmc_hooks.h"
+
 namespace galois::runtime {
 
 /**
@@ -91,6 +93,7 @@ class Lockable
     MarkOwner*
     owner(std::memory_order order = std::memory_order_acquire) const
     {
+        DETMC_READ(&mark_, "lockable.mark.read");
         return mark_.load(order);
     }
 
@@ -103,6 +106,7 @@ class Lockable
     bool
     tryAcquire(MarkOwner* o)
     {
+        DETMC_RMW(&mark_, "lockable.mark.cas");
         MarkOwner* expected = nullptr;
         if (mark_.compare_exchange_strong(expected, o,
                                           std::memory_order_acq_rel)) {
@@ -125,12 +129,14 @@ class Lockable
     markMax(MarkOwner* o, MarkOwner*& displaced)
     {
         displaced = nullptr;
+        DETMC_READ(&mark_, "lockable.mark.read");
         MarkOwner* cur = mark_.load(std::memory_order_acquire);
         for (;;) {
             if (cur == o)
                 return true;
             if (cur != nullptr && cur->id >= o->id)
                 return false; // a larger id already owns the location
+            DETMC_RMW(&mark_, "lockable.mark.cas");
             if (mark_.compare_exchange_weak(cur, o,
                                             std::memory_order_acq_rel)) {
                 displaced = cur;
@@ -153,12 +159,32 @@ class Lockable
     markMin(MarkOwner* o, MarkOwner*& displaced)
     {
         displaced = nullptr;
+        if (DETMC_BUG("lockable.markmin-tear")) {
+            // Seeded protocol bug (model-checker builds only): the CAS
+            // loop degraded to a non-atomic check-then-store. Two
+            // concurrent claimants can both read "free" and both
+            // install themselves; the later store wins regardless of
+            // id, so detmc model (b) finds a schedule whose final
+            // owner is not the minimum id.
+            DETMC_READ(&mark_, "lockable.mark.read");
+            MarkOwner* cur = mark_.load(std::memory_order_acquire);
+            if (cur == o)
+                return true;
+            if (cur != nullptr && cur->id <= o->id)
+                return false;
+            DETMC_WRITE(&mark_, "lockable.mark.store");
+            mark_.store(o, std::memory_order_release);
+            displaced = cur;
+            return true;
+        }
+        DETMC_READ(&mark_, "lockable.mark.read");
         MarkOwner* cur = mark_.load(std::memory_order_acquire);
         for (;;) {
             if (cur == o)
                 return true;
             if (cur != nullptr && cur->id <= o->id)
                 return false; // an earlier id already owns the location
+            DETMC_RMW(&mark_, "lockable.mark.cas");
             if (mark_.compare_exchange_weak(cur, o,
                                             std::memory_order_acq_rel)) {
                 displaced = cur;
@@ -178,13 +204,19 @@ class Lockable
     void
     releaseIfOwner(MarkOwner* o)
     {
+        DETMC_RMW(&mark_, "lockable.mark.release");
         MarkOwner* expected = o;
         mark_.compare_exchange_strong(expected, nullptr,
                                       std::memory_order_acq_rel);
     }
 
     /** Unconditional reset to unowned (single-threaded contexts only). */
-    void forceRelease() { mark_.store(nullptr, std::memory_order_relaxed); }
+    void
+    forceRelease()
+    {
+        DETMC_WRITE(&mark_, "lockable.mark.force-release");
+        mark_.store(nullptr, std::memory_order_relaxed);
+    }
 
     /**
      * Unconditional owner install with a plain relaxed store.
@@ -195,8 +227,10 @@ class Lockable
      * publication to the other threads rides the barrier's sense-word
      * release. Never call this from a parallel phase.
      */
-    void forceOwner(MarkOwner* o)
+    void
+    forceOwner(MarkOwner* o)
     {
+        DETMC_WRITE(&mark_, "lockable.mark.force-owner");
         mark_.store(o, std::memory_order_relaxed);
     }
 

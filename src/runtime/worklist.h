@@ -25,6 +25,7 @@
 #include <memory>
 #include <optional>
 
+#include "analysis/detmc_hooks.h"
 #include "support/cacheline.h"
 #include "support/per_thread.h"
 #include "support/thread_pool.h"
@@ -38,6 +39,27 @@ class SpinLock
     void
     lock()
     {
+#if defined(DETGALOIS_DETMC)
+        if (analysis::detmc::onVthread()) {
+            // Modeled acquisition: the exchange is a schedule point
+            // and the contended spin is a blocked wait on "flag free"
+            // (pure predicate), so lock handoff interleavings are
+            // explored without the spin inflating the schedule space.
+            for (;;) {
+                DETMC_RMW(&flag_, "spinlock.lock");
+                if (!flag_.exchange(true, std::memory_order_acquire))
+                    return;
+                analysis::detmc::await(
+                    &flag_, "spinlock.spin",
+                    [](const void* p) {
+                        return !static_cast<
+                                    const std::atomic<bool>*>(p)
+                                    ->load(std::memory_order_relaxed);
+                    },
+                    &flag_);
+            }
+        }
+#endif
         for (;;) {
             if (!flag_.exchange(true, std::memory_order_acquire))
                 return;
@@ -50,11 +72,17 @@ class SpinLock
     bool
     tryLock()
     {
+        DETMC_RMW(&flag_, "spinlock.trylock");
         return !flag_.load(std::memory_order_relaxed) &&
                !flag_.exchange(true, std::memory_order_acquire);
     }
 
-    void unlock() { flag_.store(false, std::memory_order_release); }
+    void
+    unlock()
+    {
+        DETMC_WRITE(&flag_, "spinlock.unlock");
+        flag_.store(false, std::memory_order_release);
+    }
 
   private:
     std::atomic<bool> flag_{false};
@@ -95,12 +123,16 @@ class ChunkedWorklist
     void
     push(const T& item)
     {
-        Local& me = locals_.local();
+        Local& me = locals_.remote(selfId());
         if (!me.write)
             me.write = makeChunk();
         if (me.write->count == chunkSize_) {
             me.lock.lock();
             me.shared.push_back(std::move(me.write));
+            DETMC_WRITE(&me.sharedCount, "worklist.count.publish");
+            me.sharedCount.store(
+                static_cast<unsigned>(me.shared.size()),
+                std::memory_order_relaxed);
             me.lock.unlock();
             me.write = makeChunk();
         }
@@ -111,21 +143,26 @@ class ChunkedWorklist
     std::optional<T>
     pop()
     {
-        Local& me = locals_.local();
+        Local& me = locals_.remote(selfId());
         if (fifo_) {
             // Drain the read chunk front-to-back.
             if (me.read && me.readPos < me.read->count)
                 return me.read->items[me.readPos++];
-            // Refill from the oldest shared chunk.
-            me.lock.lock();
-            if (!me.shared.empty()) {
-                me.read = std::move(me.shared.front());
-                me.shared.pop_front();
+            // Refill from the oldest shared chunk (skip the lock when
+            // the lane is observably empty; only we push to it, so a
+            // zero count cannot hide a chunk of our own).
+            if (sharedNonEmpty(me)) {
+                me.lock.lock();
+                if (!me.shared.empty()) {
+                    me.read = std::move(me.shared.front());
+                    me.shared.pop_front();
+                    noteShrunk(me);
+                    me.lock.unlock();
+                    me.readPos = 0;
+                    return me.read->items[me.readPos++];
+                }
                 me.lock.unlock();
-                me.readPos = 0;
-                return me.read->items[me.readPos++];
             }
-            me.lock.unlock();
             // Fall back to the chunk being written (oldest first).
             if (me.write && me.write->count > 0) {
                 me.read = std::move(me.write);
@@ -135,14 +172,17 @@ class ChunkedWorklist
         } else {
             if (me.write && me.write->count > 0)
                 return me.write->items[--me.write->count];
-            me.lock.lock();
-            if (!me.shared.empty()) {
-                me.write = std::move(me.shared.back());
-                me.shared.pop_back();
+            if (sharedNonEmpty(me)) {
+                me.lock.lock();
+                if (!me.shared.empty()) {
+                    me.write = std::move(me.shared.back());
+                    me.shared.pop_back();
+                    noteShrunk(me);
+                    me.lock.unlock();
+                    return me.write->items[--me.write->count];
+                }
                 me.lock.unlock();
-                return me.write->items[--me.write->count];
             }
-            me.lock.unlock();
         }
         return steal();
     }
@@ -165,6 +205,18 @@ class ChunkedWorklist
         std::unique_ptr<Chunk> read;
         unsigned readPos = 0;
         std::deque<std::unique_ptr<Chunk>> shared;
+        /**
+         * Lock-free mirror of shared.size(), updated inside the
+         * critical section. Lets pop()/steal() skip the lock when a
+         * lane is observably empty — the classic work-stealing
+         * fast path (a stale read at worst skips a just-published
+         * chunk, which the executor's retry loop absorbs). It also
+         * keeps an idle thread's failed pop free of lock *writes*,
+         * which the schedule-space model checker relies on: an idle
+         * scan that wrote lock words would wake every other idle
+         * thread's progress-wait and livelock the model.
+         */
+        std::atomic<unsigned> sharedCount{0};
     };
 
     std::unique_ptr<Chunk>
@@ -173,14 +225,43 @@ class ChunkedWorklist
         return std::make_unique<Chunk>(chunkSize_);
     }
 
+    /**
+     * Lane index of the calling thread. Pool threads use their
+     * ThreadPool id; under the model checker, virtual threads map to
+     * their vthread id so each gets a distinct lane.
+     */
+    static std::size_t
+    selfId()
+    {
+        return DETMC_VTID(support::ThreadPool::threadId());
+    }
+
+    static bool
+    sharedNonEmpty(const Local& lane)
+    {
+        DETMC_READ(&lane.sharedCount, "worklist.count.read");
+        return lane.sharedCount.load(std::memory_order_relaxed) != 0;
+    }
+
+    /** Refresh the size mirror after removing a chunk (lock held). */
+    static void
+    noteShrunk(Local& lane)
+    {
+        DETMC_WRITE(&lane.sharedCount, "worklist.count.shrink");
+        lane.sharedCount.store(static_cast<unsigned>(lane.shared.size()),
+                               std::memory_order_relaxed);
+    }
+
     std::optional<T>
     steal()
     {
-        Local& me = locals_.local();
+        const std::size_t self = selfId();
+        Local& me = locals_.remote(self);
         const std::size_t n = locals_.size();
-        const std::size_t self = support::ThreadPool::threadId();
         for (std::size_t i = 1; i < n; ++i) {
             Local& victim = locals_.remote((self + i) % n);
+            if (!sharedNonEmpty(victim))
+                continue; // observably dry; don't touch its lock
             if (!victim.lock.tryLock())
                 continue;
             if (!victim.shared.empty()) {
@@ -189,6 +270,7 @@ class ChunkedWorklist
                 std::unique_ptr<Chunk> stolen =
                     std::move(victim.shared.front());
                 victim.shared.pop_front();
+                noteShrunk(victim);
                 victim.lock.unlock();
                 if (fifo_) {
                     me.read = std::move(stolen);

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "analysis/detmc_hooks.h"
 #include "support/cacheline.h"
 #include "support/failpoint.h"
 
@@ -82,11 +83,29 @@ class Barrier
     void
     wait(Fn&& completion)
     {
+        DETMC_READ(&sense_, "barrier.sense.read");
         const std::uint32_t my_sense =
             sense_.load(std::memory_order_acquire);
+        DETMC_RMW(&remaining_, "barrier.remaining.dec");
         if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
             completion();
+            if (DETMC_BUG("barrier.early-sense")) {
+                // Seeded protocol bug (model-checker builds only): the
+                // completion section publishes the sense word *before*
+                // resetting the arrival count. A released peer that
+                // re-enters the barrier decrements the stale count and
+                // parks forever — detmc model (a) finds the deadlock
+                // schedule; real code keeps the reset-then-flip order.
+                DETMC_WRITE(&sense_, "barrier.sense.flip");
+                sense_.store(my_sense + 1, std::memory_order_release);
+                DETMC_WRITE(&remaining_, "barrier.remaining.reset");
+                remaining_.store(participants_,
+                                 std::memory_order_relaxed);
+                return;
+            }
+            DETMC_WRITE(&remaining_, "barrier.remaining.reset");
             remaining_.store(participants_, std::memory_order_relaxed);
+            DETMC_WRITE(&sense_, "barrier.sense.flip");
             sense_.store(my_sense + 1, std::memory_order_release);
             return;
         }

@@ -17,6 +17,7 @@
 #include <atomic>
 #include <cstdint>
 
+#include "analysis/detmc_hooks.h"
 #include "support/cacheline.h"
 
 namespace galois::support {
@@ -29,6 +30,7 @@ class TerminationDetector
     void
     reset(std::uint64_t initial)
     {
+        DETMC_WRITE(&pending_, "termination.reset");
         pending_.store(initial, std::memory_order_relaxed);
     }
 
@@ -36,6 +38,7 @@ class TerminationDetector
     void
     add(std::uint64_t n = 1)
     {
+        DETMC_RMW(&pending_, "termination.add");
         pending_.fetch_add(n, std::memory_order_relaxed);
     }
 
@@ -48,6 +51,21 @@ class TerminationDetector
     void
     retire()
     {
+        if (DETMC_BUG("termination.weak-retire")) {
+            // Seeded protocol bug (model-checker builds only): the
+            // atomic decrement degraded to a load/store pair. Two
+            // concurrent retires can lose one decrement, so the
+            // counter never reaches zero and every thread ends up
+            // blocked waiting for quiescence — detmc model (c)
+            // reports the lost-update schedule as a deadlock.
+            DETMC_READ(&pending_, "termination.retire.read");
+            const std::uint64_t v =
+                pending_.load(std::memory_order_relaxed);
+            DETMC_WRITE(&pending_, "termination.retire.write");
+            pending_.store(v - 1, std::memory_order_release);
+            return;
+        }
+        DETMC_RMW(&pending_, "termination.retire");
         pending_.fetch_sub(1, std::memory_order_acq_rel);
     }
 
@@ -55,6 +73,7 @@ class TerminationDetector
     bool
     quiescent() const
     {
+        DETMC_READ(&pending_, "termination.quiescent");
         return pending_.load(std::memory_order_acquire) == 0;
     }
 
@@ -62,6 +81,7 @@ class TerminationDetector
     std::uint64_t
     pending() const
     {
+        DETMC_READ(&pending_, "termination.pending");
         return pending_.load(std::memory_order_relaxed);
     }
 

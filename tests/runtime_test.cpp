@@ -17,12 +17,16 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <stdexcept>
 #include <tuple>
 #include <vector>
 
 #include "galois/galois.h"
 #include "runtime/worklist.h"
+#include "support/barrier.h"
+#include "support/thread_pool.h"
 
 using galois::Config;
 using galois::Exec;
@@ -818,4 +822,79 @@ TEST(DetExecutor, WideFanOutOfChildren)
         cfg);
     EXPECT_EQ(report.committed, 10001u);
     EXPECT_EQ(seen.load(), 9999ull * 10000 / 2);
+}
+
+// ---------------------------------------------------------------------
+// Barrier edge cases: the completion-bearing wait() is the spine of the
+// fused round protocol, and its corners (single participant, throwing
+// completion, reinit to a degraded width) are exactly where a sense-
+// reversal barrier can rot silently. The schedule-space model checker
+// (detmc) certifies the 2-3 thread interleavings; these tests pin the
+// degenerate widths it does not model.
+// ---------------------------------------------------------------------
+
+TEST(Barrier, SingleParticipantRunsCompletionInline)
+{
+    // A 1-thread pool degenerates every rendezvous to a function call:
+    // the sole arrival is always the last arrival, so the completion
+    // must run synchronously, once per epoch, and never block.
+    galois::support::Barrier bar(1);
+    unsigned completions = 0;
+    for (unsigned epoch = 0; epoch < 3; ++epoch) {
+        bar.wait([&] { ++completions; });
+        EXPECT_EQ(completions, epoch + 1);
+        bar.wait(); // plain rendezvous must also pass straight through
+    }
+    EXPECT_EQ(completions, 3u);
+}
+
+TEST(Barrier, ThrowingCompletionPropagatesAndReinitRestores)
+{
+    // The contract says completions must not throw (a throwing
+    // completion strands parked peers), so RoundEngine contains
+    // exceptions in its serial sections. With a single participant
+    // there are no peers to strand: the exception surfaces to the
+    // caller, the barrier is left mid-epoch, and reinit() — the
+    // documented recovery point — must restore a usable barrier.
+    galois::support::Barrier bar(1);
+    EXPECT_THROW(bar.wait([] { throw std::runtime_error("serial step"); }),
+                 std::runtime_error);
+    bar.reinit(1);
+    unsigned completions = 0;
+    bar.wait([&] { ++completions; });
+    EXPECT_EQ(completions, 1u);
+}
+
+TEST(Barrier, ReinitToDegradedWidthIsReusable)
+{
+    // A pool that loses workers mid-experiment (failpoint-degraded
+    // runs) re-arms the barrier narrower: 4 participants, then
+    // reinit(2). Epochs at both widths must complete, and every epoch's
+    // completion must observe all of its width's arrivals.
+    galois::support::Barrier bar(4);
+    std::atomic<unsigned> arrivals{0};
+    std::vector<unsigned> snapshots;
+    galois::support::ThreadPool::get().run(4, [&](unsigned) {
+        for (unsigned epoch = 0; epoch < 2; ++epoch) {
+            arrivals.fetch_add(1, std::memory_order_relaxed);
+            bar.wait([&] {
+                snapshots.push_back(
+                    arrivals.load(std::memory_order_relaxed));
+            });
+        }
+    });
+    bar.reinit(2);
+    galois::support::ThreadPool::get().run(2, [&](unsigned) {
+        arrivals.fetch_add(1, std::memory_order_relaxed);
+        bar.wait([&] {
+            snapshots.push_back(
+                arrivals.load(std::memory_order_relaxed));
+        });
+    });
+    // Completions ran once per epoch and saw every arrival of their
+    // epoch: 4, then 8, then 8 + 2.
+    ASSERT_EQ(snapshots.size(), 3u);
+    EXPECT_EQ(snapshots[0], 4u);
+    EXPECT_EQ(snapshots[1], 8u);
+    EXPECT_EQ(snapshots[2], 10u);
 }
